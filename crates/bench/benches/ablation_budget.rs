@@ -1,0 +1,35 @@
+//! Ablation: register-budget sweep for every kernel of the paper suite.
+//!
+//! Shows where the three allocators diverge (tight budgets) and where they converge
+//! (budgets large enough for full replacement of every profitable reference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srra_bench::sweep::budget_sweep;
+use srra_kernels::paper_suite;
+
+fn bench_budget_sweep(c: &mut Criterion) {
+    let suite = paper_suite();
+    let budgets = [8u64, 16, 32, 64, 128, 256];
+    let mut group = c.benchmark_group("ablation_budget");
+    for spec in &suite {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.kernel.name()),
+            &spec.kernel,
+            |b, kernel| b.iter(|| budget_sweep(kernel, &budgets)),
+        );
+        for point in budget_sweep(&spec.kernel, &budgets) {
+            println!(
+                "ablation_budget: {} budget={} fr={} pr={} cpa={}",
+                spec.kernel.name(),
+                point.parameter,
+                point.fr_ra_cycles,
+                point.pr_ra_cycles,
+                point.cpa_ra_cycles
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget_sweep);
+criterion_main!(benches);

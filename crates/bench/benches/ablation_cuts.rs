@@ -1,0 +1,86 @@
+//! Ablation: CPA-RA cut-selection policy (min-registers vs max-benefit vs level cuts).
+//!
+//! DESIGN.md calls out the cut-selection rule as the central design choice of CPA-RA;
+//! this bench compares the paper's min-register policy against a benefit-driven policy
+//! and the cheap level-cut heuristic, reporting both runtime and resulting memory
+//! cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srra_core::{
+    critical_path_aware_with, memory_cost, CpaOptions, CutSelectionPolicy, MemoryCostModel,
+};
+use srra_kernels::paper_suite;
+use srra_reuse::ReuseAnalysis;
+
+fn bench_cut_policies(c: &mut Criterion) {
+    let suite = paper_suite();
+    let mut group = c.benchmark_group("ablation_cuts");
+    let policies: [(&str, CpaOptions); 3] = [
+        (
+            "min_registers",
+            CpaOptions {
+                policy: CutSelectionPolicy::MinRegisters,
+                ..CpaOptions::default()
+            },
+        ),
+        (
+            "max_benefit",
+            CpaOptions {
+                policy: CutSelectionPolicy::MaxBenefitPerRegister,
+                ..CpaOptions::default()
+            },
+        ),
+        (
+            "level_cuts",
+            CpaOptions {
+                level_cuts_only: true,
+                ..CpaOptions::default()
+            },
+        ),
+    ];
+
+    for spec in &suite {
+        let analysis = ReuseAnalysis::of(&spec.kernel);
+        for (name, options) in &policies {
+            group.bench_with_input(
+                BenchmarkId::new(spec.kernel.name(), name),
+                options,
+                |b, options| {
+                    b.iter(|| {
+                        critical_path_aware_with(
+                            &spec.kernel,
+                            &analysis,
+                            spec.register_budget,
+                            options,
+                        )
+                        .expect("paper suite fits its budget")
+                    })
+                },
+            );
+            let allocation = critical_path_aware_with(
+                &spec.kernel,
+                &analysis,
+                spec.register_budget,
+                options,
+            )
+            .expect("paper suite fits its budget");
+            let cost = memory_cost(
+                &spec.kernel,
+                &analysis,
+                &allocation,
+                &MemoryCostModel::default(),
+            );
+            println!(
+                "ablation_cuts: {} {} memory_cycles={} registers={}",
+                spec.kernel.name(),
+                name,
+                cost.memory_cycles,
+                allocation.total_registers()
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cut_policies);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: RAM access latency sweep at the paper's 32-register budget.
+//!
+//! The paper assumes a single-cycle RAM access; slower memories widen the gap between
+//! the allocators because every remaining access costs more.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srra_bench::sweep::ram_latency_sweep;
+use srra_kernels::paper_suite;
+
+fn bench_ram_latency(c: &mut Criterion) {
+    let suite = paper_suite();
+    let latencies = [1u64, 2, 4, 8];
+    let mut group = c.benchmark_group("ablation_ram_latency");
+    for spec in &suite {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.kernel.name()),
+            &spec.kernel,
+            |b, kernel| b.iter(|| ram_latency_sweep(kernel, spec.register_budget, &latencies)),
+        );
+        for point in ram_latency_sweep(&spec.kernel, spec.register_budget, &latencies) {
+            println!(
+                "ablation_ram_latency: {} latency={} fr={} pr={} cpa={}",
+                spec.kernel.name(),
+                point.parameter,
+                point.fr_ra_cycles,
+                point.pr_ra_cycles,
+                point.cpa_ra_cycles
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ram_latency);
+criterion_main!(benches);

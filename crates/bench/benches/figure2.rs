@@ -1,0 +1,36 @@
+//! Criterion benchmark regenerating Figure 2(c) (the running example).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srra_bench::evaluate_kernel;
+use srra_bench::figure2::FIGURE2_BUDGET;
+use srra_core::AllocatorKind;
+use srra_ir::examples::paper_example;
+
+fn bench_figure2(c: &mut Criterion) {
+    let kernel = paper_example();
+    let mut group = c.benchmark_group("figure2");
+    for kind in AllocatorKind::paper_versions() {
+        group.bench_with_input(
+            BenchmarkId::new("running_example", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    evaluate_kernel(&kernel, kind, FIGURE2_BUDGET)
+                        .expect("running example fits 64 registers")
+                })
+            },
+        );
+        let outcome = evaluate_kernel(&kernel, kind, FIGURE2_BUDGET)
+            .expect("running example fits 64 registers");
+        println!(
+            "figure2: {} Tmem/outer={} distribution=[{}]",
+            kind.label(),
+            outcome.cost.memory_cycles_per_outer_iteration,
+            outcome.allocation.distribution()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2);
+criterion_main!(benches);

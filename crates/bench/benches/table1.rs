@@ -1,0 +1,40 @@
+//! Criterion benchmark regenerating every Table 1 design point.
+//!
+//! One benchmark per (kernel, algorithm) pair measures the full pipeline — reuse
+//! analysis, allocation, cost model and hardware-design estimation — and prints the
+//! resulting cycle count so the table can be rebuilt from the bench log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srra_bench::evaluate_kernel;
+use srra_core::AllocatorKind;
+use srra_kernels::paper_suite;
+
+fn bench_table1(c: &mut Criterion) {
+    let suite = paper_suite();
+    let mut group = c.benchmark_group("table1");
+    for spec in &suite {
+        for kind in AllocatorKind::paper_versions() {
+            let id = BenchmarkId::new(spec.kernel.name(), kind.version_name());
+            group.bench_with_input(id, &kind, |b, &kind| {
+                b.iter(|| {
+                    evaluate_kernel(&spec.kernel, kind, spec.register_budget)
+                        .expect("paper suite fits its budget")
+                })
+            });
+            let outcome = evaluate_kernel(&spec.kernel, kind, spec.register_budget)
+                .expect("paper suite fits its budget");
+            println!(
+                "table1: {} {} cycles={} time_us={:.1} registers={}",
+                spec.kernel.name(),
+                kind.version_name(),
+                outcome.design.total_cycles,
+                outcome.design.execution_time_us,
+                outcome.allocation.total_registers()
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

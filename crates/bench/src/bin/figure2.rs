@@ -1,0 +1,13 @@
+//! Prints the Figure 2(c) reproduction (running example, three allocators).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p srra-bench --bin figure2
+//! ```
+
+use srra_bench::figure2::{figure2, render_figure2};
+
+fn main() {
+    print!("{}", render_figure2(&figure2()));
+}

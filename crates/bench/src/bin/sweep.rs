@@ -1,0 +1,56 @@
+//! Prints register-budget and RAM-latency sweeps for a chosen kernel.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p srra-bench --bin sweep [-- <kernel>]
+//! ```
+//!
+//! `<kernel>` is one of `fir`, `dec_fir`, `mat`, `imi`, `pat`, `bic` or `example`
+//! (default: `example`, the paper's running example).
+
+use srra_bench::sweep::{budget_sweep, ram_latency_sweep, render_sweep};
+use srra_ir::examples::paper_example;
+use srra_kernels::paper_suite;
+
+fn main() {
+    let requested = std::env::args().nth(1).unwrap_or_else(|| "example".into());
+    let kernel = if requested == "example" {
+        paper_example()
+    } else {
+        match paper_suite()
+            .into_iter()
+            .find(|spec| spec.kernel.name() == requested)
+        {
+            Some(spec) => spec.kernel,
+            None => {
+                eprintln!(
+                    "unknown kernel `{requested}`; expected example, fir, dec_fir, mat, imi, pat or bic"
+                );
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let reference_count = kernel.reference_table().len() as u64;
+    let budgets: Vec<u64> = [8, 16, 32, 64, 128, 256, 512, 1024]
+        .into_iter()
+        .filter(|b| *b >= reference_count)
+        .collect();
+    println!(
+        "{}",
+        render_sweep(
+            &format!("register-budget sweep — {}", kernel.name()),
+            "budget",
+            &budget_sweep(&kernel, &budgets),
+        )
+    );
+    println!(
+        "{}",
+        render_sweep(
+            &format!("RAM-latency sweep — {} (32 registers)", kernel.name()),
+            "latency",
+            &ram_latency_sweep(&kernel, 32.max(reference_count), &[1, 2, 3, 4, 6, 8]),
+        )
+    );
+}

@@ -1,0 +1,20 @@
+//! Prints the Table 1 reproduction (six kernels × three allocation versions).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p srra-bench --bin table1 [-- --summary]
+//! ```
+
+use srra_bench::table1::{render_table1, summarize, table1};
+
+fn main() {
+    let rows = table1();
+    let summary_only = std::env::args().any(|a| a == "--summary");
+    if summary_only {
+        let summary = summarize(&rows);
+        println!("{summary:#?}");
+    } else {
+        print!("{}", render_table1(&rows));
+    }
+}

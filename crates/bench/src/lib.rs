@@ -1,0 +1,97 @@
+//! Evaluation harness reproducing the paper's experimental results.
+//!
+//! The paper reports two result sets:
+//!
+//! * **Figure 2(c)** — the running example's register distributions and memory cycles
+//!   for FR-RA, PR-RA and CPA-RA with the same register budget ([`figure2`]),
+//! * **Table 1** — six kernels × three design versions (`v1` = FR-RA, `v2` = PR-RA,
+//!   `v3` = CPA-RA) with register distribution, execution cycles, clock period,
+//!   wall-clock time, slices and BlockRAMs ([`table1`]), plus the aggregate
+//!   improvement percentages quoted in the text ([`Table1Summary`]).
+//!
+//! The binaries `table1`, `figure2` and `sweep` print these reproductions; the Criterion
+//! benches under `benches/` measure the allocator runtimes and run the ablation
+//! studies (cut-selection policy, register budget, RAM latency).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figure2;
+pub mod report;
+pub mod sweep;
+pub mod table1;
+
+pub use figure2::{figure2, render_figure2, Figure2Row};
+pub use report::{figure2_csv, table1_csv};
+pub use sweep::{budget_sweep, ram_latency_sweep, SweepPoint};
+pub use table1::{render_table1, summarize, table1, Table1Row, Table1Summary};
+
+use srra_core::{
+    allocate, memory_cost, AllocError, AllocatorKind, MemoryCostModel, MemoryCostReport,
+    RegisterAllocation,
+};
+use srra_fpga::{DeviceModel, EvaluationOptions, HardwareDesign};
+use srra_ir::Kernel;
+use srra_reuse::ReuseAnalysis;
+
+/// Everything the harness derives for one (kernel, algorithm, budget) triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelOutcome {
+    /// The register allocation computed by the algorithm.
+    pub allocation: RegisterAllocation,
+    /// The analytic memory-cycle report.
+    pub cost: MemoryCostReport,
+    /// The full hardware design-point estimate.
+    pub design: HardwareDesign,
+}
+
+/// Runs the complete pipeline (reuse analysis → allocation → cost model → hardware
+/// design estimate) for one kernel with default models.
+///
+/// # Errors
+///
+/// Propagates [`AllocError`] from the allocation algorithm (empty kernel or a budget
+/// smaller than the number of references).
+pub fn evaluate_kernel(
+    kernel: &Kernel,
+    kind: AllocatorKind,
+    budget: u64,
+) -> Result<KernelOutcome, AllocError> {
+    let analysis = ReuseAnalysis::of(kernel);
+    let allocation = allocate(kind, kernel, &analysis, budget)?;
+    let cost = memory_cost(kernel, &analysis, &allocation, &MemoryCostModel::default());
+    let design = HardwareDesign::evaluate(
+        kernel,
+        &analysis,
+        &allocation,
+        &DeviceModel::xcv1000(),
+        &EvaluationOptions::default(),
+    );
+    Ok(KernelOutcome {
+        allocation,
+        cost,
+        design,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srra_ir::examples::paper_example;
+
+    #[test]
+    fn evaluate_kernel_runs_the_whole_pipeline() {
+        let kernel = paper_example();
+        let outcome =
+            evaluate_kernel(&kernel, AllocatorKind::CriticalPathAware, 64).expect("pipeline runs");
+        assert_eq!(outcome.allocation.total_registers(), 64);
+        assert_eq!(outcome.cost.memory_cycles_per_outer_iteration, 1184);
+        assert!(outcome.design.total_cycles > 0);
+    }
+
+    #[test]
+    fn evaluate_kernel_propagates_budget_errors() {
+        let kernel = paper_example();
+        assert!(evaluate_kernel(&kernel, AllocatorKind::FullReuse, 1).is_err());
+    }
+}

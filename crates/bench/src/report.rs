@@ -1,0 +1,113 @@
+//! CSV export of the reproduction results, for plotting outside Rust.
+//!
+//! The paper presents Table 1 as a dense table and Figure 2(c) as a drawing; exporting
+//! the reproduced data as CSV makes it easy to regenerate either with any plotting
+//! tool:
+//!
+//! ```text
+//! cargo run -p srra-bench --bin table1 > table1.txt     # human-readable
+//! ```
+//!
+//! ```
+//! use srra_bench::{figure2, table1};
+//! use srra_bench::report::{figure2_csv, table1_csv};
+//!
+//! let csv = figure2_csv(&figure2());
+//! assert!(csv.lines().count() == 4); // header + three algorithms
+//! let csv = table1_csv(&table1());
+//! assert!(csv.lines().count() == 19); // header + 6 kernels x 3 versions
+//! ```
+
+use crate::figure2::Figure2Row;
+use crate::table1::Table1Row;
+
+fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Renders the Figure 2(c) rows as CSV (header plus one line per algorithm).
+pub fn figure2_csv(rows: &[Figure2Row]) -> String {
+    let mut out = String::from(
+        "algorithm,registers,distribution,memory_cycles_per_outer_iteration,memory_cycles_total\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            escape_field(&row.algorithm),
+            row.total_registers,
+            escape_field(&row.distribution),
+            row.memory_cycles_per_outer_iteration,
+            row.memory_cycles_total
+        ));
+    }
+    out
+}
+
+/// Renders the Table 1 rows as CSV (header plus one line per kernel/version).
+pub fn table1_csv(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "kernel,version,algorithm,registers,distribution,cycles,cycle_reduction_pct,clock_period_ns,execution_time_us,speedup,slices,occupancy_pct,block_rams\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.4},{},{:.3},{}\n",
+            escape_field(&row.kernel),
+            escape_field(&row.version),
+            escape_field(&row.algorithm),
+            row.total_registers,
+            escape_field(&row.distribution),
+            row.cycles,
+            row.cycle_reduction_pct,
+            row.clock_period_ns,
+            row.execution_time_us,
+            row.speedup,
+            row.slices,
+            row.occupancy_pct,
+            row.block_rams
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{figure2, table1};
+
+    #[test]
+    fn figure2_csv_contains_the_published_numbers() {
+        let csv = figure2_csv(&figure2());
+        assert!(csv.starts_with("algorithm,"));
+        assert!(csv.contains("FR-RA"));
+        assert!(csv.contains(",1800,"));
+        assert!(csv.contains(",1184,"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn table1_csv_has_one_row_per_design_point() {
+        let rows = table1();
+        let csv = table1_csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        for row in &rows {
+            assert!(csv.contains(&row.kernel));
+        }
+        // Every data line has the same number of fields as the header.
+        let header_fields = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            // Distributions contain spaces but no commas, so a plain split is fine.
+            assert_eq!(line.split(',').count(), header_fields, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("plain"), "plain");
+        assert_eq!(escape_field("qu\"ote"), "\"qu\"\"ote\"");
+    }
+}

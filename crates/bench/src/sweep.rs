@@ -1,0 +1,161 @@
+//! Parameter sweeps: register budget and RAM latency.
+//!
+//! These sweeps go beyond the paper's single 32-register data point and support the
+//! ablation benchmarks: they show where the algorithms diverge and where they converge
+//! (with an unlimited budget every algorithm fully replaces everything and the curves
+//! meet).
+
+use serde::{Deserialize, Serialize};
+use srra_core::{allocate, memory_cost, AllocatorKind, MemoryCostModel};
+use srra_ir::Kernel;
+use srra_reuse::ReuseAnalysis;
+
+/// One point of a sweep: the memory cycles of each algorithm at one parameter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter value (register budget or RAM latency).
+    pub parameter: u64,
+    /// Memory cycles for FR-RA (`v1`).
+    pub fr_ra_cycles: u64,
+    /// Memory cycles for PR-RA (`v2`).
+    pub pr_ra_cycles: u64,
+    /// Memory cycles for CPA-RA (`v3`).
+    pub cpa_ra_cycles: u64,
+}
+
+fn cycles_for(
+    kernel: &Kernel,
+    analysis: &ReuseAnalysis,
+    kind: AllocatorKind,
+    budget: u64,
+    model: &MemoryCostModel,
+) -> Option<u64> {
+    let allocation = allocate(kind, kernel, analysis, budget).ok()?;
+    Some(memory_cost(kernel, analysis, &allocation, model).memory_cycles)
+}
+
+/// Sweeps the register budget for one kernel, reporting steady-state memory cycles.
+///
+/// Budgets smaller than the kernel's reference count are skipped.
+pub fn budget_sweep(kernel: &Kernel, budgets: &[u64]) -> Vec<SweepPoint> {
+    let analysis = ReuseAnalysis::of(kernel);
+    let model = MemoryCostModel::default();
+    budgets
+        .iter()
+        .filter_map(|&budget| {
+            Some(SweepPoint {
+                parameter: budget,
+                fr_ra_cycles: cycles_for(kernel, &analysis, AllocatorKind::FullReuse, budget, &model)?,
+                pr_ra_cycles: cycles_for(
+                    kernel,
+                    &analysis,
+                    AllocatorKind::PartialReuse,
+                    budget,
+                    &model,
+                )?,
+                cpa_ra_cycles: cycles_for(
+                    kernel,
+                    &analysis,
+                    AllocatorKind::CriticalPathAware,
+                    budget,
+                    &model,
+                )?,
+            })
+        })
+        .collect()
+}
+
+/// Sweeps the RAM access latency for one kernel at a fixed register budget.
+pub fn ram_latency_sweep(kernel: &Kernel, budget: u64, latencies: &[u64]) -> Vec<SweepPoint> {
+    let analysis = ReuseAnalysis::of(kernel);
+    latencies
+        .iter()
+        .filter_map(|&latency| {
+            let model = MemoryCostModel::default().with_ram_latency(latency);
+            Some(SweepPoint {
+                parameter: latency,
+                fr_ra_cycles: cycles_for(kernel, &analysis, AllocatorKind::FullReuse, budget, &model)?,
+                pr_ra_cycles: cycles_for(
+                    kernel,
+                    &analysis,
+                    AllocatorKind::PartialReuse,
+                    budget,
+                    &model,
+                )?,
+                cpa_ra_cycles: cycles_for(
+                    kernel,
+                    &analysis,
+                    AllocatorKind::CriticalPathAware,
+                    budget,
+                    &model,
+                )?,
+            })
+        })
+        .collect()
+}
+
+/// Renders a sweep as an aligned text table.
+pub fn render_sweep(title: &str, parameter_name: &str, points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<12} {:>14} {:>14} {:>14}\n",
+        parameter_name, "FR-RA cycles", "PR-RA cycles", "CPA-RA cycles"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>14} {:>14}\n",
+            p.parameter, p.fr_ra_cycles, p.pr_ra_cycles, p.cpa_ra_cycles
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srra_ir::examples::paper_example;
+
+    #[test]
+    fn budget_sweep_shows_cpa_dominating_and_converging() {
+        let kernel = paper_example();
+        let points = budget_sweep(&kernel, &[8, 16, 32, 64, 128, 700]);
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            assert!(p.cpa_ra_cycles <= p.pr_ra_cycles, "budget {}", p.parameter);
+            assert!(p.pr_ra_cycles <= p.fr_ra_cycles, "budget {}", p.parameter);
+        }
+        // With the full 700-register budget every algorithm replaces everything that
+        // has reuse and the three designs meet.
+        let last = points.last().unwrap();
+        assert_eq!(last.fr_ra_cycles, last.cpa_ra_cycles);
+    }
+
+    #[test]
+    fn small_budgets_are_skipped() {
+        let kernel = paper_example();
+        let points = budget_sweep(&kernel, &[2, 64]);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].parameter, 64);
+    }
+
+    #[test]
+    fn ram_latency_scales_all_algorithms() {
+        let kernel = paper_example();
+        let points = ram_latency_sweep(&kernel, 64, &[1, 2, 4]);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[1].fr_ra_cycles, 2 * points[0].fr_ra_cycles);
+        assert_eq!(points[2].cpa_ra_cycles, 4 * points[0].cpa_ra_cycles);
+    }
+
+    #[test]
+    fn rendering_lists_every_point() {
+        let kernel = paper_example();
+        let points = budget_sweep(&kernel, &[16, 64]);
+        let text = render_sweep("budget sweep", "budget", &points);
+        assert!(text.contains("16"));
+        assert!(text.contains("64"));
+        assert!(text.contains("CPA-RA cycles"));
+    }
+}

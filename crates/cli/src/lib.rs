@@ -1,0 +1,225 @@
+//! Command-line front end for the `srra` workspace.
+//!
+//! The `srra` binary exposes the analysis and reproduction pipeline without writing any
+//! Rust code:
+//!
+//! ```text
+//! srra kernels                      # list the built-in kernels
+//! srra analyze mat                  # reuse analysis of a kernel
+//! srra allocate fir cpa 32          # run one allocator and print the design point
+//! srra dot example                  # Graphviz dump of the DFG + critical graph
+//! srra figure2                      # reproduce Figure 2(c)
+//! srra table1                       # reproduce Table 1
+//! ```
+//!
+//! The argument handling lives in this library crate (so it is unit-testable); the
+//! `main` binary only forwards `std::env::args` and prints the result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use srra_bench::{evaluate_kernel, figure2, render_figure2, render_table1, table1};
+use srra_core::AllocatorKind;
+use srra_dfg::{to_dot, CriticalPathAnalysis, DataFlowGraph, LatencyModel, StorageMap};
+use srra_ir::{examples::paper_example, Kernel};
+use srra_kernels::paper_suite;
+use srra_reuse::ReuseAnalysis;
+
+/// Usage text printed for `srra help` and on argument errors.
+pub const USAGE: &str = "usage: srra <command> [args]\n\
+  kernels                        list built-in kernels\n\
+  analyze  <kernel>              print the data-reuse analysis\n\
+  allocate <kernel> <algo> <N>   allocate N registers (algo: fr | pr | cpa | ks | none)\n\
+  dot      <kernel>              print the DFG + critical graph in Graphviz format\n\
+  figure2                        reproduce the paper's Figure 2(c)\n\
+  table1                         reproduce the paper's Table 1\n\
+  help                           show this text";
+
+/// Errors reported to the user as text plus a non-zero exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn kernel_by_name(name: &str) -> Result<Kernel, CliError> {
+    if name == "example" {
+        return Ok(paper_example());
+    }
+    paper_suite()
+        .into_iter()
+        .find(|spec| spec.kernel.name() == name)
+        .map(|spec| spec.kernel)
+        .ok_or_else(|| {
+            CliError(format!(
+                "unknown kernel `{name}`; expected example, fir, dec_fir, mat, imi, pat or bic"
+            ))
+        })
+}
+
+fn algorithm_by_name(name: &str) -> Result<AllocatorKind, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "fr" | "fr-ra" | "v1" => Ok(AllocatorKind::FullReuse),
+        "pr" | "pr-ra" | "v2" => Ok(AllocatorKind::PartialReuse),
+        "cpa" | "cpa-ra" | "v3" => Ok(AllocatorKind::CriticalPathAware),
+        "ks" | "knapsack" => Ok(AllocatorKind::KnapsackOptimal),
+        "none" | "base" => Ok(AllocatorKind::NoReplacement),
+        other => Err(CliError(format!(
+            "unknown algorithm `{other}`; expected fr, pr, cpa, ks or none"
+        ))),
+    }
+}
+
+fn cmd_kernels() -> String {
+    let mut out = String::from("built-in kernels:\n  example  (the paper's Figure 1 running example)\n");
+    for spec in paper_suite() {
+        out.push_str(&format!("  {:<8} {}\n", spec.kernel.name(), spec.description));
+    }
+    out
+}
+
+fn cmd_analyze(name: &str) -> Result<String, CliError> {
+    let kernel = kernel_by_name(name)?;
+    let analysis = ReuseAnalysis::of(&kernel);
+    let mut out = format!("{kernel}\n");
+    out.push_str(&format!(
+        "{:<20} {:>10} {:>12} {:>12} {:>10}\n",
+        "reference", "R_full", "accesses", "eliminable", "gamma"
+    ));
+    for summary in &analysis {
+        out.push_str(&format!(
+            "{:<20} {:>10} {:>12} {:>12} {:>10.1}\n",
+            summary.rendered(),
+            summary.registers_full(),
+            summary.access_counts().total,
+            summary.saved_full(),
+            summary.benefit_cost()
+        ));
+    }
+    out.push_str(&format!(
+        "total registers for full replacement: {}\n",
+        analysis.total_registers_full()
+    ));
+    Ok(out)
+}
+
+fn cmd_allocate(name: &str, algo: &str, budget: &str) -> Result<String, CliError> {
+    let kernel = kernel_by_name(name)?;
+    let kind = algorithm_by_name(algo)?;
+    let budget: u64 = budget
+        .parse()
+        .map_err(|_| CliError(format!("invalid register budget `{budget}`")))?;
+    let outcome = evaluate_kernel(&kernel, kind, budget)
+        .map_err(|e| CliError(format!("allocation failed: {e}")))?;
+    let mut out = format!(
+        "{} on {} with {budget} registers\n",
+        kind.label(),
+        kernel.name()
+    );
+    out.push_str(&format!(
+        "  distribution : {}\n  registers    : {}\n  memory cycles: {}\n  total cycles : {}\n  clock        : {:.1} ns\n  exec time    : {:.1} us\n  slices       : {}  ({:.1}% of the XCV1000)\n  BlockRAMs    : {}\n",
+        outcome.allocation.distribution(),
+        outcome.allocation.total_registers(),
+        outcome.cost.memory_cycles,
+        outcome.design.total_cycles,
+        outcome.design.clock_period_ns,
+        outcome.design.execution_time_us,
+        outcome.design.slices,
+        outcome.design.slice_occupancy * 100.0,
+        outcome.design.block_rams
+    ));
+    Ok(out)
+}
+
+fn cmd_dot(name: &str) -> Result<String, CliError> {
+    let kernel = kernel_by_name(name)?;
+    let dfg = DataFlowGraph::from_kernel(&kernel);
+    let analysis =
+        CriticalPathAnalysis::new(&dfg, &LatencyModel::default(), &StorageMap::all_ram());
+    Ok(to_dot(&dfg, Some(&analysis)))
+}
+
+/// Runs one CLI invocation and returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message for unknown commands, unknown
+/// kernels/algorithms or malformed numbers.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args {
+        [] => Ok(USAGE.to_owned()),
+        [cmd] if cmd == "help" || cmd == "--help" || cmd == "-h" => Ok(USAGE.to_owned()),
+        [cmd] if cmd == "kernels" => Ok(cmd_kernels()),
+        [cmd] if cmd == "figure2" => Ok(render_figure2(&figure2())),
+        [cmd] if cmd == "table1" => Ok(render_table1(&table1())),
+        [cmd, kernel] if cmd == "analyze" => cmd_analyze(kernel),
+        [cmd, kernel] if cmd == "dot" => cmd_dot(kernel),
+        [cmd, kernel, algo, budget] if cmd == "allocate" => cmd_allocate(kernel, algo, budget),
+        _ => Err(CliError(format!(
+            "unrecognised arguments: {}\n{USAGE}",
+            args.join(" ")
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn help_and_empty_invocations_print_usage() {
+        assert_eq!(run(&args(&[])).unwrap(), USAGE);
+        assert_eq!(run(&args(&["help"])).unwrap(), USAGE);
+        assert_eq!(run(&args(&["--help"])).unwrap(), USAGE);
+    }
+
+    #[test]
+    fn kernels_lists_all_seven_entries() {
+        let out = run(&args(&["kernels"])).unwrap();
+        for name in ["example", "fir", "dec_fir", "mat", "imi", "pat", "bic"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn analyze_prints_requirements() {
+        let out = run(&args(&["analyze", "example"])).unwrap();
+        assert!(out.contains("b[k][j]"));
+        assert!(out.contains("600"));
+        assert!(out.contains("total registers for full replacement: 681"));
+    }
+
+    #[test]
+    fn allocate_runs_every_algorithm_alias() {
+        for algo in ["fr", "pr", "cpa", "ks", "none", "v3", "CPA-RA"] {
+            let out = run(&args(&["allocate", "example", algo, "64"])).unwrap();
+            assert!(out.contains("distribution"), "algo {algo}");
+        }
+    }
+
+    #[test]
+    fn figure2_and_dot_commands_work() {
+        assert!(run(&args(&["figure2"])).unwrap().contains("1184"));
+        let dot = run(&args(&["dot", "example"])).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn errors_are_reported_with_usage_hints() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&["analyze", "nope"])).is_err());
+        assert!(run(&args(&["allocate", "fir", "zzz", "32"])).is_err());
+        assert!(run(&args(&["allocate", "fir", "cpa", "many"])).is_err());
+        let err = run(&args(&["allocate", "fir", "cpa", "1"])).unwrap_err();
+        assert!(err.to_string().contains("allocation failed"));
+    }
+}

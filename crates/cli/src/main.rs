@@ -1,0 +1,12 @@
+//! The `srra` command-line binary; see [`srra_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match srra_cli::run(&args) {
+        Ok(text) => println!("{text}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

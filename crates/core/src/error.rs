@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors produced by the allocation algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// The kernel contains no array references, so there is nothing to allocate.
+    EmptyKernel,
+    /// The register budget cannot even provide the one register per reference that the
+    /// algorithms reserve to make the computation feasible.
+    BudgetTooSmall {
+        /// The requested budget.
+        budget: u64,
+        /// The number of array reference groups in the kernel.
+        references: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::EmptyKernel => write!(f, "kernel contains no array references"),
+            AllocError::BudgetTooSmall { budget, references } => write!(
+                f,
+                "register budget {budget} is smaller than the {references} references that each need one register"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        for err in [
+            AllocError::EmptyKernel,
+            AllocError::BudgetTooSmall {
+                budget: 2,
+                references: 5,
+            },
+        ] {
+            let msg = err.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<AllocError>();
+    }
+}

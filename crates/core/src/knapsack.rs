@@ -1,0 +1,200 @@
+//! Exact 0/1-knapsack baseline for the paper's "simple objective function".
+//!
+//! The paper formulates register allocation for scalar replacement as a knapsack
+//! problem: each reference is an object of size `R_i` (registers for full replacement)
+//! and value `saved_i` (eliminated memory accesses), and the register file is the
+//! knapsack.  The greedy FR-RA/PR-RA variants approximate this; the dynamic program
+//! here solves it exactly, which the benchmarks use to show that even the *optimal*
+//! access-count objective can lose to CPA-RA on execution time because it ignores
+//! concurrency and the critical path.
+
+use srra_ir::Kernel;
+use srra_reuse::ReuseAnalysis;
+
+use crate::allocation::{build_allocation, AllocatorKind, RegisterAllocation};
+use crate::error::AllocError;
+use crate::fr_ra::check_budget;
+
+/// Exact 0/1-knapsack register allocation maximising eliminated memory accesses.
+///
+/// Every reference first receives its single feasibility register; the dynamic program
+/// then chooses the subset of references to *fully* replace (upgrade cost
+/// `R_i - 1`, value `saved_i`) that maximises the total number of eliminated accesses
+/// within the remaining budget.  Partial replacement is intentionally not considered —
+/// this mirrors the knapsack formulation in the paper's section 3.
+///
+/// # Errors
+///
+/// Same as [`crate::full_reuse`]: [`AllocError::EmptyKernel`] and
+/// [`AllocError::BudgetTooSmall`].
+///
+/// # Examples
+///
+/// ```
+/// use srra_ir::examples::paper_example;
+/// use srra_reuse::ReuseAnalysis;
+/// use srra_core::{full_reuse, knapsack_optimal};
+///
+/// # fn main() -> Result<(), srra_core::AllocError> {
+/// let kernel = paper_example();
+/// let analysis = ReuseAnalysis::of(&kernel);
+/// let greedy = full_reuse(&kernel, &analysis, 64)?;
+/// let optimal = knapsack_optimal(&kernel, &analysis, 64)?;
+/// // The optimum never eliminates fewer accesses than the greedy heuristic.
+/// let saved = |a: &srra_core::RegisterAllocation| -> u64 {
+///     analysis
+///         .iter()
+///         .map(|s| srra_reuse::eliminated_accesses(s, a.beta(s.ref_id())))
+///         .sum()
+/// };
+/// assert!(saved(&optimal) >= saved(&greedy));
+/// # Ok(())
+/// # }
+/// ```
+pub fn knapsack_optimal(
+    kernel: &Kernel,
+    analysis: &ReuseAnalysis,
+    budget: u64,
+) -> Result<RegisterAllocation, AllocError> {
+    check_budget(analysis, budget)?;
+    let n = analysis.len();
+    let capacity = (budget - n as u64) as usize;
+
+    // Items: references with exploitable reuse whose upgrade fits the capacity at all.
+    let items: Vec<(usize, usize, u64)> = analysis
+        .iter()
+        .filter(|s| s.has_reuse())
+        .map(|s| {
+            (
+                s.ref_id().index(),
+                s.registers_full().saturating_sub(1) as usize,
+                s.saved_full(),
+            )
+        })
+        .filter(|(_, weight, _)| *weight <= capacity)
+        .collect();
+
+    // Classic 0/1 knapsack with a full (items + 1) x (capacity + 1) table so the
+    // chosen subset can be reconstructed exactly.
+    let mut table = vec![vec![0u64; capacity + 1]; items.len() + 1];
+    for (item_idx, (_, weight, value)) in items.iter().enumerate() {
+        for cap in 0..=capacity {
+            let without = table[item_idx][cap];
+            let with = if cap >= *weight {
+                table[item_idx][cap - weight] + value
+            } else {
+                0
+            };
+            table[item_idx + 1][cap] = without.max(with);
+        }
+    }
+
+    // Reconstruct the chosen set by walking the table backwards.
+    let mut betas = vec![1u64; n];
+    let mut cap = capacity;
+    for item_idx in (0..items.len()).rev() {
+        if table[item_idx + 1][cap] != table[item_idx][cap] {
+            let (ref_index, weight, _) = items[item_idx];
+            let summary = analysis
+                .iter()
+                .find(|s| s.ref_id().index() == ref_index)
+                .expect("item comes from the analysis");
+            betas[ref_index] = summary.registers_full();
+            cap -= weight;
+        }
+    }
+
+    Ok(build_allocation(
+        kernel.name(),
+        AllocatorKind::KnapsackOptimal,
+        budget,
+        analysis,
+        &betas,
+        &[],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fr_ra::full_reuse;
+    use srra_ir::examples::{paper_example, stencil3};
+    use srra_reuse::eliminated_accesses;
+
+    fn total_saved(analysis: &ReuseAnalysis, allocation: &RegisterAllocation) -> u64 {
+        analysis
+            .iter()
+            .map(|s| eliminated_accesses(s, allocation.beta(s.ref_id())))
+            .sum()
+    }
+
+    #[test]
+    fn dominates_the_greedy_heuristic_on_saved_accesses() {
+        let kernel = paper_example();
+        let analysis = ReuseAnalysis::of(&kernel);
+        for budget in [5, 25, 32, 53, 64, 80, 120, 681] {
+            let greedy = full_reuse(&kernel, &analysis, budget).unwrap();
+            let optimal = knapsack_optimal(&kernel, &analysis, budget).unwrap();
+            assert!(
+                total_saved(&analysis, &optimal) >= total_saved(&analysis, &greedy),
+                "budget {budget}"
+            );
+            assert!(optimal.total_registers() <= budget);
+        }
+    }
+
+    #[test]
+    fn chooses_the_highest_value_combination() {
+        let kernel = paper_example();
+        let analysis = ReuseAnalysis::of(&kernel);
+        // Budget 56 leaves 51 upgrade registers: the best full-replacement subset is
+        // {c, d} (19 + 29 = 48 registers, 1140 + 1140 = 2280 saved) rather than
+        // {a, c} (48 registers, 1170 + 1180 = 2350 saved)... the DP decides, we only
+        // verify optimality against brute force here.
+        let budget = 56u64;
+        let optimal = knapsack_optimal(&kernel, &analysis, budget).unwrap();
+        let optimal_value = total_saved(&analysis, &optimal);
+
+        // Brute force over all subsets of the five references, measured with the same
+        // metric (non-chosen references still hold their single feasibility register).
+        let summaries: Vec<_> = analysis.iter().collect();
+        let capacity = budget - summaries.len() as u64;
+        let mut best = 0u64;
+        for mask in 0u32..(1 << summaries.len()) {
+            let mut weight = 0u64;
+            let mut value = 0u64;
+            for (idx, summary) in summaries.iter().enumerate() {
+                if mask & (1 << idx) != 0 && summary.has_reuse() {
+                    weight += summary.registers_full() - 1;
+                    value += summary.saved_full();
+                } else {
+                    value += eliminated_accesses(summary, 1);
+                }
+            }
+            if weight <= capacity {
+                best = best.max(value);
+            }
+        }
+        assert_eq!(optimal_value, best);
+    }
+
+    #[test]
+    fn full_budget_replaces_everything_with_reuse() {
+        let kernel = paper_example();
+        let analysis = ReuseAnalysis::of(&kernel);
+        let optimal = knapsack_optimal(&kernel, &analysis, 681).unwrap();
+        for summary in analysis.iter() {
+            if summary.has_reuse() {
+                assert_eq!(optimal.beta(summary.ref_id()), summary.registers_full());
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_without_reuse_get_feasibility_registers_only() {
+        let kernel = stencil3(16);
+        let analysis = ReuseAnalysis::of(&kernel);
+        let optimal = knapsack_optimal(&kernel, &analysis, 8).unwrap();
+        assert_eq!(optimal.total_registers(), analysis.len() as u64);
+    }
+}

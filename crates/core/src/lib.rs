@@ -1,0 +1,119 @@
+//! Register allocation algorithms for scalar-replaced array references — the primary
+//! contribution of the DATE'05 paper.
+//!
+//! Given a kernel (from `srra-ir`), its reuse analysis (from `srra-reuse`) and a
+//! register budget `N_R`, this crate computes how many registers `β_i` each array
+//! reference receives:
+//!
+//! * [`full_reuse`] — **FR-RA**: greedy by benefit/cost ratio, a reference is either
+//!   fully replaced or left in RAM,
+//! * [`partial_reuse`] — **PR-RA**: FR-RA plus the leftover registers are given to the
+//!   next reference in the greedy order, which is then *partially* replaced,
+//! * [`critical_path_aware`] — **CPA-RA**: the paper's proposal; registers are
+//!   allocated to *cuts* of the Critical Graph so every register spent shortens all
+//!   critical paths,
+//! * [`knapsack_optimal`] — an exact 0/1-knapsack baseline maximising eliminated
+//!   memory accesses (the "simple objective function" the paper formulates and then
+//!   improves upon),
+//! * [`no_replacement`] — the untransformed code, every access goes to RAM.
+//!
+//! The resulting [`RegisterAllocation`] can be costed with [`memory_cost`], turned into
+//! a code-generation-level [`ReplacementPlan`], or handed to `srra-fpga` for a full
+//! hardware design-point estimate.
+//!
+//! # Example — the paper's running example (Figure 2(c))
+//!
+//! ```
+//! use srra_ir::examples::paper_example;
+//! use srra_reuse::ReuseAnalysis;
+//! use srra_core::{allocate, AllocatorKind, MemoryCostModel};
+//!
+//! # fn main() -> Result<(), srra_core::AllocError> {
+//! let kernel = paper_example();
+//! let analysis = ReuseAnalysis::of(&kernel);
+//! let budget = 64;
+//!
+//! let fr = allocate(AllocatorKind::FullReuse, &kernel, &analysis, budget)?;
+//! let cpa = allocate(AllocatorKind::CriticalPathAware, &kernel, &analysis, budget)?;
+//!
+//! // FR-RA fully replaces a and c; CPA-RA spends the same budget along the cuts
+//! // {d} and {a, b} instead.
+//! assert_eq!(fr.by_name("a").unwrap().beta(), 30);
+//! assert_eq!(cpa.by_name("d").unwrap().beta(), 30);
+//! assert_eq!(cpa.by_name("a").unwrap().beta(), 16);
+//!
+//! let model = MemoryCostModel::default();
+//! let fr_cost = srra_core::memory_cost(&kernel, &analysis, &fr, &model);
+//! let cpa_cost = srra_core::memory_cost(&kernel, &analysis, &cpa, &model);
+//! assert!(cpa_cost.memory_cycles < fr_cost.memory_cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocation;
+mod baseline;
+mod cost;
+mod cpa_ra;
+mod error;
+mod fr_ra;
+mod knapsack;
+mod pr_ra;
+mod scalar_replace;
+
+pub use allocation::{AllocatorKind, RefAllocation, RegisterAllocation, ReplacementMode};
+pub use baseline::no_replacement;
+pub use cost::{memory_cost, MemoryCostModel, MemoryCostReport, StageCost};
+pub use cpa_ra::{critical_path_aware, critical_path_aware_with, CpaOptions, CutSelectionPolicy};
+pub use error::AllocError;
+pub use fr_ra::full_reuse;
+pub use knapsack::knapsack_optimal;
+pub use pr_ra::partial_reuse;
+pub use scalar_replace::{RefPlan, ReplacementPlan};
+
+use srra_ir::Kernel;
+use srra_reuse::ReuseAnalysis;
+
+/// Runs the allocator selected by `kind` with its default options.
+///
+/// # Errors
+///
+/// Returns [`AllocError::EmptyKernel`] when the kernel has no array references and
+/// [`AllocError::BudgetTooSmall`] when `budget` cannot even give one register to every
+/// reference (except for [`AllocatorKind::NoReplacement`], which ignores the budget).
+pub fn allocate(
+    kind: AllocatorKind,
+    kernel: &Kernel,
+    analysis: &ReuseAnalysis,
+    budget: u64,
+) -> Result<RegisterAllocation, AllocError> {
+    match kind {
+        AllocatorKind::NoReplacement => Ok(no_replacement(kernel, analysis)),
+        AllocatorKind::FullReuse => full_reuse(kernel, analysis, budget),
+        AllocatorKind::PartialReuse => partial_reuse(kernel, analysis, budget),
+        AllocatorKind::CriticalPathAware => critical_path_aware(kernel, analysis, budget),
+        AllocatorKind::KnapsackOptimal => knapsack_optimal(kernel, analysis, budget),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srra_ir::examples::paper_example;
+
+    #[test]
+    fn allocate_dispatches_every_kind() {
+        let kernel = paper_example();
+        let analysis = ReuseAnalysis::of(&kernel);
+        for kind in AllocatorKind::all() {
+            let allocation = allocate(kind, &kernel, &analysis, 64).expect("allocation succeeds");
+            assert_eq!(allocation.algorithm(), kind);
+            assert_eq!(allocation.len(), analysis.len());
+            if kind != AllocatorKind::NoReplacement {
+                assert!(allocation.total_registers() <= 64);
+            }
+        }
+    }
+}

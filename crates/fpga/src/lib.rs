@@ -1,0 +1,62 @@
+//! FPGA device, scheduling, clock and area models.
+//!
+//! The paper evaluates its register allocation algorithms by synthesising behavioural
+//! VHDL with Mentor Monet, Synplify and Xilinx ISE and running place-and-route for a
+//! Virtex XCV1000 BG560 part.  That tool chain (and the device) is not available here,
+//! so this crate provides the documented substitution described in `DESIGN.md`:
+//!
+//! * [`DeviceModel`] — the target part's resource envelope (slices, flip-flops,
+//!   BlockRAMs), with an XCV1000 preset,
+//! * [`ListScheduler`] — a resource-constrained list scheduler that executes the loop
+//!   body DFG with RAM-port constraints and produces the steady-state iteration
+//!   latency,
+//! * [`ClockModel`] — an analytic estimate of the achievable clock period, including
+//!   the control/mux degradation that more registers and partial replacement cause
+//!   (the effect behind the paper's "clock period" column),
+//! * [`AreaModel`] — slice and BlockRAM usage estimates,
+//! * [`HardwareDesign`] — the combined design point (cycles, clock, wall-clock time,
+//!   area), produced by [`HardwareDesign::evaluate`].
+//!
+//! The absolute numbers are not expected to match a 2001-era synthesis flow; the
+//! *relative* behaviour (cycle-count ordering across FR-RA/PR-RA/CPA-RA, slight clock
+//! degradation for the more complex designs, register/RAM trade-offs) is produced by
+//! the same mechanisms and is what the Table 1 reproduction relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use srra_ir::examples::paper_example;
+//! use srra_reuse::ReuseAnalysis;
+//! use srra_core::{allocate, AllocatorKind};
+//! use srra_fpga::{DeviceModel, EvaluationOptions, HardwareDesign};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernel = paper_example();
+//! let analysis = ReuseAnalysis::of(&kernel);
+//! let fr = allocate(AllocatorKind::FullReuse, &kernel, &analysis, 64)?;
+//! let cpa = allocate(AllocatorKind::CriticalPathAware, &kernel, &analysis, 64)?;
+//! let options = EvaluationOptions::default();
+//! let device = DeviceModel::xcv1000();
+//! let fr_design = HardwareDesign::evaluate(&kernel, &analysis, &fr, &device, &options);
+//! let cpa_design = HardwareDesign::evaluate(&kernel, &analysis, &cpa, &device, &options);
+//! assert!(cpa_design.total_cycles < fr_design.total_cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod clock;
+mod design;
+mod device;
+mod execute;
+mod schedule;
+
+pub use area::{AreaEstimate, AreaModel};
+pub use clock::ClockModel;
+pub use design::{EvaluationOptions, HardwareDesign};
+pub use device::DeviceModel;
+pub use execute::{simulate, RefTraffic, SimulationResult};
+pub use schedule::{IterationSchedule, ListScheduler, ResourceLimits};

@@ -1,0 +1,101 @@
+//! Pretty-printing of kernels as pseudo-C, mirroring the paper's Figure 1 style.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::loop_nest::Kernel;
+use crate::stmt::StoreTarget;
+
+fn render_expr(expr: &Expr, kernel: &Kernel, names: &[&str], out: &mut String) {
+    match expr {
+        Expr::ArrayAccess(r) => {
+            let array_name = kernel
+                .array(r.array())
+                .map(|a| a.name().to_owned())
+                .unwrap_or_else(|| r.array().to_string());
+            out.push_str(&r.render(&array_name, names));
+        }
+        Expr::Scalar(name) => out.push_str(name),
+        Expr::LoopIndex(l) => {
+            let name = names
+                .get(l.index())
+                .map(|s| (*s).to_owned())
+                .unwrap_or_else(|| format!("i{}", l.index()));
+            out.push_str(&name);
+        }
+        Expr::IntConst(v) => out.push_str(&v.to_string()),
+        Expr::Binary { op, lhs, rhs } => {
+            out.push('(');
+            render_expr(lhs, kernel, names, out);
+            out.push(' ');
+            out.push_str(op.symbol());
+            out.push(' ');
+            render_expr(rhs, kernel, names, out);
+            out.push(')');
+        }
+        Expr::Unary { op, operand } => {
+            out.push_str(op.mnemonic());
+            out.push('(');
+            render_expr(operand, kernel, names, out);
+            out.push(')');
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    /// Renders the kernel as indented pseudo-C, one `for` line per loop and one
+    /// assignment per body statement.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = self.nest().loop_names();
+        writeln!(f, "// kernel {}", self.name())?;
+        for (depth, l) in self.nest().loops().iter().enumerate() {
+            let indent = "  ".repeat(depth);
+            writeln!(
+                f,
+                "{indent}for ({name} = 0; {name} < {trip}; {name}++)",
+                name = l.name(),
+                trip = l.trip_count()
+            )?;
+        }
+        let body_indent = "  ".repeat(self.nest().depth());
+        for stmt in self.nest().body() {
+            let mut line = String::new();
+            match stmt.target() {
+                StoreTarget::Array(r) => {
+                    let array_name = self
+                        .array(r.array())
+                        .map(|a| a.name().to_owned())
+                        .unwrap_or_else(|| r.array().to_string());
+                    line.push_str(&r.render(&array_name, &names));
+                }
+                StoreTarget::Scalar(name) => line.push_str(name),
+            }
+            line.push_str(" = ");
+            render_expr(stmt.value(), self, &names, &mut line);
+            writeln!(f, "{body_indent}{line};")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::examples::paper_example;
+
+    #[test]
+    fn paper_example_renders_like_figure_1() {
+        let text = paper_example().to_string();
+        assert!(text.contains("for (i = 0; i < 2; i++)"));
+        assert!(text.contains("for (j = 0; j < 20; j++)"));
+        assert!(text.contains("for (k = 0; k < 30; k++)"));
+        assert!(text.contains("d[i][k] = (a[k] * b[k][j]);"));
+        assert!(text.contains("e[i][j][k] = (c[j] * d[i][k]);"));
+    }
+
+    #[test]
+    fn indentation_follows_depth() {
+        let text = paper_example().to_string();
+        // body statements are indented three levels (depth 3)
+        assert!(text.lines().any(|l| l.starts_with("      d[i][k]")));
+    }
+}

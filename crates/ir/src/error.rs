@@ -1,0 +1,170 @@
+use std::fmt;
+
+/// Errors produced while constructing or validating IR entities.
+///
+/// Every fallible public function in this crate returns `Result<_, IrError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A loop was declared with a non-positive trip count.
+    EmptyLoop {
+        /// Name of the offending loop.
+        loop_name: String,
+    },
+    /// A loop nest was built with no loops at all.
+    NoLoops,
+    /// A loop nest was built with an empty body.
+    EmptyBody,
+    /// An array was declared with no dimensions or a zero-sized dimension.
+    InvalidArrayShape {
+        /// Name of the offending array.
+        array: String,
+    },
+    /// A reference subscript count does not match the array's declared rank.
+    RankMismatch {
+        /// Name of the referenced array.
+        array: String,
+        /// Declared rank of the array.
+        declared: usize,
+        /// Number of subscripts used by the reference.
+        used: usize,
+    },
+    /// An affine subscript mentions a loop that does not exist in the nest.
+    UnknownLoop {
+        /// The loop index that was referenced.
+        loop_id: usize,
+        /// Depth of the nest.
+        depth: usize,
+    },
+    /// A reference mentions an array that was never declared.
+    UnknownArray {
+        /// The array index that was referenced.
+        array_id: usize,
+    },
+    /// Duplicate array name within one kernel.
+    DuplicateArray {
+        /// The clashing name.
+        name: String,
+    },
+    /// Duplicate loop name within one kernel.
+    DuplicateLoop {
+        /// The clashing name.
+        name: String,
+    },
+    /// A subscript can evaluate outside the declared array bounds.
+    SubscriptOutOfBounds {
+        /// Name of the referenced array.
+        array: String,
+        /// Dimension at which the violation occurs.
+        dimension: usize,
+        /// The extreme subscript value reached.
+        value: i64,
+        /// The declared extent of that dimension.
+        extent: u64,
+    },
+    /// An expression handle from a different builder was used.
+    ForeignHandle,
+    /// The kernel name is empty.
+    EmptyName,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::EmptyLoop { loop_name } => {
+                write!(f, "loop `{loop_name}` has a non-positive trip count")
+            }
+            IrError::NoLoops => write!(f, "loop nest contains no loops"),
+            IrError::EmptyBody => write!(f, "loop nest body is empty"),
+            IrError::InvalidArrayShape { array } => {
+                write!(f, "array `{array}` has an invalid shape")
+            }
+            IrError::RankMismatch {
+                array,
+                declared,
+                used,
+            } => write!(
+                f,
+                "array `{array}` has rank {declared} but is referenced with {used} subscripts"
+            ),
+            IrError::UnknownLoop { loop_id, depth } => write!(
+                f,
+                "subscript references loop {loop_id} but the nest depth is {depth}"
+            ),
+            IrError::UnknownArray { array_id } => {
+                write!(f, "reference to undeclared array id {array_id}")
+            }
+            IrError::DuplicateArray { name } => {
+                write!(f, "array `{name}` declared more than once")
+            }
+            IrError::DuplicateLoop { name } => write!(f, "loop `{name}` declared more than once"),
+            IrError::SubscriptOutOfBounds {
+                array,
+                dimension,
+                value,
+                extent,
+            } => write!(
+                f,
+                "subscript of `{array}` dimension {dimension} reaches {value}, outside extent {extent}"
+            ),
+            IrError::ForeignHandle => {
+                write!(f, "expression handle does not belong to this builder")
+            }
+            IrError::EmptyName => write!(f, "kernel name must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<IrError> = vec![
+            IrError::EmptyLoop {
+                loop_name: "i".into(),
+            },
+            IrError::NoLoops,
+            IrError::EmptyBody,
+            IrError::InvalidArrayShape { array: "a".into() },
+            IrError::RankMismatch {
+                array: "a".into(),
+                declared: 2,
+                used: 1,
+            },
+            IrError::UnknownLoop {
+                loop_id: 4,
+                depth: 2,
+            },
+            IrError::UnknownArray { array_id: 9 },
+            IrError::DuplicateArray { name: "a".into() },
+            IrError::DuplicateLoop { name: "i".into() },
+            IrError::SubscriptOutOfBounds {
+                array: "a".into(),
+                dimension: 0,
+                value: 70,
+                extent: 64,
+            },
+            IrError::ForeignHandle,
+            IrError::EmptyName,
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "message should start lowercase: {msg}"
+            );
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<IrError>();
+    }
+}

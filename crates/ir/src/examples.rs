@@ -1,0 +1,149 @@
+//! Ready-made kernels used in documentation, tests and the Figure 2 reproduction.
+//!
+//! The main entry point is [`paper_example`], the code of Figure 1 of the paper:
+//!
+//! ```c
+//! for (i = 0; i < Ni; i++)
+//!   for (j = 0; j < Nj; j++)
+//!     for (k = 0; k < Nk; k++) {
+//!       d[i][k]    = a[k] * b[k][j];
+//!       e[i][j][k] = c[j] * d[i][k];
+//!     }
+//! ```
+//!
+//! The larger, application-shaped kernels (FIR, MAT, ...) live in the `srra-kernels`
+//! crate; the kernels here are deliberately tiny so they can be used in doc tests.
+
+use crate::builder::KernelBuilder;
+use crate::loop_nest::Kernel;
+
+/// Loop bounds used by [`paper_example`]: `(Ni, Nj, Nk) = (2, 20, 30)`.
+///
+/// The paper's running example quotes full-replacement register requirements of 30 for
+/// `a[k]`, 600 for `b[k][j]`, 20 for `c[j]`, 30 for `d[i][k]` and 1 for `e[i][j][k]`,
+/// which correspond to these bounds.
+pub const PAPER_EXAMPLE_BOUNDS: (u64, u64, u64) = (2, 20, 30);
+
+/// Builds the Figure 1 running example with the default [`PAPER_EXAMPLE_BOUNDS`].
+///
+/// # Panics
+///
+/// Never panics: the construction is statically valid.
+pub fn paper_example() -> Kernel {
+    let (ni, nj, nk) = PAPER_EXAMPLE_BOUNDS;
+    paper_example_with(ni, nj, nk)
+}
+
+/// Builds the Figure 1 running example with custom loop bounds.
+///
+/// # Panics
+///
+/// Panics if any bound is zero (the loop nest would be empty).
+pub fn paper_example_with(ni: u64, nj: u64, nk: u64) -> Kernel {
+    let b = KernelBuilder::new("paper_example");
+    let i = b.add_loop("i", ni);
+    let j = b.add_loop("j", nj);
+    let k = b.add_loop("k", nk);
+    let a = b.add_array("a", &[nk], 16);
+    let arr_b = b.add_array("b", &[nk, nj], 16);
+    let c = b.add_array("c", &[nj], 16);
+    let d = b.add_array("d", &[ni, nk], 16);
+    let e = b.add_array("e", &[ni, nj, nk], 16);
+
+    // d[i][k] = a[k] * b[k][j];
+    let op1 = b.mul(b.read(a, &[b.idx(k)]), b.read(arr_b, &[b.idx(k), b.idx(j)]));
+    b.store(d, &[b.idx(i), b.idx(k)], op1);
+    // e[i][j][k] = c[j] * d[i][k];
+    let op2 = b.mul(b.read(c, &[b.idx(j)]), b.read(d, &[b.idx(i), b.idx(k)]));
+    b.store(e, &[b.idx(i), b.idx(j), b.idx(k)], op2);
+
+    b.build().expect("paper example is statically valid")
+}
+
+/// A one-dimensional 3-point stencil: `out[i] = in[i] + in[i+1] + in[i+2]`.
+///
+/// Useful as a second small example with group reuse between shifted references.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn stencil3(n: u64) -> Kernel {
+    assert!(n >= 3, "stencil3 needs at least 3 points");
+    let b = KernelBuilder::new("stencil3");
+    let i = b.add_loop("i", n - 2);
+    let input = b.add_array("in", &[n], 16);
+    let output = b.add_array("out", &[n], 16);
+    let s01 = b.add(
+        b.read(input, &[b.idx(i)]),
+        b.read(input, &[b.idx(i).with_constant(1)]),
+    );
+    let s012 = b.add(s01, b.read(input, &[b.idx(i).with_constant(2)]));
+    b.store(output, &[b.idx(i)], s012);
+    b.build().expect("stencil3 is statically valid")
+}
+
+/// A small accumulating dot product: `s[0] = s[0] + x[i] * y[i]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn dot_product(n: u64) -> Kernel {
+    assert!(n > 0, "dot product needs at least one element");
+    let b = KernelBuilder::new("dot_product");
+    let i = b.add_loop("i", n);
+    let x = b.add_array("x", &[n], 16);
+    let y = b.add_array("y", &[n], 16);
+    let s = b.add_array("s", &[1], 32);
+    let prod = b.mul(b.read(x, &[b.idx(i)]), b.read(y, &[b.idx(i)]));
+    let acc = b.add(b.read(s, &[b.constant(0)]), prod);
+    b.store(s, &[b.constant(0)], acc);
+    b.build().expect("dot product is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_structure() {
+        let kernel = paper_example();
+        assert_eq!(kernel.name(), "paper_example");
+        assert_eq!(kernel.nest().depth(), 3);
+        assert_eq!(kernel.nest().trip_counts(), vec![2, 20, 30]);
+        assert_eq!(kernel.arrays().len(), 5);
+        assert_eq!(kernel.nest().body().len(), 2);
+        assert_eq!(kernel.nest().total_iterations(), 1200);
+    }
+
+    #[test]
+    fn paper_example_with_custom_bounds() {
+        let kernel = paper_example_with(4, 8, 16);
+        assert_eq!(kernel.nest().trip_counts(), vec![4, 8, 16]);
+        assert_eq!(kernel.reference_table().len(), 5);
+    }
+
+    #[test]
+    fn stencil_has_three_input_reference_groups() {
+        let kernel = stencil3(64);
+        let table = kernel.reference_table();
+        // in[i], in[i+1], in[i+2], out[i]
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.by_array(crate::ArrayId::new(0)).len(), 3);
+    }
+
+    #[test]
+    fn dot_product_references() {
+        let kernel = dot_product(32);
+        let table = kernel.reference_table();
+        // x[i], y[i], s[0] (read+write merged into one group)
+        assert_eq!(table.len(), 3);
+        let s = table.find_by_name("s").unwrap();
+        assert!(s.has_read() && s.has_write());
+    }
+
+    #[test]
+    #[should_panic(expected = "stencil3 needs at least 3 points")]
+    fn stencil_rejects_tiny_arrays() {
+        let _ = stencil3(2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the IR crate: affine-expression algebra and kernel
+//! construction invariants.
+
+use proptest::prelude::*;
+use srra_ir::{AffineExpr, KernelBuilder, LoopId};
+
+fn affine_strategy() -> impl Strategy<Value = AffineExpr> {
+    (
+        prop::collection::vec((-4i64..=4, 0usize..4), 0..4),
+        -16i64..16,
+    )
+        .prop_map(|(terms, constant)| {
+            let mut e = AffineExpr::constant(constant);
+            for (coeff, loop_idx) in terms {
+                let existing = e.coefficient(LoopId::new(loop_idx));
+                e.set_term(LoopId::new(loop_idx), existing + coeff);
+            }
+            e
+        })
+}
+
+fn point_strategy() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0i64..32, 4)
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_and_matches_pointwise_evaluation(
+        a in affine_strategy(),
+        b in affine_strategy(),
+        point in point_strategy(),
+    ) {
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.eval(&point), a.eval(&point) + b.eval(&point));
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in affine_strategy(), b in affine_strategy()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a.clone());
+        prop_assert_eq!(a.sub(&a), AffineExpr::zero());
+    }
+
+    #[test]
+    fn scaling_matches_pointwise_evaluation(
+        a in affine_strategy(),
+        factor in -5i64..=5,
+        point in point_strategy(),
+    ) {
+        prop_assert_eq!(a.scale(factor).eval(&point), factor * a.eval(&point));
+    }
+
+    #[test]
+    fn range_bounds_every_evaluation(a in affine_strategy(), point in point_strategy()) {
+        let trips: Vec<u64> = vec![32, 32, 32, 32];
+        let (lo, hi) = a.range(&trips);
+        let value = a.eval(&point);
+        prop_assert!(value >= lo, "value {} below range lower bound {}", value, lo);
+        prop_assert!(value <= hi, "value {} above range upper bound {}", value, hi);
+    }
+
+    #[test]
+    fn canonical_representation_drops_zero_terms(a in affine_strategy()) {
+        for loop_id in a.used_loops() {
+            prop_assert_ne!(a.coefficient(loop_id), 0);
+        }
+        prop_assert_eq!(a.is_constant(), a.used_loops().is_empty());
+    }
+
+    #[test]
+    fn generated_kernels_validate_and_render(
+        trips in prop::collection::vec(1u64..16, 1..4),
+        elem_bits in prop::sample::select(vec![1u32, 8, 16, 32]),
+    ) {
+        // Build a simple kernel: out[i0] = in[i0] + 1 inside the generated nest.
+        let b = KernelBuilder::new("roundtrip");
+        let mut loops = Vec::new();
+        for (idx, trip) in trips.iter().enumerate() {
+            loops.push(b.add_loop(format!("l{idx}"), *trip));
+        }
+        let extent = trips[0];
+        let input = b.add_array("in", &[extent], elem_bits);
+        let output = b.add_array("out", &[extent], elem_bits);
+        let sum = b.add(b.read(input, &[b.idx(loops[0])]), b.int(1));
+        b.store(output, &[b.idx(loops[0])], sum);
+        let kernel = b.build().expect("valid kernel");
+
+        // Re-validating an already validated kernel never fails, the pseudo-C rendering
+        // mentions every array, and the structure survives a clone.
+        srra_ir::validate_kernel(&kernel).expect("still valid");
+        let rendered = kernel.to_string();
+        prop_assert!(rendered.contains("in["));
+        prop_assert!(rendered.contains("out["));
+        prop_assert_eq!(kernel.clone(), kernel);
+    }
+
+    #[test]
+    fn reference_table_is_stable_and_covers_all_occurrences(
+        ni in 1u64..12,
+        nj in 1u64..12,
+    ) {
+        let b = KernelBuilder::new("table");
+        let i = b.add_loop("i", ni);
+        let j = b.add_loop("j", nj);
+        let x = b.add_array("x", &[ni, nj], 16);
+        let y = b.add_array("y", &[ni], 16);
+        let sum = b.add(b.read(x, &[b.idx(i), b.idx(j)]), b.read(y, &[b.idx(i)]));
+        b.store(y, &[b.idx(i)], sum);
+        let kernel = b.build().expect("valid kernel");
+        let table = kernel.reference_table();
+        prop_assert_eq!(table.len(), 2);
+        let occurrence_total: usize = table.iter().map(|r| r.occurrences().len()).sum();
+        prop_assert_eq!(occurrence_total, 3);
+        prop_assert_eq!(kernel.reference_table(), table);
+    }
+}

@@ -1,0 +1,100 @@
+//! Binary image correlation kernel (BIC).
+//!
+//! ```c
+//! for (r = 0; r < M - T; r++)
+//!   for (c = 0; c < M - T; c++)
+//!     for (u = 0; u < T; u++)
+//!       for (v = 0; v < T; v++)
+//!         corr[r][c] = corr[r][c] + (img[r + u][c + v] == tmpl[u][v]);
+//! ```
+//!
+//! A four-deep nest: the template is invariant with respect to both position loops and
+//! needs `T²` registers for full replacement, the image window slides in two
+//! dimensions, and the per-position correlation accumulates over the template loops.
+
+use srra_ir::{BinOp, IrError, Kernel, KernelBuilder};
+
+/// Builds a binary-image-correlation kernel for an `image_size × image_size` image and
+/// a `template_size × template_size` template.
+///
+/// # Errors
+///
+/// Returns an [`IrError`] when the template does not fit the image or a size is zero.
+pub fn bic(image_size: u64, template_size: u64) -> Result<Kernel, IrError> {
+    let positions = image_size.saturating_sub(template_size);
+    let b = KernelBuilder::new("bic");
+    let r = b.add_loop("r", positions);
+    let c = b.add_loop("c", positions);
+    let u = b.add_loop("u", template_size.max(1));
+    let v = b.add_loop("v", template_size.max(1));
+    let img = b.add_array("img", &[image_size.max(1), image_size.max(1)], 1);
+    let tmpl = b.add_array("tmpl", &[template_size.max(1), template_size.max(1)], 1);
+    let corr = b.add_array("corr", &[positions.max(1), positions.max(1)], 16);
+
+    let matches = b.binary(
+        BinOp::CmpEq,
+        b.read(img, &[b.idx_sum(r, u), b.idx_sum(c, v)]),
+        b.read(tmpl, &[b.idx(u), b.idx(v)]),
+    );
+    let acc = b.add(b.read(corr, &[b.idx(r), b.idx(c)]), matches);
+    b.store(corr, &[b.idx(r), b.idx(c)], acc);
+    b.build()
+}
+
+/// The paper's problem size: an 8 × 8 template correlated over a 64 × 64 image.
+///
+/// # Errors
+///
+/// Never fails for these constants; the `Result` is kept for API uniformity.
+pub fn paper() -> Result<Kernel, IrError> {
+    bic(64, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srra_reuse::ReuseAnalysis;
+
+    #[test]
+    fn paper_size_builds_as_a_four_deep_nest() {
+        let kernel = paper().unwrap();
+        assert_eq!(kernel.nest().depth(), 4);
+        assert_eq!(kernel.nest().trip_counts(), vec![56, 56, 8, 8]);
+        assert_eq!(kernel.reference_table().len(), 3);
+    }
+
+    #[test]
+    fn template_needs_its_full_footprint_in_registers() {
+        let kernel = paper().unwrap();
+        let analysis = ReuseAnalysis::of(&kernel);
+        assert_eq!(analysis.by_name("tmpl").unwrap().registers_full(), 64);
+        // The image window slides in both position dimensions; capturing the reuse
+        // carried by the row loop needs the (template rows) x (image row span)
+        // footprint of one row position: 8 x 63 = 504 registers.
+        assert_eq!(analysis.by_name("img").unwrap().registers_full(), 504);
+        // The correlation accumulator carries its value across the template loops.
+        let corr = analysis.by_name("corr").unwrap();
+        assert_eq!(corr.registers_full(), 1);
+        assert!(corr.has_reuse());
+    }
+
+    #[test]
+    fn one_bit_elements_keep_the_register_cost_low() {
+        let kernel = paper().unwrap();
+        assert_eq!(
+            kernel
+                .arrays()
+                .iter()
+                .find(|a| a.name() == "tmpl")
+                .unwrap()
+                .elem_bits(),
+            1
+        );
+    }
+
+    #[test]
+    fn degenerate_sizes_are_rejected() {
+        assert!(bic(8, 8).is_err());
+        assert!(bic(4, 8).is_err());
+    }
+}

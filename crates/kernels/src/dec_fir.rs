@@ -1,0 +1,85 @@
+//! Decimating FIR filter kernel (Dec-FIR).
+//!
+//! ```c
+//! for (i = 0; i < N_OUT; i++)
+//!   for (j = 0; j < TAPS; j++)
+//!     y[i] = y[i] + c[j] * x[DEC * i + j];
+//! ```
+//!
+//! Identical to [`crate::fir`] except that the window advances by the decimation factor
+//! `DEC` between outputs, which shows up as a non-unit coefficient in the `x` subscript
+//! (the loop itself stays normalised).
+
+use srra_ir::{IrError, Kernel, KernelBuilder};
+
+/// Builds a decimating FIR kernel.
+///
+/// # Errors
+///
+/// Returns an [`IrError`] when the parameters do not describe a valid kernel (for
+/// example when `decimation` is zero or the window overruns the input).
+pub fn dec_fir(input_len: u64, taps: u64, decimation: u64) -> Result<Kernel, IrError> {
+    let dec = decimation.max(1);
+    let n_out = input_len.saturating_sub(taps) / dec;
+    let b = KernelBuilder::new("dec_fir");
+    let i = b.add_loop("i", n_out);
+    let j = b.add_loop("j", taps.max(1));
+    let x = b.add_array("x", &[input_len.max(1)], 16);
+    let c = b.add_array("c", &[taps.max(1)], 16);
+    let y = b.add_array("y", &[n_out.max(1)], 32);
+
+    let window = b.scaled_idx(i, dec as i64, 0).with_term(j, 1);
+    let product = b.mul(b.read(c, &[b.idx(j)]), b.read(x, &[window]));
+    let acc = b.add(b.read(y, &[b.idx(i)]), product);
+    b.store(y, &[b.idx(i)], acc);
+    b.build()
+}
+
+/// The paper's problem size: 4,096 samples, 64 taps, decimation factor 4.
+///
+/// # Errors
+///
+/// Never fails for these constants; the `Result` is kept for API uniformity.
+pub fn paper() -> Result<Kernel, IrError> {
+    dec_fir(4_096, 64, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srra_reuse::ReuseAnalysis;
+
+    #[test]
+    fn paper_size_builds() {
+        let kernel = paper().unwrap();
+        assert_eq!(kernel.nest().depth(), 2);
+        assert_eq!(kernel.nest().trip_counts(), vec![1_008, 64]);
+        assert_eq!(kernel.reference_table().len(), 3);
+    }
+
+    #[test]
+    fn coefficients_need_64_registers() {
+        let kernel = paper().unwrap();
+        let analysis = ReuseAnalysis::of(&kernel);
+        assert_eq!(analysis.by_name("c").unwrap().registers_full(), 64);
+        // The decimated window still overlaps between outputs (stride 4 < 64 taps), so
+        // it needs a full tap-sized window of registers as well.
+        assert_eq!(analysis.by_name("x").unwrap().registers_full(), 64);
+    }
+
+    #[test]
+    fn decimated_subscript_uses_the_right_stride() {
+        let kernel = dec_fir(128, 8, 4).unwrap();
+        let table = kernel.reference_table();
+        let x = table.find_by_name("x").unwrap();
+        let subscript = &x.subscripts()[0];
+        assert_eq!(subscript.coefficient(srra_ir::LoopId::new(0)), 4);
+        assert_eq!(subscript.coefficient(srra_ir::LoopId::new(1)), 1);
+    }
+
+    #[test]
+    fn zero_decimation_is_clamped_to_one() {
+        let kernel = dec_fir(64, 8, 0).unwrap();
+        assert_eq!(kernel.nest().trip_counts(), vec![56, 8]);
+    }
+}

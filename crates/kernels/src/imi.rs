@@ -1,0 +1,90 @@
+//! Image interpolation kernel (IMI).
+//!
+//! ```c
+//! for (s = 0; s < STEPS; s++)
+//!   for (i = 0; i < M; i++)
+//!     for (j = 0; j < M; j++)
+//!       out[s][i][j] = img1[i][j] + (s * (img2[i][j] - img1[i][j])) / STEPS;
+//! ```
+//!
+//! Both source images are invariant with respect to the interpolation-step loop, so a
+//! full replacement of either needs `M²` registers — far more than any realistic
+//! register file, which makes IMI the kernel where partial replacement and
+//! critical-path awareness matter most.
+
+use srra_ir::{BinOp, IrError, Kernel, KernelBuilder};
+
+/// Builds an image-interpolation kernel over two `size × size` images and `steps`
+/// intermediate images.
+///
+/// # Errors
+///
+/// Returns an [`IrError`] when `size` or `steps` is zero.
+pub fn imi(size: u64, steps: u64) -> Result<Kernel, IrError> {
+    let b = KernelBuilder::new("imi");
+    let s = b.add_loop("s", steps);
+    let i = b.add_loop("i", size);
+    let j = b.add_loop("j", size);
+    let img1 = b.add_array("img1", &[size.max(1), size.max(1)], 8);
+    let img2 = b.add_array("img2", &[size.max(1), size.max(1)], 8);
+    let out = b.add_array("out", &[steps.max(1), size.max(1), size.max(1)], 8);
+
+    let diff = b.sub(
+        b.read(img2, &[b.idx(i), b.idx(j)]),
+        b.read(img1, &[b.idx(i), b.idx(j)]),
+    );
+    let scaled = b.mul(b.loop_index(s), diff);
+    let step = b.binary(BinOp::Div, scaled, b.int(steps.max(1) as i64));
+    let value = b.add(b.read(img1, &[b.idx(i), b.idx(j)]), step);
+    b.store(out, &[b.idx(s), b.idx(i), b.idx(j)], value);
+    b.build()
+}
+
+/// The paper's problem size: two 64 × 64 grey-scale images, 16 intermediate images.
+///
+/// # Errors
+///
+/// Never fails for these constants; the `Result` is kept for API uniformity.
+pub fn paper() -> Result<Kernel, IrError> {
+    imi(64, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srra_reuse::ReuseAnalysis;
+
+    #[test]
+    fn paper_size_builds() {
+        let kernel = paper().unwrap();
+        assert_eq!(kernel.nest().depth(), 3);
+        assert_eq!(kernel.nest().total_iterations(), 16 * 64 * 64);
+        // img1 (single group: both reads share the subscript), img2, out.
+        assert_eq!(kernel.reference_table().len(), 3);
+    }
+
+    #[test]
+    fn source_images_need_a_full_image_of_registers() {
+        let kernel = paper().unwrap();
+        let analysis = ReuseAnalysis::of(&kernel);
+        assert_eq!(analysis.by_name("img1").unwrap().registers_full(), 4_096);
+        assert_eq!(analysis.by_name("img2").unwrap().registers_full(), 4_096);
+        assert!(!analysis.by_name("out").unwrap().has_reuse());
+    }
+
+    #[test]
+    fn repeated_reads_of_img1_form_one_group() {
+        let kernel = paper().unwrap();
+        let table = kernel.reference_table();
+        let img1 = table.find_by_name("img1").unwrap();
+        assert_eq!(img1.occurrences().len(), 2);
+        assert!(img1.has_read());
+        assert!(!img1.has_write());
+    }
+
+    #[test]
+    fn zero_parameters_are_rejected() {
+        assert!(imi(0, 4).is_err());
+        assert!(imi(4, 0).is_err());
+    }
+}

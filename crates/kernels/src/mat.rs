@@ -1,0 +1,82 @@
+//! Dense matrix–matrix multiplication kernel (MAT).
+//!
+//! ```c
+//! for (i = 0; i < N; i++)
+//!   for (j = 0; j < N; j++)
+//!     for (k = 0; k < N; k++)
+//!       c[i][j] = c[i][j] + a[i][k] * b[k][j];
+//! ```
+//!
+//! `a[i][k]` carries reuse at the `j` loop (`R = N`), `b[k][j]` at the `i` loop
+//! (`R = N²`) and the accumulator `c[i][j]` at the innermost `k` loop (`R = 1`).
+
+use srra_ir::{IrError, Kernel, KernelBuilder};
+
+/// Builds an `n × n` matrix-multiplication kernel.
+///
+/// # Errors
+///
+/// Returns an [`IrError`] when `n` is zero.
+pub fn mat(n: u64) -> Result<Kernel, IrError> {
+    let b = KernelBuilder::new("mat");
+    let i = b.add_loop("i", n);
+    let j = b.add_loop("j", n);
+    let k = b.add_loop("k", n);
+    let a = b.add_array("a", &[n.max(1), n.max(1)], 16);
+    let bm = b.add_array("b", &[n.max(1), n.max(1)], 16);
+    let c = b.add_array("c", &[n.max(1), n.max(1)], 32);
+
+    let product = b.mul(
+        b.read(a, &[b.idx(i), b.idx(k)]),
+        b.read(bm, &[b.idx(k), b.idx(j)]),
+    );
+    let acc = b.add(b.read(c, &[b.idx(i), b.idx(j)]), product);
+    b.store(c, &[b.idx(i), b.idx(j)], acc);
+    b.build()
+}
+
+/// The paper's problem size: 32 × 32 matrices.
+///
+/// # Errors
+///
+/// Never fails for this constant; the `Result` is kept for API uniformity.
+pub fn paper() -> Result<Kernel, IrError> {
+    mat(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srra_reuse::ReuseAnalysis;
+
+    #[test]
+    fn paper_size_builds_as_a_three_deep_nest() {
+        let kernel = paper().unwrap();
+        assert_eq!(kernel.nest().depth(), 3);
+        assert_eq!(kernel.nest().total_iterations(), 32 * 32 * 32);
+        assert_eq!(kernel.reference_table().len(), 3);
+    }
+
+    #[test]
+    fn register_requirements_follow_the_classic_pattern() {
+        let kernel = paper().unwrap();
+        let analysis = ReuseAnalysis::of(&kernel);
+        assert_eq!(analysis.by_name("a").unwrap().registers_full(), 32);
+        assert_eq!(analysis.by_name("b").unwrap().registers_full(), 1_024);
+        assert_eq!(analysis.by_name("c").unwrap().registers_full(), 1);
+        assert!(analysis.by_name("c").unwrap().has_reuse());
+    }
+
+    #[test]
+    fn zero_size_is_rejected() {
+        assert!(mat(0).is_err());
+    }
+
+    #[test]
+    fn small_instances_scale_the_requirements() {
+        let kernel = mat(8).unwrap();
+        let analysis = ReuseAnalysis::of(&kernel);
+        assert_eq!(analysis.by_name("a").unwrap().registers_full(), 8);
+        assert_eq!(analysis.by_name("b").unwrap().registers_full(), 64);
+    }
+}

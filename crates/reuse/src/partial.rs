@@ -1,0 +1,109 @@
+//! Partial scalar replacement model: what happens when a reference receives fewer
+//! registers than a full replacement requires.
+//!
+//! The paper's PR-RA variant assigns the registers left over by FR-RA to the next
+//! reference in the benefit/cost order, exploiting *partial* data reuse: with `β` of the
+//! required `R` registers, a proportional share `β / R` of the eliminable accesses is
+//! eliminated.  The worked example in the paper uses exactly this model ("12 out of the
+//! 30 iterations of k have only 1 memory access" when `β_d = 12` of `R_d = 30`).
+
+use crate::analysis::ReuseSummary;
+
+/// Fraction of the reference's reuse that `beta` registers can capture, in `[0, 1]`.
+pub fn replacement_fraction(summary: &ReuseSummary, beta: u64) -> f64 {
+    if summary.registers_full() == 0 {
+        return 0.0;
+    }
+    (beta as f64 / summary.registers_full() as f64).clamp(0.0, 1.0)
+}
+
+/// Number of memory accesses eliminated over the whole loop execution when the
+/// reference is assigned `beta` registers.
+///
+/// The count is zero when `beta == 0`, grows linearly (rounded down) with `beta`, and
+/// saturates at [`ReuseSummary::saved_full`] once `beta` reaches the full requirement.
+pub fn eliminated_accesses(summary: &ReuseSummary, beta: u64) -> u64 {
+    if beta == 0 {
+        return 0;
+    }
+    if beta >= summary.registers_full() {
+        return summary.saved_full();
+    }
+    let saved = summary.saved_full() as u128 * beta as u128 / summary.registers_full() as u128;
+    saved as u64
+}
+
+/// Number of memory accesses that remain over the whole loop execution when the
+/// reference is assigned `beta` registers.
+pub fn remaining_accesses(summary: &ReuseSummary, beta: u64) -> u64 {
+    summary
+        .access_counts()
+        .total
+        .saturating_sub(eliminated_accesses(summary, beta))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::ReuseAnalysis;
+    use srra_ir::examples::paper_example;
+
+    use super::*;
+
+    fn summary(name: &str) -> ReuseSummary {
+        let kernel = paper_example();
+        ReuseAnalysis::of(&kernel).by_name(name).unwrap().clone()
+    }
+
+    #[test]
+    fn zero_registers_eliminate_nothing() {
+        let d = summary("d");
+        assert_eq!(eliminated_accesses(&d, 0), 0);
+        assert_eq!(remaining_accesses(&d, 0), d.access_counts().total);
+    }
+
+    #[test]
+    fn full_budget_reaches_saved_full() {
+        let a = summary("a");
+        assert_eq!(eliminated_accesses(&a, a.registers_full()), a.saved_full());
+        assert_eq!(
+            eliminated_accesses(&a, a.registers_full() * 4),
+            a.saved_full()
+        );
+        assert_eq!(
+            remaining_accesses(&a, a.registers_full()),
+            a.access_counts().essential
+        );
+    }
+
+    #[test]
+    fn partial_budget_is_proportional() {
+        // d[i][k]: 30 registers for full reuse.  With 12 of them, the paper states that
+        // 12 of every 30 k-iterations hit registers.
+        let d = summary("d");
+        let full = eliminated_accesses(&d, 30);
+        let partial = eliminated_accesses(&d, 12);
+        assert_eq!(partial, full * 12 / 30);
+        assert!(partial < full);
+        assert!((replacement_fraction(&d, 12) - 0.4).abs() < 1e-12);
+        assert_eq!(replacement_fraction(&d, 60), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_beta() {
+        let b = summary("b");
+        let mut last = 0;
+        for beta in 0..=b.registers_full() {
+            let e = eliminated_accesses(&b, beta);
+            assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn no_reuse_reference_never_saves() {
+        let e = summary("e");
+        for beta in [0, 1, 5, 100] {
+            assert_eq!(eliminated_accesses(&e, beta), 0);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the reuse analysis: footprints, register requirements and
+//! the partial-replacement access model.
+
+use proptest::prelude::*;
+use srra_ir::{Kernel, KernelBuilder};
+use srra_reuse::{
+    eliminated_accesses, footprint, registers_for_full_replacement, remaining_accesses,
+    ReuseAnalysis,
+};
+
+/// A three-deep nest with one reference per "shape": invariant, windowed, accumulator
+/// and streaming.
+fn generated_kernel(ni: u64, nj: u64, nk: u64, window: bool) -> Kernel {
+    let b = KernelBuilder::new("generated");
+    let i = b.add_loop("i", ni);
+    let j = b.add_loop("j", nj);
+    let k = b.add_loop("k", nk);
+    let coeff = b.add_array("coeff", &[nk], 16);
+    let window_len = nj + nk;
+    let stream = b.add_array("stream", &[window_len.max(1)], 16);
+    let acc = b.add_array("acc", &[ni, nj], 32);
+    let sink = b.add_array("sink", &[ni, nj, nk], 16);
+
+    let stream_subscript = if window { b.idx_sum(j, k) } else { b.idx(k) };
+    let product = b.mul(b.read(coeff, &[b.idx(k)]), b.read(stream, &[stream_subscript]));
+    let sum = b.add(b.read(acc, &[b.idx(i), b.idx(j)]), product);
+    b.store(acc, &[b.idx(i), b.idx(j)], sum);
+    b.store(sink, &[b.idx(i), b.idx(j), b.idx(k)], product);
+    b.build().expect("generated kernel is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn footprints_shrink_with_depth_and_requirements_are_positive(
+        ni in 1u64..6,
+        nj in 1u64..16,
+        nk in 1u64..16,
+        window in any::<bool>(),
+    ) {
+        let kernel = generated_kernel(ni, nj, nk, window);
+        let table = kernel.reference_table();
+        let nest = kernel.nest();
+        for info in table.iter() {
+            let mut previous = footprint(info, nest, 0);
+            for depth in 1..=nest.depth() {
+                let current = footprint(info, nest, depth);
+                prop_assert!(current <= previous, "footprint must shrink with depth");
+                prop_assert!(current >= 1);
+                previous = current;
+            }
+            let registers = registers_for_full_replacement(info, nest);
+            prop_assert!(registers >= 1);
+            prop_assert!(registers <= footprint(info, nest, 0).max(1));
+        }
+    }
+
+    #[test]
+    fn essential_accesses_never_exceed_totals(
+        ni in 1u64..6,
+        nj in 1u64..16,
+        nk in 1u64..16,
+        window in any::<bool>(),
+    ) {
+        let kernel = generated_kernel(ni, nj, nk, window);
+        let analysis = ReuseAnalysis::of(&kernel);
+        for summary in &analysis {
+            let counts = summary.access_counts();
+            prop_assert!(counts.essential <= counts.total);
+            prop_assert!(counts.saved() == counts.total - counts.essential);
+            prop_assert!(summary.benefit_cost() >= 0.0);
+        }
+        prop_assert!(analysis.total_saved_full() <= analysis.total_accesses());
+    }
+
+    #[test]
+    fn eliminated_accesses_are_monotone_and_bounded(
+        ni in 1u64..5,
+        nj in 2u64..12,
+        nk in 2u64..12,
+        beta_step in 1u64..7,
+    ) {
+        let kernel = generated_kernel(ni, nj, nk, true);
+        let analysis = ReuseAnalysis::of(&kernel);
+        for summary in &analysis {
+            let mut previous = 0u64;
+            let mut beta = 0u64;
+            while beta <= summary.registers_full() + beta_step {
+                let eliminated = eliminated_accesses(summary, beta);
+                prop_assert!(eliminated >= previous, "monotone in beta");
+                prop_assert!(eliminated <= summary.saved_full());
+                prop_assert_eq!(
+                    remaining_accesses(summary, beta),
+                    summary.access_counts().total - eliminated
+                );
+                previous = eliminated;
+                beta += beta_step;
+            }
+            prop_assert_eq!(
+                eliminated_accesses(summary, summary.registers_full()),
+                summary.saved_full()
+            );
+        }
+    }
+
+    #[test]
+    fn benefit_cost_ordering_is_a_permutation_of_the_references(
+        ni in 1u64..5,
+        nj in 2u64..12,
+        nk in 2u64..12,
+        window in any::<bool>(),
+    ) {
+        let kernel = generated_kernel(ni, nj, nk, window);
+        let analysis = ReuseAnalysis::of(&kernel);
+        let sorted = analysis.sorted_by_benefit_cost();
+        prop_assert_eq!(sorted.len(), analysis.len());
+        let mut ids: Vec<usize> = sorted.iter().map(|s| s.ref_id().index()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), analysis.len());
+        for pair in sorted.windows(2) {
+            prop_assert!(pair[0].benefit_cost() >= pair[1].benefit_cost());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Facade crate re-exporting the `srra` workspace members.
+//!
+//! The `srra` workspace is a reproduction of *"A Register Allocation Algorithm in the
+//! Presence of Scalar Replacement for Fine-Grain Configurable Architectures"*
+//! (Baradaran & Diniz, DATE 2005).
+//!
+//! Most users should depend on the individual crates:
+//!
+//! * [`srra_ir`] — loop-nest / affine-reference intermediate representation,
+//! * [`srra_reuse`] — data-reuse analysis and register-requirement model,
+//! * [`srra_dfg`] — data-flow graph, critical graph and cut enumeration,
+//! * [`srra_core`] — the FR-RA / PR-RA / CPA-RA allocation algorithms,
+//! * [`srra_fpga`] — the FPGA execution, clock and area models,
+//! * [`srra_kernels`] — the six evaluation kernels,
+//! * [`srra_bench`] — the Table 1 / Figure 2 reproduction harness.
+//!
+//! # Example
+//!
+//! ```
+//! use srra::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernel = srra_kernels::fir::fir(64, 8)?;
+//! let outcome = srra_bench::evaluate_kernel(&kernel, AllocatorKind::CriticalPathAware, 32)?;
+//! assert!(outcome.design.total_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use srra_bench;
+pub use srra_core;
+pub use srra_dfg;
+pub use srra_fpga;
+pub use srra_ir;
+pub use srra_kernels;
+pub use srra_reuse;
+
+/// Commonly used items across the workspace.
+pub mod prelude {
+    pub use srra_core::{AllocatorKind, RegisterAllocation};
+    pub use srra_dfg::DataFlowGraph;
+    pub use srra_fpga::{DeviceModel, HardwareDesign};
+    pub use srra_ir::{ArrayRef, Kernel, LoopNest};
+    pub use srra_reuse::ReuseAnalysis;
+}

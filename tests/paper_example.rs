@@ -1,0 +1,110 @@
+//! End-to-end integration test: the paper's running example (Figure 1 / Figure 2).
+//!
+//! This test pins down every number the paper quotes for its worked example: the
+//! register requirements, the critical-graph cut structure, the register distributions
+//! produced by the three algorithms and the resulting memory-cycle counts.
+
+use srra_bench::figure2::{figure2, FIGURE2_BUDGET};
+use srra_core::{allocate, AllocatorKind};
+use srra_dfg::{find_cuts, CriticalPathAnalysis, DataFlowGraph, LatencyModel, StorageMap};
+use srra_ir::examples::paper_example;
+use srra_reuse::ReuseAnalysis;
+
+#[test]
+fn register_requirements_match_section_3() {
+    let kernel = paper_example();
+    let analysis = ReuseAnalysis::of(&kernel);
+    let requirement = |name: &str| analysis.by_name(name).unwrap().registers_full();
+    assert_eq!(requirement("a"), 30);
+    assert_eq!(requirement("b"), 600);
+    assert_eq!(requirement("c"), 20);
+    assert_eq!(requirement("d"), 30);
+    assert_eq!(requirement("e"), 1);
+}
+
+#[test]
+fn critical_graph_cuts_match_figure_2b() {
+    let kernel = paper_example();
+    let dfg = DataFlowGraph::from_kernel(&kernel);
+    let analysis =
+        CriticalPathAnalysis::new(&dfg, &LatencyModel::default(), &StorageMap::all_ram());
+    let cuts = find_cuts(&dfg, analysis.critical_graph());
+    let mut rendered: Vec<Vec<String>> = cuts
+        .iter()
+        .map(|cut| {
+            let mut labels: Vec<String> = cut
+                .iter()
+                .map(|&n| dfg.node(n).label().to_owned())
+                .collect();
+            labels.sort();
+            labels
+        })
+        .collect();
+    rendered.sort();
+    assert_eq!(
+        rendered,
+        vec![
+            vec!["a[k]".to_owned(), "b[k][j]".to_owned()],
+            vec!["d[i][k]".to_owned()],
+            vec!["e[i][j][k]".to_owned()],
+        ]
+    );
+}
+
+#[test]
+fn register_distributions_match_figure_2c() {
+    let kernel = paper_example();
+    let analysis = ReuseAnalysis::of(&kernel);
+    let beta = |kind: AllocatorKind, name: &str| {
+        allocate(kind, &kernel, &analysis, FIGURE2_BUDGET)
+            .unwrap()
+            .by_name(name)
+            .unwrap()
+            .beta()
+    };
+
+    // FR-RA: a and c fully replaced, everything else holds a single register.
+    assert_eq!(beta(AllocatorKind::FullReuse, "a"), 30);
+    assert_eq!(beta(AllocatorKind::FullReuse, "c"), 20);
+    assert_eq!(beta(AllocatorKind::FullReuse, "b"), 1);
+    assert_eq!(beta(AllocatorKind::FullReuse, "d"), 1);
+    assert_eq!(beta(AllocatorKind::FullReuse, "e"), 1);
+
+    // PR-RA: the 11 leftover registers flow into d.
+    assert_eq!(beta(AllocatorKind::PartialReuse, "d"), 12);
+
+    // CPA-RA: cut {d} first, then the remainder split equally across cut {a, b}.
+    assert_eq!(beta(AllocatorKind::CriticalPathAware, "d"), 30);
+    assert_eq!(beta(AllocatorKind::CriticalPathAware, "a"), 16);
+    assert_eq!(beta(AllocatorKind::CriticalPathAware, "b"), 16);
+    assert_eq!(beta(AllocatorKind::CriticalPathAware, "c"), 1);
+    assert_eq!(beta(AllocatorKind::CriticalPathAware, "e"), 1);
+}
+
+#[test]
+fn memory_cycles_match_figure_2c() {
+    let rows = figure2();
+    let tmem = |algo: &str| {
+        rows.iter()
+            .find(|r| r.algorithm == algo)
+            .unwrap()
+            .memory_cycles_per_outer_iteration
+    };
+    assert_eq!(tmem("FR-RA"), 1_800);
+    assert_eq!(tmem("PR-RA"), 1_560);
+    assert_eq!(tmem("CPA-RA"), 1_184);
+}
+
+#[test]
+fn every_algorithm_respects_the_budget_and_is_deterministic() {
+    let kernel = paper_example();
+    let analysis = ReuseAnalysis::of(&kernel);
+    for kind in AllocatorKind::all() {
+        let first = allocate(kind, &kernel, &analysis, FIGURE2_BUDGET).unwrap();
+        let second = allocate(kind, &kernel, &analysis, FIGURE2_BUDGET).unwrap();
+        assert_eq!(first, second, "{kind:?} must be deterministic");
+        if kind != AllocatorKind::NoReplacement {
+            assert!(first.total_registers() <= FIGURE2_BUDGET);
+        }
+    }
+}

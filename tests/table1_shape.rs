@@ -1,0 +1,91 @@
+//! Integration test: the Table 1 reproduction keeps the qualitative shape the paper
+//! reports, across all six kernels.
+
+use srra_bench::table1::{summarize, table1};
+
+#[test]
+fn table1_has_all_kernels_and_versions() {
+    let rows = table1();
+    assert_eq!(rows.len(), 18);
+    for kernel in ["fir", "dec_fir", "mat", "imi", "pat", "bic"] {
+        for version in ["v1", "v2", "v3"] {
+            assert!(
+                rows.iter().any(|r| r.kernel == kernel && r.version == version),
+                "missing {kernel} {version}"
+            );
+        }
+    }
+}
+
+#[test]
+fn budgets_are_respected_and_registers_grow_with_the_version() {
+    let rows = table1();
+    for row in &rows {
+        assert!(
+            row.total_registers <= 32,
+            "{} {} uses {} registers",
+            row.kernel,
+            row.version,
+            row.total_registers
+        );
+        assert!(row.cycles > 0);
+        assert!(row.clock_period_ns > 0.0);
+        assert!(row.slices > 0);
+    }
+    for kernel in ["fir", "dec_fir", "mat", "imi", "pat", "bic"] {
+        let reg = |version: &str| {
+            rows.iter()
+                .find(|r| r.kernel == kernel && r.version == version)
+                .unwrap()
+                .total_registers
+        };
+        assert!(reg("v2") >= reg("v1"), "{kernel}");
+    }
+}
+
+#[test]
+fn cpa_ra_wins_on_cycles_where_the_paper_says_it_should() {
+    let rows = table1();
+    let summary = summarize(&rows);
+    // The paper's aggregate claims, as orderings rather than absolute numbers:
+    // v3 improves cycles on average, and by more than v2 does.
+    assert!(summary.avg_cycle_gain_v3_pct > 0.0);
+    assert!(summary.avg_cycle_gain_v3_pct >= summary.avg_cycle_gain_v2_pct);
+    // v3 beats v2 on cycles on average.
+    assert!(summary.avg_v3_over_v2_cycle_gain_pct >= 0.0);
+    // The v3 clock degrades, but mildly (the paper reports about 7%).
+    assert!(summary.avg_clock_loss_v3_pct >= 0.0);
+    assert!(summary.avg_clock_loss_v3_pct < 20.0);
+}
+
+#[test]
+fn window_kernels_show_the_largest_cpa_advantage() {
+    // FIR, Dec-FIR and PAT are the kernels where the inputs of one operation live in
+    // different arrays; co-allocating them is exactly what CPA-RA does and what the
+    // greedy variants cannot.
+    let rows = table1();
+    let gain = |kernel: &str| {
+        rows.iter()
+            .find(|r| r.kernel == kernel && r.version == "v3")
+            .unwrap()
+            .cycle_reduction_pct
+    };
+    assert!(gain("fir") > 5.0, "fir gain {}", gain("fir"));
+    assert!(gain("dec_fir") > 2.0, "dec_fir gain {}", gain("dec_fir"));
+    assert!(gain("pat") > 5.0, "pat gain {}", gain("pat"));
+}
+
+#[test]
+fn designs_fit_the_xcv1000_device() {
+    let rows = table1();
+    for row in &rows {
+        assert!(
+            row.occupancy_pct < 100.0,
+            "{} {} occupies {:.1}% of the device",
+            row.kernel,
+            row.version,
+            row.occupancy_pct
+        );
+        assert!(row.block_rams <= 160, "unreasonable BlockRAM count");
+    }
+}
