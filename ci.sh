@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate for the srra workspace:
+#   1. formatting          (cargo fmt --check)
+#   2. lints as errors     (cargo clippy --workspace -- -D warnings)
+#   3. tier-1 verification (cargo build --release && cargo test -q)
+#
+# Run from the repository root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "ci.sh: all checks passed"

@@ -9,7 +9,8 @@
 //! `<kernel>` is one of `fir`, `dec_fir`, `mat`, `imi`, `pat`, `bic` or `example`
 //! (default: `example`, the paper's running example).
 
-use srra_bench::sweep::{budget_sweep, ram_latency_sweep, render_sweep};
+use srra_bench::sweep::{budget_sweep_cached, ram_latency_sweep_cached, render_sweep};
+use srra_explore::MemoryStore;
 use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
 
@@ -37,12 +38,16 @@ fn main() {
         .into_iter()
         .filter(|b| *b >= reference_count)
         .collect();
+    // Both sweeps share one result store, so overlapping design points (the
+    // latency-1 column at the shared budget) are evaluated only once.
+    let mut store = MemoryStore::new();
     println!(
         "{}",
         render_sweep(
             &format!("register-budget sweep — {}", kernel.name()),
             "budget",
-            &budget_sweep(&kernel, &budgets),
+            &budget_sweep_cached(&kernel, &budgets, &mut store)
+                .expect("in-memory exploration cannot fail"),
         )
     );
     println!(
@@ -50,7 +55,13 @@ fn main() {
         render_sweep(
             &format!("RAM-latency sweep — {} (32 registers)", kernel.name()),
             "latency",
-            &ram_latency_sweep(&kernel, 32.max(reference_count), &[1, 2, 3, 4, 6, 8]),
+            &ram_latency_sweep_cached(
+                &kernel,
+                32.max(reference_count),
+                &[1, 2, 3, 4, 6, 8],
+                &mut store,
+            )
+            .expect("in-memory exploration cannot fail"),
         )
     );
 }

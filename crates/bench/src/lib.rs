@@ -22,8 +22,10 @@ pub mod sweep;
 pub mod table1;
 
 pub use figure2::{figure2, render_figure2, Figure2Row};
-pub use report::{figure2_csv, table1_csv};
-pub use sweep::{budget_sweep, ram_latency_sweep, SweepPoint};
+pub use report::{figure2_csv, sweep_csv, table1_csv};
+pub use sweep::{
+    budget_sweep, budget_sweep_cached, ram_latency_sweep, ram_latency_sweep_cached, SweepPoint,
+};
 pub use table1::{render_table1, summarize, table1, Table1Row, Table1Summary};
 
 use srra_core::{

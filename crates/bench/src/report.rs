@@ -19,6 +19,7 @@
 //! ```
 
 use crate::figure2::Figure2Row;
+use crate::sweep::SweepPoint;
 use crate::table1::Table1Row;
 
 fn escape_field(field: &str) -> String {
@@ -42,6 +43,19 @@ pub fn figure2_csv(rows: &[Figure2Row]) -> String {
             escape_field(&row.distribution),
             row.memory_cycles_per_outer_iteration,
             row.memory_cycles_total
+        ));
+    }
+    out
+}
+
+/// Renders sweep points (from `srra_bench::sweep` or an `srra-explore` driven sweep)
+/// as CSV, one line per parameter value.
+pub fn sweep_csv(parameter_name: &str, points: &[SweepPoint]) -> String {
+    let mut out = format!("{parameter_name},fr_ra_cycles,pr_ra_cycles,cpa_ra_cycles\n");
+    for point in points {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            point.parameter, point.fr_ra_cycles, point.pr_ra_cycles, point.cpa_ra_cycles
         ));
     }
     out
@@ -102,6 +116,16 @@ mod tests {
             // Distributions contain spaces but no commas, so a plain split is fine.
             assert_eq!(line.split(',').count(), header_fields, "line: {line}");
         }
+    }
+
+    #[test]
+    fn sweep_csv_lists_every_parameter_value() {
+        use srra_ir::examples::paper_example;
+        let points = crate::sweep::budget_sweep(&paper_example(), &[16, 64]);
+        let csv = sweep_csv("budget", &points);
+        assert!(csv.starts_with("budget,fr_ra_cycles,"));
+        assert_eq!(csv.lines().count(), points.len() + 1);
+        assert!(csv.lines().nth(1).unwrap().starts_with("16,"));
     }
 
     #[test]

@@ -4,11 +4,18 @@
 //! ablation benchmarks: they show where the algorithms diverge and where they converge
 //! (with an unlimited budget every algorithm fully replaces everything and the curves
 //! meet).
+//!
+//! Since the `srra-explore` engine landed, every sweep is a thin shim over a
+//! [`DesignSpace`] exploration: points are evaluated in parallel and deduplicated
+//! through a [`ResultStore`], so driving several sweeps through one shared store (or a
+//! persistent [`srra_explore::JsonlStore`]) never re-evaluates a design point.  The
+//! reported `*_cycles` are the steady-state memory cycles of the cost model at the
+//! swept RAM latency — numerically identical to the pre-engine implementation.
 
 use serde::{Deserialize, Serialize};
-use srra_core::{allocate, memory_cost, AllocatorKind, MemoryCostModel};
+use srra_core::AllocatorKind;
+use srra_explore::{DesignSpace, Explorer, MemoryStore, PointRecord, ResultStore};
 use srra_ir::Kernel;
-use srra_reuse::ReuseAnalysis;
 
 /// One point of a sweep: the memory cycles of each algorithm at one parameter value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,75 +30,90 @@ pub struct SweepPoint {
     pub cpa_ra_cycles: u64,
 }
 
-fn cycles_for(
-    kernel: &Kernel,
-    analysis: &ReuseAnalysis,
+fn cycles_of(
+    records: &[PointRecord],
     kind: AllocatorKind,
     budget: u64,
-    model: &MemoryCostModel,
-) -> Option<u64> {
-    let allocation = allocate(kind, kernel, analysis, budget).ok()?;
-    Some(memory_cost(kernel, analysis, &allocation, model).memory_cycles)
+    latency: u64,
+) -> Option<&PointRecord> {
+    records
+        .iter()
+        .find(|r| r.algorithm == kind.label() && r.budget == budget && r.ram_latency == latency)
+        .filter(|r| r.feasible)
+}
+
+fn sweep_point(
+    records: &[PointRecord],
+    parameter: u64,
+    budget: u64,
+    latency: u64,
+) -> Option<SweepPoint> {
+    Some(SweepPoint {
+        parameter,
+        fr_ra_cycles: cycles_of(records, AllocatorKind::FullReuse, budget, latency)?.memory_cycles,
+        pr_ra_cycles: cycles_of(records, AllocatorKind::PartialReuse, budget, latency)?
+            .memory_cycles,
+        cpa_ra_cycles: cycles_of(records, AllocatorKind::CriticalPathAware, budget, latency)?
+            .memory_cycles,
+    })
 }
 
 /// Sweeps the register budget for one kernel, reporting steady-state memory cycles.
 ///
 /// Budgets smaller than the kernel's reference count are skipped.
 pub fn budget_sweep(kernel: &Kernel, budgets: &[u64]) -> Vec<SweepPoint> {
-    let analysis = ReuseAnalysis::of(kernel);
-    let model = MemoryCostModel::default();
-    budgets
+    budget_sweep_cached(kernel, budgets, &mut MemoryStore::new())
+        .expect("in-memory exploration cannot fail")
+}
+
+/// [`budget_sweep`] against a caller-provided result store: design points already in
+/// the store are answered without re-evaluation, and fresh points are written back.
+///
+/// # Errors
+///
+/// Propagates the store's error type (I/O for persistent stores).
+pub fn budget_sweep_cached<S: ResultStore>(
+    kernel: &Kernel,
+    budgets: &[u64],
+    store: &mut S,
+) -> Result<Vec<SweepPoint>, S::Error> {
+    let space = DesignSpace::new()
+        .with_kernel(kernel.clone())
+        .with_budgets(budgets)
+        .with_ram_latencies(&[1]);
+    let run = Explorer::default().explore(&space, store)?;
+    Ok(budgets
         .iter()
-        .filter_map(|&budget| {
-            Some(SweepPoint {
-                parameter: budget,
-                fr_ra_cycles: cycles_for(kernel, &analysis, AllocatorKind::FullReuse, budget, &model)?,
-                pr_ra_cycles: cycles_for(
-                    kernel,
-                    &analysis,
-                    AllocatorKind::PartialReuse,
-                    budget,
-                    &model,
-                )?,
-                cpa_ra_cycles: cycles_for(
-                    kernel,
-                    &analysis,
-                    AllocatorKind::CriticalPathAware,
-                    budget,
-                    &model,
-                )?,
-            })
-        })
-        .collect()
+        .filter_map(|&budget| sweep_point(&run.records, budget, budget, 1))
+        .collect())
 }
 
 /// Sweeps the RAM access latency for one kernel at a fixed register budget.
 pub fn ram_latency_sweep(kernel: &Kernel, budget: u64, latencies: &[u64]) -> Vec<SweepPoint> {
-    let analysis = ReuseAnalysis::of(kernel);
-    latencies
+    ram_latency_sweep_cached(kernel, budget, latencies, &mut MemoryStore::new())
+        .expect("in-memory exploration cannot fail")
+}
+
+/// [`ram_latency_sweep`] against a caller-provided result store.
+///
+/// # Errors
+///
+/// Propagates the store's error type (I/O for persistent stores).
+pub fn ram_latency_sweep_cached<S: ResultStore>(
+    kernel: &Kernel,
+    budget: u64,
+    latencies: &[u64],
+    store: &mut S,
+) -> Result<Vec<SweepPoint>, S::Error> {
+    let space = DesignSpace::new()
+        .with_kernel(kernel.clone())
+        .with_budgets(&[budget])
+        .with_ram_latencies(latencies);
+    let run = Explorer::default().explore(&space, store)?;
+    Ok(latencies
         .iter()
-        .filter_map(|&latency| {
-            let model = MemoryCostModel::default().with_ram_latency(latency);
-            Some(SweepPoint {
-                parameter: latency,
-                fr_ra_cycles: cycles_for(kernel, &analysis, AllocatorKind::FullReuse, budget, &model)?,
-                pr_ra_cycles: cycles_for(
-                    kernel,
-                    &analysis,
-                    AllocatorKind::PartialReuse,
-                    budget,
-                    &model,
-                )?,
-                cpa_ra_cycles: cycles_for(
-                    kernel,
-                    &analysis,
-                    AllocatorKind::CriticalPathAware,
-                    budget,
-                    &model,
-                )?,
-            })
-        })
-        .collect()
+        .filter_map(|&latency| sweep_point(&run.records, latency, budget, latency))
+        .collect())
 }
 
 /// Renders a sweep as an aligned text table.
@@ -157,5 +179,19 @@ mod tests {
         assert!(text.contains("16"));
         assert!(text.contains("64"));
         assert!(text.contains("CPA-RA cycles"));
+    }
+
+    #[test]
+    fn shared_store_deduplicates_across_sweeps() {
+        let kernel = paper_example();
+        let mut store = MemoryStore::new();
+        let cold = budget_sweep_cached(&kernel, &[16, 64], &mut store).unwrap();
+        // The second sweep overlaps the first on every point and adds one budget;
+        // the overlap is answered from the store and the results agree exactly.
+        let warm = budget_sweep_cached(&kernel, &[16, 64, 128], &mut store).unwrap();
+        assert_eq!(&warm[..2], &cold[..]);
+        // A latency sweep at budget 64 reuses the (64, latency 1) point.
+        let latencies = ram_latency_sweep_cached(&kernel, 64, &[1, 4], &mut store).unwrap();
+        assert_eq!(latencies[0].cpa_ra_cycles, cold[1].cpa_ra_cycles);
     }
 }

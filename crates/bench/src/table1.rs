@@ -78,11 +78,8 @@ pub fn table1_for(suite: &[KernelSpec]) -> Vec<Table1Row> {
     let mut rows = Vec::new();
     for spec in suite {
         let required = required_registers(spec);
-        let Ok(v1) = evaluate_kernel(
-            &spec.kernel,
-            AllocatorKind::FullReuse,
-            spec.register_budget,
-        ) else {
+        let Ok(v1) = evaluate_kernel(&spec.kernel, AllocatorKind::FullReuse, spec.register_budget)
+        else {
             continue;
         };
         for kind in AllocatorKind::paper_versions() {
@@ -277,7 +274,15 @@ mod tests {
     #[test]
     fn rendering_contains_all_kernels_and_the_summary() {
         let text = render_table1(&table1());
-        for name in ["fir", "dec_fir", "mat", "imi", "pat", "bic", "averages vs v1"] {
+        for name in [
+            "fir",
+            "dec_fir",
+            "mat",
+            "imi",
+            "pat",
+            "bic",
+            "averages vs v1",
+        ] {
             assert!(text.contains(name), "missing {name}");
         }
     }

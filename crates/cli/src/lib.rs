@@ -10,6 +10,8 @@
 //! srra dot example                  # Graphviz dump of the DFG + critical graph
 //! srra figure2                      # reproduce Figure 2(c)
 //! srra table1                       # reproduce Table 1
+//! srra explore --kernel fir --budgets 8,16,32,64 --jobs 4 --cache /tmp/srra.jsonl
+//!                                   # parallel design-space sweep + Pareto table
 //! ```
 //!
 //! The argument handling lives in this library crate (so it is unit-testable); the
@@ -21,6 +23,11 @@
 use srra_bench::{evaluate_kernel, figure2, render_figure2, render_table1, table1};
 use srra_core::AllocatorKind;
 use srra_dfg::{to_dot, CriticalPathAnalysis, DataFlowGraph, LatencyModel, StorageMap};
+use srra_explore::{
+    exploration_csv, render_exploration, DesignSpace, Exploration, Explorer, JsonlStore,
+    MemoryStore, ResultStore,
+};
+use srra_fpga::DeviceModel;
 use srra_ir::{examples::paper_example, Kernel};
 use srra_kernels::paper_suite;
 use srra_reuse::ReuseAnalysis;
@@ -33,6 +40,16 @@ pub const USAGE: &str = "usage: srra <command> [args]\n\
   dot      <kernel>              print the DFG + critical graph in Graphviz format\n\
   figure2                        reproduce the paper's Figure 2(c)\n\
   table1                         reproduce the paper's Table 1\n\
+  explore [options]              parallel design-space sweep with Pareto output\n\
+    --kernel  <k[,k...]|all>     kernels to sweep (default: all six paper kernels)\n\
+    --algos   <a[,a...]>         algorithms (default: fr,pr,cpa)\n\
+    --budgets <n[,n...]>         register budgets (default: 32)\n\
+    --latencies <n[,n...]>       RAM latencies in cycles (default: 2)\n\
+    --devices <d[,d...]>         xcv1000 and/or xcv300 (default: xcv1000)\n\
+    --jobs    <n>                worker threads (default: all CPUs)\n\
+    --cache   <path>             persistent JSONL result cache\n\
+    --csv                        emit every design point as CSV instead of tables\n\
+    (cache statistics go to stderr so stdout is identical across cached re-runs)\n\
   help                           show this text";
 
 /// Errors reported to the user as text plus a non-zero exit code.
@@ -76,9 +93,14 @@ fn algorithm_by_name(name: &str) -> Result<AllocatorKind, CliError> {
 }
 
 fn cmd_kernels() -> String {
-    let mut out = String::from("built-in kernels:\n  example  (the paper's Figure 1 running example)\n");
+    let mut out =
+        String::from("built-in kernels:\n  example  (the paper's Figure 1 running example)\n");
     for spec in paper_suite() {
-        out.push_str(&format!("  {:<8} {}\n", spec.kernel.name(), spec.description));
+        out.push_str(&format!(
+            "  {:<8} {}\n",
+            spec.kernel.name(),
+            spec.description
+        ));
     }
     out
 }
@@ -136,6 +158,175 @@ fn cmd_allocate(name: &str, algo: &str, budget: &str) -> Result<String, CliError
     Ok(out)
 }
 
+/// Parsed form of the `explore` subcommand's flags.
+struct ExploreArgs {
+    kernels: Vec<Kernel>,
+    allocators: Vec<AllocatorKind>,
+    budgets: Vec<u64>,
+    latencies: Vec<u64>,
+    devices: Vec<DeviceModel>,
+    jobs: usize,
+    cache: Option<String>,
+    csv: bool,
+}
+
+fn parse_u64_list(flag: &str, value: &str) -> Result<Vec<u64>, CliError> {
+    value
+        .split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.trim()
+                .parse::<u64>()
+                .map_err(|_| CliError(format!("invalid {flag} value `{part}`")))
+        })
+        .collect()
+}
+
+fn device_by_name(name: &str) -> Result<DeviceModel, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "xcv1000" => Ok(DeviceModel::xcv1000()),
+        "xcv300" => Ok(DeviceModel::xcv300()),
+        other => Err(CliError(format!(
+            "unknown device `{other}`; expected xcv1000 or xcv300"
+        ))),
+    }
+}
+
+fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, CliError> {
+    let mut parsed = ExploreArgs {
+        kernels: Vec::new(),
+        allocators: AllocatorKind::paper_versions().to_vec(),
+        budgets: vec![32],
+        latencies: vec![2],
+        devices: vec![DeviceModel::xcv1000()],
+        jobs: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        cache: None,
+        csv: false,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--kernel" | "--kernels" => {
+                for name in value("--kernel")?.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        continue;
+                    }
+                    if name == "all" {
+                        parsed
+                            .kernels
+                            .extend(paper_suite().into_iter().map(|spec| spec.kernel));
+                    } else {
+                        parsed.kernels.push(kernel_by_name(name)?);
+                    }
+                }
+            }
+            "--algos" | "--algo" => {
+                let list = value("--algos")?;
+                parsed.allocators = list
+                    .split(',')
+                    .filter(|n| !n.is_empty())
+                    .map(|name| algorithm_by_name(name.trim()))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--budgets" => parsed.budgets = parse_u64_list("--budgets", &value("--budgets")?)?,
+            "--latencies" => {
+                parsed.latencies = parse_u64_list("--latencies", &value("--latencies")?)?;
+            }
+            "--devices" => {
+                let list = value("--devices")?;
+                parsed.devices = list
+                    .split(',')
+                    .filter(|n| !n.is_empty())
+                    .map(|name| device_by_name(name.trim()))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--jobs" => {
+                let raw = value("--jobs")?;
+                parsed.jobs = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&jobs| jobs >= 1)
+                    .ok_or_else(|| CliError(format!("invalid --jobs value `{raw}`")))?;
+            }
+            "--cache" => parsed.cache = Some(value("--cache")?),
+            "--csv" => parsed.csv = true,
+            other => return Err(CliError(format!("unknown explore flag `{other}`\n{USAGE}"))),
+        }
+    }
+    if parsed.kernels.is_empty() {
+        parsed.kernels = paper_suite().into_iter().map(|spec| spec.kernel).collect();
+    }
+    if parsed.budgets.is_empty()
+        || parsed.latencies.is_empty()
+        || parsed.allocators.is_empty()
+        || parsed.devices.is_empty()
+    {
+        return Err(CliError(
+            "explore: every axis needs at least one value".into(),
+        ));
+    }
+    Ok(parsed)
+}
+
+fn explore_with_store<S>(
+    space: &DesignSpace,
+    jobs: usize,
+    store: &mut S,
+) -> Result<Exploration, CliError>
+where
+    S: ResultStore,
+    S::Error: std::fmt::Display,
+{
+    let run = Explorer::new(jobs)
+        .explore(space, store)
+        .map_err(|err| CliError(format!("exploration failed: {err}")))?;
+    let stored = store
+        .len()
+        .map_err(|err| CliError(format!("exploration failed: {err}")))?;
+    // Stats go to stderr so stdout stays byte-identical between a cold run and
+    // a fully cached re-run.
+    eprintln!(
+        "explore: {} points, {} cache hits, {} evaluated with {} jobs (store holds {} records)",
+        run.records.len(),
+        run.cache_hits,
+        run.evaluated,
+        jobs,
+        stored
+    );
+    Ok(run)
+}
+
+fn cmd_explore(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_explore_args(args)?;
+    let space = DesignSpace::new()
+        .with_kernels(parsed.kernels)
+        .with_allocators(&parsed.allocators)
+        .with_budgets(&parsed.budgets)
+        .with_ram_latencies(&parsed.latencies)
+        .with_devices(parsed.devices);
+    let run = match &parsed.cache {
+        Some(path) => {
+            let mut store = JsonlStore::open(path)
+                .map_err(|err| CliError(format!("cannot open cache `{path}`: {err}")))?;
+            explore_with_store(&space, parsed.jobs, &mut store)?
+        }
+        None => explore_with_store(&space, parsed.jobs, &mut MemoryStore::new())?,
+    };
+    Ok(if parsed.csv {
+        exploration_csv(&run)
+    } else {
+        render_exploration(&run)
+    })
+}
+
 fn cmd_dot(name: &str) -> Result<String, CliError> {
     let kernel = kernel_by_name(name)?;
     let dfg = DataFlowGraph::from_kernel(&kernel);
@@ -160,6 +351,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         [cmd, kernel] if cmd == "analyze" => cmd_analyze(kernel),
         [cmd, kernel] if cmd == "dot" => cmd_dot(kernel),
         [cmd, kernel, algo, budget] if cmd == "allocate" => cmd_allocate(kernel, algo, budget),
+        [cmd, rest @ ..] if cmd == "explore" => cmd_explore(rest),
         _ => Err(CliError(format!(
             "unrecognised arguments: {}\n{USAGE}",
             args.join(" ")
@@ -211,6 +403,79 @@ mod tests {
         assert!(run(&args(&["figure2"])).unwrap().contains("1184"));
         let dot = run(&args(&["dot", "example"])).unwrap();
         assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn explore_prints_pareto_tables_and_summary() {
+        let out = run(&args(&[
+            "explore",
+            "--kernel",
+            "fir",
+            "--budgets",
+            "8,16,32",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("Pareto frontier for fir"));
+        assert!(out.contains("best allocator per kernel:"));
+        assert!(out.contains("CPA-RA"));
+    }
+
+    #[test]
+    fn explore_csv_covers_every_design_point() {
+        let out = run(&args(&[
+            "explore",
+            "--kernel",
+            "fir",
+            "--budgets",
+            "8,32",
+            "--algos",
+            "fr,cpa",
+            "--latencies",
+            "1,2",
+            "--csv",
+            "--jobs",
+            "1",
+        ]))
+        .unwrap();
+        // header + 1 kernel x 2 algorithms x 2 budgets x 2 latencies
+        assert_eq!(out.lines().count(), 1 + 8);
+        assert!(out.starts_with("kernel,algorithm,"));
+    }
+
+    #[test]
+    fn explore_is_deterministic_across_job_counts() {
+        let serial = run(&args(&[
+            "explore",
+            "--kernel",
+            "mat",
+            "--budgets",
+            "16,32",
+            "--jobs",
+            "1",
+        ]));
+        let parallel = run(&args(&[
+            "explore",
+            "--kernel",
+            "mat",
+            "--budgets",
+            "16,32",
+            "--jobs",
+            "8",
+        ]));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn explore_rejects_bad_flags_and_values() {
+        assert!(run(&args(&["explore", "--frobnicate"])).is_err());
+        assert!(run(&args(&["explore", "--kernel", "nope"])).is_err());
+        assert!(run(&args(&["explore", "--budgets", "abc"])).is_err());
+        assert!(run(&args(&["explore", "--budgets"])).is_err());
+        assert!(run(&args(&["explore", "--jobs", "0"])).is_err());
+        assert!(run(&args(&["explore", "--devices", "xcv9000"])).is_err());
+        assert!(run(&args(&["explore", "--algos", ","])).is_err());
     }
 
     #[test]

@@ -357,8 +357,14 @@ mod tests {
         let kernel = paper_example();
         let analysis = ReuseAnalysis::of(&kernel);
         let a = analysis.by_name("a").unwrap();
-        assert_eq!(RefAllocation::new(a, 30, ReplacementMode::Full).coverage(), 1.0);
-        assert_eq!(RefAllocation::new(a, 1, ReplacementMode::None).coverage(), 0.0);
+        assert_eq!(
+            RefAllocation::new(a, 30, ReplacementMode::Full).coverage(),
+            1.0
+        );
+        assert_eq!(
+            RefAllocation::new(a, 1, ReplacementMode::None).coverage(),
+            0.0
+        );
         let partial = RefAllocation::new(a, 15, ReplacementMode::Partial);
         assert!((partial.coverage() - 0.5).abs() < 1e-12);
     }

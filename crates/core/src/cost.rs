@@ -274,11 +274,7 @@ mod tests {
         let r = report(AllocatorKind::NoReplacement, 64);
         // Stages: {a, b}, {d}, {e}; c is off the critical path.
         assert_eq!(r.stages.len(), 3);
-        let all_refs: Vec<String> = r
-            .stages
-            .iter()
-            .flat_map(|s| s.references.clone())
-            .collect();
+        let all_refs: Vec<String> = r.stages.iter().flat_map(|s| s.references.clone()).collect();
         assert!(all_refs.contains(&"a[k]".to_owned()));
         assert!(all_refs.contains(&"d[i][k]".to_owned()));
         assert!(!all_refs.contains(&"c[j]".to_owned()));
@@ -290,12 +286,7 @@ mod tests {
         let analysis = ReuseAnalysis::of(&kernel);
         let allocation =
             allocate(AllocatorKind::CriticalPathAware, &kernel, &analysis, 64).unwrap();
-        let concurrent = memory_cost(
-            &kernel,
-            &analysis,
-            &allocation,
-            &MemoryCostModel::default(),
-        );
+        let concurrent = memory_cost(&kernel, &analysis, &allocation, &MemoryCostModel::default());
         let serial = memory_cost(
             &kernel,
             &analysis,

@@ -2,8 +2,9 @@
 
 use std::collections::BTreeSet;
 
-use srra_dfg::{find_cuts, level_cuts, CriticalPathAnalysis, DataFlowGraph, LatencyModel, Storage,
-    StorageMap};
+use srra_dfg::{
+    find_cuts, level_cuts, CriticalPathAnalysis, DataFlowGraph, LatencyModel, Storage, StorageMap,
+};
 use srra_ir::{Kernel, RefId};
 use srra_reuse::ReuseAnalysis;
 
@@ -106,7 +107,7 @@ fn candidates(
     result
 }
 
-fn select<'c>(candidates: &'c [Candidate], policy: CutSelectionPolicy) -> Option<&'c Candidate> {
+fn select(candidates: &[Candidate], policy: CutSelectionPolicy) -> Option<&Candidate> {
     match policy {
         CutSelectionPolicy::MinRegisters => candidates.iter().min_by(|a, b| {
             a.additional_registers
@@ -341,8 +342,8 @@ mod tests {
     fn policies_and_cut_heuristics_are_available() {
         let kernel = paper_example();
         let analysis = ReuseAnalysis::of(&kernel);
-        let min_reg = critical_path_aware_with(&kernel, &analysis, 64, &CpaOptions::default())
-            .unwrap();
+        let min_reg =
+            critical_path_aware_with(&kernel, &analysis, 64, &CpaOptions::default()).unwrap();
         let max_benefit = critical_path_aware_with(
             &kernel,
             &analysis,

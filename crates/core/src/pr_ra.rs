@@ -116,7 +116,10 @@ mod tests {
         for budget in [5, 16, 32, 64, 128, 256] {
             let fr = full_reuse(&kernel, &analysis, budget).unwrap();
             let pr = partial_reuse(&kernel, &analysis, budget).unwrap();
-            assert!(pr.total_registers() >= fr.total_registers(), "budget {budget}");
+            assert!(
+                pr.total_registers() >= fr.total_registers(),
+                "budget {budget}"
+            );
             assert!(pr.total_registers() <= budget);
             // Every reference gets at least what FR-RA gave it.
             for r in &fr {

@@ -63,11 +63,7 @@ pub struct ReplacementPlan {
 
 impl ReplacementPlan {
     /// Builds the plan for an allocation.
-    pub fn new(
-        kernel: &Kernel,
-        analysis: &ReuseAnalysis,
-        allocation: &RegisterAllocation,
-    ) -> Self {
+    pub fn new(kernel: &Kernel, analysis: &ReuseAnalysis, allocation: &RegisterAllocation) -> Self {
         let refs = analysis
             .iter()
             .map(|summary| {

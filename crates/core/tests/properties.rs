@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use srra_core::{
-    allocate, critical_path_aware_with, memory_cost, AllocatorKind, CpaOptions,
-    CutSelectionPolicy, MemoryCostModel, ReplacementMode, ReplacementPlan,
+    allocate, critical_path_aware_with, memory_cost, AllocatorKind, CpaOptions, CutSelectionPolicy,
+    MemoryCostModel, ReplacementMode, ReplacementPlan,
 };
 use srra_ir::{Kernel, KernelBuilder};
 use srra_reuse::ReuseAnalysis;

@@ -82,10 +82,7 @@ impl<'k> Builder<'k> {
                 let lhs_node = self.build_expr(lhs, statement);
                 let rhs_node = self.build_expr(rhs, statement);
                 let node = self.graph.add_node(
-                    NodeKind::Binary {
-                        op: *op,
-                        statement,
-                    },
+                    NodeKind::Binary { op: *op, statement },
                     format!("{}#{}", op.mnemonic(), statement),
                 );
                 self.graph.add_edge(lhs_node, node);
@@ -95,10 +92,7 @@ impl<'k> Builder<'k> {
             Expr::Unary { op, operand } => {
                 let operand_node = self.build_expr(operand, statement);
                 let node = self.graph.add_node(
-                    NodeKind::Unary {
-                        op: *op,
-                        statement,
-                    },
+                    NodeKind::Unary { op: *op, statement },
                     format!("{}#{}", op.mnemonic(), statement),
                 );
                 self.graph.add_edge(operand_node, node);

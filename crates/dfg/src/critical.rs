@@ -248,11 +248,7 @@ mod tests {
         // a/b (1) -> op1 (2) -> d (1) -> op2 (2) -> e (1) = 7 cycles.
         assert_eq!(analysis.critical_length(), 7);
         let cg = analysis.critical_graph();
-        let labels: Vec<&str> = cg
-            .nodes()
-            .iter()
-            .map(|&n| dfg.node(n).label())
-            .collect();
+        let labels: Vec<&str> = cg.nodes().iter().map(|&n| dfg.node(n).label()).collect();
         assert!(labels.contains(&"a[k]"));
         assert!(labels.contains(&"b[k][j]"));
         assert!(labels.contains(&"d[i][k]"));

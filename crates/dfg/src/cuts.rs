@@ -254,8 +254,7 @@ mod tests {
         let cg = analysis.critical_graph();
         for cut in find_cuts(&dfg, cg) {
             for drop in &cut {
-                let reduced: BTreeSet<NodeId> =
-                    cut.iter().copied().filter(|n| n != drop).collect();
+                let reduced: BTreeSet<NodeId> = cut.iter().copied().filter(|n| n != drop).collect();
                 assert!(
                     !is_blocking(cg, &reduced),
                     "cut {cut:?} is not minimal (can drop {drop:?})"

@@ -1,0 +1,199 @@
+//! Multi-objective Pareto-frontier extraction over evaluated design points.
+//!
+//! The three minimised objectives are the ones the paper trades against each
+//! other: total execution cycles (performance), logic slices (area) and
+//! registers used (the scarce resource the allocators ration).
+
+use crate::store::PointRecord;
+
+/// Returns `true` when `a` dominates `b`: no worse on every objective and
+/// strictly better on at least one.
+pub fn dominates(a: &PointRecord, b: &PointRecord) -> bool {
+    let no_worse = a.total_cycles <= b.total_cycles
+        && a.slices <= b.slices
+        && a.registers_used <= b.registers_used;
+    let strictly_better = a.total_cycles < b.total_cycles
+        || a.slices < b.slices
+        || a.registers_used < b.registers_used;
+    no_worse && strictly_better
+}
+
+/// Extracts the Pareto frontier (the mutually non-dominated subset) of the
+/// given records.
+///
+/// Infeasible records never enter the frontier.  Duplicate objective vectors
+/// keep their first representative.  The result is sorted by ascending total
+/// cycles, then slices, then registers, so renders are deterministic.
+pub fn pareto_frontier<'a, I>(records: I) -> Vec<PointRecord>
+where
+    I: IntoIterator<Item = &'a PointRecord>,
+{
+    let candidates: Vec<&PointRecord> = records.into_iter().filter(|r| r.feasible).collect();
+    let mut frontier: Vec<PointRecord> = Vec::new();
+    for (index, &candidate) in candidates.iter().enumerate() {
+        let dominated = candidates
+            .iter()
+            .any(|&other| !std::ptr::eq(other, candidate) && dominates(other, candidate));
+        let duplicate = candidates[..index].iter().any(|&earlier| {
+            earlier.total_cycles == candidate.total_cycles
+                && earlier.slices == candidate.slices
+                && earlier.registers_used == candidate.registers_used
+        });
+        if !dominated && !duplicate {
+            frontier.push(candidate.clone());
+        }
+    }
+    frontier.sort_by(|a, b| {
+        (a.total_cycles, a.slices, a.registers_used, &a.canonical).cmp(&(
+            b.total_cycles,
+            b.slices,
+            b.registers_used,
+            &b.canonical,
+        ))
+    });
+    frontier
+}
+
+/// The per-kernel winner of an exploration: the allocator reaching the fewest
+/// total cycles (ties broken by fewer registers, then the canonical key).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestAllocator {
+    /// Kernel name.
+    pub kernel: String,
+    /// Winning algorithm label.
+    pub algorithm: String,
+    /// The winning design point's budget.
+    pub budget: u64,
+    /// The winning design point's cycle count.
+    pub total_cycles: u64,
+    /// Whether the winning design fits on its evaluated device.
+    pub fits: bool,
+    /// Registers the winner spends.
+    pub registers_used: u64,
+    /// Cycle reduction versus the worst feasible point of the same kernel, in
+    /// percent.
+    pub reduction_vs_worst_pct: f64,
+}
+
+/// Summarises the best allocator per kernel, in first-appearance order of the
+/// kernels.
+pub fn best_allocators(records: &[PointRecord]) -> Vec<BestAllocator> {
+    let mut kernels: Vec<&str> = Vec::new();
+    for record in records {
+        if record.feasible && !kernels.contains(&record.kernel.as_str()) {
+            kernels.push(&record.kernel);
+        }
+    }
+    kernels
+        .into_iter()
+        .filter_map(|kernel| {
+            let feasible: Vec<&PointRecord> = records
+                .iter()
+                .filter(|r| r.feasible && r.kernel == kernel)
+                .collect();
+            let best = feasible
+                .iter()
+                .min_by_key(|r| (r.total_cycles, r.registers_used, &r.canonical))?;
+            let worst_cycles = feasible
+                .iter()
+                .map(|r| r.total_cycles)
+                .max()
+                .unwrap_or(best.total_cycles);
+            let reduction = if worst_cycles == 0 {
+                0.0
+            } else {
+                100.0 * (worst_cycles as f64 - best.total_cycles as f64) / worst_cycles as f64
+            };
+            Some(BestAllocator {
+                kernel: kernel.to_owned(),
+                algorithm: best.algorithm.clone(),
+                budget: best.budget,
+                total_cycles: best.total_cycles,
+                fits: best.fits,
+                registers_used: best.registers_used,
+                reduction_vs_worst_pct: reduction,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kernel: &str, algo: &str, cycles: u64, slices: u64, regs: u64) -> PointRecord {
+        PointRecord {
+            key: crate::space::fnv1a_64(format!("{kernel}/{algo}/{cycles}").as_bytes()),
+            canonical: format!("kernel={kernel};algo={algo};c={cycles};s={slices};r={regs}"),
+            kernel: kernel.to_owned(),
+            algorithm: algo.to_owned(),
+            version: "v?".to_owned(),
+            budget: regs,
+            ram_latency: 2,
+            device: "XCV1000-BG560".to_owned(),
+            feasible: true,
+            fits: true,
+            registers_used: regs,
+            total_cycles: cycles,
+            compute_cycles: cycles,
+            memory_cycles: 0,
+            transfer_cycles: 0,
+            clock_period_ns: 10.0,
+            execution_time_us: cycles as f64 / 100.0,
+            slices,
+            block_rams: 1,
+            distribution: String::new(),
+        }
+    }
+
+    #[test]
+    fn domination_is_strict_somewhere() {
+        let a = record("k", "A", 100, 50, 8);
+        let b = record("k", "B", 100, 50, 8);
+        let c = record("k", "C", 100, 60, 8);
+        assert!(!dominates(&a, &b), "equal vectors do not dominate");
+        assert!(dominates(&a, &c));
+        assert!(!dominates(&c, &a));
+    }
+
+    #[test]
+    fn frontier_drops_dominated_and_duplicate_points() {
+        let points = vec![
+            record("k", "A", 100, 50, 8),
+            record("k", "B", 90, 60, 8), // trades cycles for slices: stays
+            record("k", "C", 110, 55, 9), // dominated by A
+            record("k", "D", 100, 50, 8), // duplicate of A
+        ];
+        let frontier = pareto_frontier(&points);
+        assert_eq!(frontier.len(), 2);
+        assert_eq!(frontier[0].algorithm, "B");
+        assert_eq!(frontier[1].algorithm, "A");
+    }
+
+    #[test]
+    fn infeasible_points_never_enter_the_frontier() {
+        let mut bad = record("k", "X", 1, 1, 1);
+        bad.feasible = false;
+        let points = vec![bad, record("k", "A", 100, 50, 8)];
+        let frontier = pareto_frontier(&points);
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].algorithm, "A");
+    }
+
+    #[test]
+    fn best_allocators_pick_the_cycle_minimum_per_kernel() {
+        let points = vec![
+            record("fir", "FR-RA", 200, 50, 8),
+            record("fir", "CPA-RA", 120, 55, 8),
+            record("mat", "CPA-RA", 400, 70, 16),
+            record("mat", "PR-RA", 500, 60, 16),
+        ];
+        let best = best_allocators(&points);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].kernel, "fir");
+        assert_eq!(best[0].algorithm, "CPA-RA");
+        assert!((best[0].reduction_vs_worst_pct - 40.0).abs() < 1e-9);
+        assert_eq!(best[1].kernel, "mat");
+        assert_eq!(best[1].algorithm, "CPA-RA");
+    }
+}

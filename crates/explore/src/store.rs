@@ -1,0 +1,705 @@
+//! Content-addressed result stores: an in-memory map and a persistent
+//! JSON-lines backend.
+//!
+//! The layering follows the `StorageBase` / `Storage` split common in embedded
+//! storage APIs: [`StoreBase`] carries the error type and the cheap queries,
+//! [`ResultStore`] adds typed get/put.  Records are keyed by the FNV-1a hash of
+//! the design point's canonical string; `get` re-checks the canonical string so
+//! a (vanishingly unlikely) hash collision degrades to a cache miss instead of
+//! returning the wrong record.
+
+use std::collections::HashMap;
+use std::convert::Infallible;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The persisted outcome of evaluating one design point.
+///
+/// `feasible` is `false` when the allocator rejected the point (register budget
+/// below the kernel's reference count); all metric fields are zero in that
+/// case.  `fits` records whether the design's slice and BlockRAM usage fits the
+/// evaluated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// FNV-1a hash of `canonical` — the store key.
+    pub key: u64,
+    /// The canonical design-point string (see `DesignPoint::canonical`).
+    pub canonical: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Algorithm label (`FR-RA`, `PR-RA`, `CPA-RA`, ...).
+    pub algorithm: String,
+    /// Table 1 version name (`v1`, `v2`, `v3`, ...).
+    pub version: String,
+    /// Register budget the point was evaluated with.
+    pub budget: u64,
+    /// RAM access latency in cycles.
+    pub ram_latency: u64,
+    /// Device name.
+    pub device: String,
+    /// Whether the allocator accepted the point.
+    pub feasible: bool,
+    /// Whether the design fits on the device.
+    pub fits: bool,
+    /// Registers consumed by the allocation.
+    pub registers_used: u64,
+    /// Total execution cycles.
+    pub total_cycles: u64,
+    /// Datapath / loop-control cycles.
+    pub compute_cycles: u64,
+    /// Steady-state RAM access cycles (at `ram_latency`).
+    pub memory_cycles: u64,
+    /// Prologue/epilogue transfer cycles.
+    pub transfer_cycles: u64,
+    /// Achievable clock period in nanoseconds.
+    pub clock_period_ns: f64,
+    /// Wall-clock execution time in microseconds.
+    pub execution_time_us: f64,
+    /// Logic slices occupied.
+    pub slices: u64,
+    /// BlockRAMs occupied.
+    pub block_rams: u64,
+    /// Per-reference register distribution.
+    pub distribution: String,
+}
+
+fn escape_json(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl PointRecord {
+    /// Encodes the record as one line of JSON (no trailing newline).
+    ///
+    /// The encoding is hand-rolled (the workspace's `serde` is an offline no-op
+    /// shim) and fixed-order, so identical records encode to identical bytes.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        let _ = write!(out, "\"key\":\"{:#018x}\"", self.key);
+        for (name, value) in [
+            ("canonical", &self.canonical),
+            ("kernel", &self.kernel),
+            ("algorithm", &self.algorithm),
+            ("version", &self.version),
+        ] {
+            let _ = write!(out, ",\"{name}\":\"");
+            escape_json(&mut out, value);
+            out.push('"');
+        }
+        let _ = write!(out, ",\"budget\":{}", self.budget);
+        let _ = write!(out, ",\"ram_latency\":{}", self.ram_latency);
+        let _ = write!(out, ",\"device\":\"");
+        escape_json(&mut out, &self.device);
+        out.push('"');
+        let _ = write!(out, ",\"feasible\":{}", self.feasible);
+        let _ = write!(out, ",\"fits\":{}", self.fits);
+        let _ = write!(out, ",\"registers_used\":{}", self.registers_used);
+        let _ = write!(out, ",\"total_cycles\":{}", self.total_cycles);
+        let _ = write!(out, ",\"compute_cycles\":{}", self.compute_cycles);
+        let _ = write!(out, ",\"memory_cycles\":{}", self.memory_cycles);
+        let _ = write!(out, ",\"transfer_cycles\":{}", self.transfer_cycles);
+        // `{:?}` prints the shortest representation that round-trips exactly,
+        // so parse(encode(x)) == x bit-for-bit.
+        let _ = write!(out, ",\"clock_period_ns\":{:?}", self.clock_period_ns);
+        let _ = write!(out, ",\"execution_time_us\":{:?}", self.execution_time_us);
+        let _ = write!(out, ",\"slices\":{}", self.slices);
+        let _ = write!(out, ",\"block_rams\":{}", self.block_rams);
+        let _ = write!(out, ",\"distribution\":\"");
+        escape_json(&mut out, &self.distribution);
+        out.push('"');
+        out.push('}');
+        out
+    }
+
+    /// Decodes a record from one JSON line produced by
+    /// [`PointRecord::to_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem or missing field.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_object(line)?;
+        let text = |name: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == name) {
+                Some((_, JsonValue::Text(s))) => Ok(s.clone()),
+                Some(_) => Err(format!("field `{name}` is not a string")),
+                None => Err(format!("missing field `{name}`")),
+            }
+        };
+        let num = |name: &str| -> Result<u64, String> {
+            match fields.iter().find(|(k, _)| k == name) {
+                Some((_, JsonValue::Number(raw))) => raw
+                    .parse::<u64>()
+                    .map_err(|e| format!("field `{name}`: {e}")),
+                Some(_) => Err(format!("field `{name}` is not a number")),
+                None => Err(format!("missing field `{name}`")),
+            }
+        };
+        let float = |name: &str| -> Result<f64, String> {
+            match fields.iter().find(|(k, _)| k == name) {
+                Some((_, JsonValue::Number(raw))) => raw
+                    .parse::<f64>()
+                    .map_err(|e| format!("field `{name}`: {e}")),
+                Some(_) => Err(format!("field `{name}` is not a number")),
+                None => Err(format!("missing field `{name}`")),
+            }
+        };
+        let boolean = |name: &str| -> Result<bool, String> {
+            match fields.iter().find(|(k, _)| k == name) {
+                Some((_, JsonValue::Bool(b))) => Ok(*b),
+                Some(_) => Err(format!("field `{name}` is not a boolean")),
+                None => Err(format!("missing field `{name}`")),
+            }
+        };
+        let key_text = text("key")?;
+        let key_digits = key_text
+            .strip_prefix("0x")
+            .ok_or_else(|| format!("field `key`: expected 0x prefix, got `{key_text}`"))?;
+        let key = u64::from_str_radix(key_digits, 16).map_err(|e| format!("field `key`: {e}"))?;
+        Ok(Self {
+            key,
+            canonical: text("canonical")?,
+            kernel: text("kernel")?,
+            algorithm: text("algorithm")?,
+            version: text("version")?,
+            budget: num("budget")?,
+            ram_latency: num("ram_latency")?,
+            device: text("device")?,
+            feasible: boolean("feasible")?,
+            fits: boolean("fits")?,
+            registers_used: num("registers_used")?,
+            total_cycles: num("total_cycles")?,
+            compute_cycles: num("compute_cycles")?,
+            memory_cycles: num("memory_cycles")?,
+            transfer_cycles: num("transfer_cycles")?,
+            clock_period_ns: float("clock_period_ns")?,
+            execution_time_us: float("execution_time_us")?,
+            slices: num("slices")?,
+            block_rams: num("block_rams")?,
+            distribution: text("distribution")?,
+        })
+    }
+}
+
+enum JsonValue {
+    Text(String),
+    Number(String),
+    Bool(bool),
+}
+
+/// Parses a single-level JSON object with string / number / boolean values —
+/// exactly the shape [`PointRecord::to_json_line`] emits.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<String, String> {
+        if chars.next() != Some('"') {
+            return Err("expected `\"`".to_owned());
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => return Ok(out),
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let digits: String = (0..4).filter_map(|_| chars.next()).collect();
+                        let code = u32::from_str_radix(&digits, 16)
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u code point {code:#x}"))?,
+                        );
+                    }
+                    other => return Err(format!("bad escape `\\{other:?}`")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected `{`".to_owned());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let name = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Text(parse_string(&mut chars)?),
+            Some('t') | Some('f') => {
+                let word: String = std::iter::from_fn(|| {
+                    matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic())
+                        .then(|| chars.next())
+                        .flatten()
+                })
+                .collect();
+                match word.as_str() {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    other => return Err(format!("bad literal `{other}`")),
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let raw: String = std::iter::from_fn(|| {
+                    matches!(
+                        chars.peek(),
+                        Some(c) if c.is_ascii_digit()
+                            || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                    )
+                    .then(|| chars.next())
+                    .flatten()
+                })
+                .collect();
+                JsonValue::Number(raw)
+            }
+            other => return Err(format!("unexpected value start {other:?}")),
+        };
+        fields.push((name, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Base layer of the store stack: the error type and cheap queries.
+pub trait StoreBase {
+    /// Errors the backend can produce.
+    type Error: std::fmt::Debug;
+
+    /// Whether a record for `key` exists.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific (I/O for persistent stores).
+    fn contains(&self, key: u64) -> Result<bool, Self::Error>;
+
+    /// Number of records held.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific (I/O for persistent stores).
+    fn len(&self) -> Result<usize, Self::Error>;
+
+    /// Whether the store holds no records.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific (I/O for persistent stores).
+    fn is_empty(&self) -> Result<bool, Self::Error> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// Typed layer: content-addressed get/put of [`PointRecord`]s.
+pub trait ResultStore: StoreBase {
+    /// Looks up the record for `key`, verifying `canonical` to rule out hash
+    /// collisions.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific (I/O for persistent stores).
+    fn get(&self, key: u64, canonical: &str) -> Result<Option<PointRecord>, Self::Error>;
+
+    /// Inserts a record; returns `false` if the key was already present (the
+    /// stored record wins — results are immutable).
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific (I/O for persistent stores).
+    fn put(&mut self, record: &PointRecord) -> Result<bool, Self::Error>;
+}
+
+/// A purely in-memory store.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    records: HashMap<u64, PointRecord>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StoreBase for MemoryStore {
+    type Error = Infallible;
+
+    fn contains(&self, key: u64) -> Result<bool, Infallible> {
+        Ok(self.records.contains_key(&key))
+    }
+
+    fn len(&self) -> Result<usize, Infallible> {
+        Ok(self.records.len())
+    }
+}
+
+impl ResultStore for MemoryStore {
+    fn get(&self, key: u64, canonical: &str) -> Result<Option<PointRecord>, Infallible> {
+        Ok(self
+            .records
+            .get(&key)
+            .filter(|record| record.canonical == canonical)
+            .cloned())
+    }
+
+    fn put(&mut self, record: &PointRecord) -> Result<bool, Infallible> {
+        use std::collections::hash_map::Entry;
+        match self.records.entry(record.key) {
+            Entry::Occupied(_) => Ok(false),
+            Entry::Vacant(slot) => {
+                slot.insert(record.clone());
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Errors of the [`JsonlStore`] backend.
+#[derive(Debug)]
+pub enum JsonlError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A line of the store file is not a valid record.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonlError::Io(err) => write!(f, "cache I/O error: {err}"),
+            JsonlError::Parse { line, message } => {
+                write!(f, "cache parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+impl From<std::io::Error> for JsonlError {
+    fn from(err: std::io::Error) -> Self {
+        JsonlError::Io(err)
+    }
+}
+
+/// A persistent store: one JSON record per line, append-only.
+///
+/// On open, any existing file is loaded into an in-memory index; `put` appends
+/// a line and flushes, so a crashed run loses at most the record being written
+/// and concurrent readers always see complete lines.
+#[derive(Debug)]
+pub struct JsonlStore {
+    path: PathBuf,
+    index: HashMap<u64, PointRecord>,
+    writer: BufWriter<File>,
+}
+
+impl JsonlStore {
+    /// Opens (creating if needed) the store at `path`.
+    ///
+    /// A complete `put` always ends its line with `\n`, so a final line
+    /// without one is the half-written record of a killed run: it is dropped
+    /// and truncated away, keeping the crash-safety promise above.  A
+    /// malformed line *with* a terminator is genuine corruption and an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonlError::Io`] if the file cannot be read or created and
+    /// [`JsonlError::Parse`] if a newline-terminated line is corrupt.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, JsonlError> {
+        let path = path.as_ref().to_path_buf();
+        let mut index = HashMap::new();
+        let mut terminate_valid_tail = false;
+        if path.exists() {
+            let data = std::fs::read_to_string(&path)?;
+            let mut offset = 0;
+            let mut number = 0;
+            let mut truncate_at: Option<u64> = None;
+            while offset < data.len() {
+                let rest = &data[offset..];
+                let (line, consumed, terminated) = match rest.find('\n') {
+                    Some(pos) => (&rest[..pos], pos + 1, true),
+                    None => (rest, rest.len(), false),
+                };
+                number += 1;
+                if !line.trim().is_empty() {
+                    match PointRecord::from_json_line(line) {
+                        Ok(record) => {
+                            index.insert(record.key, record);
+                            // A parseable but unterminated tail stays; the
+                            // writer adds the missing newline before appending.
+                            terminate_valid_tail = !terminated;
+                        }
+                        Err(_) if !terminated => {
+                            truncate_at = Some(offset as u64);
+                        }
+                        Err(message) => {
+                            return Err(JsonlError::Parse {
+                                line: number,
+                                message,
+                            });
+                        }
+                    }
+                }
+                offset += consumed;
+            }
+            if let Some(len) = truncate_at {
+                OpenOptions::new().write(true).open(&path)?.set_len(len)?;
+            }
+        }
+        let mut writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
+        if terminate_valid_tail {
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
+        Ok(Self {
+            path,
+            index,
+            writer,
+        })
+    }
+
+    /// The file backing this store.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl StoreBase for JsonlStore {
+    type Error = JsonlError;
+
+    fn contains(&self, key: u64) -> Result<bool, JsonlError> {
+        Ok(self.index.contains_key(&key))
+    }
+
+    fn len(&self) -> Result<usize, JsonlError> {
+        Ok(self.index.len())
+    }
+}
+
+impl ResultStore for JsonlStore {
+    fn get(&self, key: u64, canonical: &str) -> Result<Option<PointRecord>, JsonlError> {
+        Ok(self
+            .index
+            .get(&key)
+            .filter(|record| record.canonical == canonical)
+            .cloned())
+    }
+
+    fn put(&mut self, record: &PointRecord) -> Result<bool, JsonlError> {
+        if self.index.contains_key(&record.key) {
+            return Ok(false);
+        }
+        let line = record.to_json_line();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.index.insert(record.key, record.clone());
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(key: u64) -> PointRecord {
+        PointRecord {
+            key,
+            canonical: format!("kernel=fir;algo=CPA-RA;budget={key};latency=2;device=XCV1000"),
+            kernel: "fir".to_owned(),
+            algorithm: "CPA-RA".to_owned(),
+            version: "v3".to_owned(),
+            budget: key,
+            ram_latency: 2,
+            device: "XCV1000-BG560".to_owned(),
+            feasible: true,
+            fits: true,
+            registers_used: 32,
+            total_cycles: 123_456,
+            compute_cycles: 100_000,
+            memory_cycles: 20_000,
+            transfer_cycles: 3_456,
+            clock_period_ns: 10.573,
+            execution_time_us: 1_305.312_048,
+            slices: 471,
+            block_rams: 3,
+            distribution: "a:30 b:1 \"c\":1".to_owned(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let record = sample_record(42);
+        let line = record.to_json_line();
+        let back = PointRecord::from_json_line(&line).expect("parses");
+        assert_eq!(back, record);
+        // Re-encoding is byte-identical.
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PointRecord::from_json_line("").is_err());
+        assert!(PointRecord::from_json_line("{}").is_err());
+        assert!(PointRecord::from_json_line("not json").is_err());
+        assert!(PointRecord::from_json_line("{\"key\":\"0x1\"").is_err());
+    }
+
+    #[test]
+    fn memory_store_is_content_addressed() {
+        let mut store = MemoryStore::new();
+        let record = sample_record(7);
+        assert!(!store.contains(7).unwrap());
+        assert!(store.put(&record).unwrap());
+        assert!(!store.put(&record).unwrap(), "second put is a no-op");
+        assert_eq!(store.len().unwrap(), 1);
+        assert_eq!(
+            store.get(7, &record.canonical).unwrap(),
+            Some(record.clone())
+        );
+        // A colliding key with a different canonical string is a miss.
+        assert_eq!(store.get(7, "other").unwrap(), None);
+    }
+
+    #[test]
+    fn jsonl_store_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("srra-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let first = sample_record(1);
+        let second = sample_record(2);
+        {
+            let mut store = JsonlStore::open(&path).unwrap();
+            assert!(store.is_empty().unwrap());
+            assert!(store.put(&first).unwrap());
+            assert!(store.put(&second).unwrap());
+        }
+        {
+            let mut store = JsonlStore::open(&path).unwrap();
+            assert_eq!(store.len().unwrap(), 2);
+            assert_eq!(store.get(1, &first.canonical).unwrap(), Some(first.clone()));
+            assert!(!store.put(&second).unwrap(), "reloaded keys dedupe puts");
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 2, "no duplicate lines written");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped_and_the_cache_stays_usable() {
+        let dir = std::env::temp_dir().join(format!("srra-store-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        let full = sample_record(1);
+        let half = sample_record(2).to_json_line();
+        // Simulate a killed run: a complete record plus half of the next one,
+        // with no trailing newline.
+        std::fs::write(
+            &path,
+            format!("{}\n{}", full.to_json_line(), &half[..half.len() / 2]),
+        )
+        .unwrap();
+        {
+            let mut store = JsonlStore::open(&path).expect("opens despite the torn tail");
+            assert_eq!(store.len().unwrap(), 1);
+            assert!(store.put(&sample_record(3)).unwrap());
+        }
+        // The torn tail was truncated away, so the appended record parses on
+        // reopen and nothing was lost but the half-written line.
+        let store = JsonlStore::open(&path).expect("reopens cleanly");
+        assert_eq!(store.len().unwrap(), 2);
+        assert!(store.contains(1).unwrap());
+        assert!(store.contains(3).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn valid_unterminated_tail_is_kept_and_newline_repaired() {
+        let dir = std::env::temp_dir().join(format!("srra-store-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        // A complete record whose newline never made it to disk.
+        std::fs::write(&path, sample_record(1).to_json_line()).unwrap();
+        {
+            let mut store = JsonlStore::open(&path).expect("opens");
+            assert_eq!(store.len().unwrap(), 1);
+            assert!(store.put(&sample_record(2)).unwrap());
+        }
+        let store = JsonlStore::open(&path).expect("reopens");
+        assert_eq!(
+            store.len().unwrap(),
+            2,
+            "records did not merge into one line"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_cache_lines_are_reported_with_line_numbers() {
+        let dir = std::env::temp_dir().join(format!("srra-store-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        std::fs::write(
+            &path,
+            format!("{}\nnot json\n", sample_record(1).to_json_line()),
+        )
+        .unwrap();
+        match JsonlStore::open(&path) {
+            Err(JsonlError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

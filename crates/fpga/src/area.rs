@@ -115,7 +115,10 @@ impl AreaModel {
                 ram_bits.insert(decl.name(), decl.total_bits());
             }
         }
-        let block_rams: u64 = ram_bits.values().map(|bits| device.block_rams_for(*bits)).sum();
+        let block_rams: u64 = ram_bits
+            .values()
+            .map(|bits| device.block_rams_for(*bits))
+            .sum();
         let address_slices = ram_bits.len() as u64 * self.address_gen_slices;
 
         let slices = self.control_slices

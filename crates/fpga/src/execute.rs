@@ -103,7 +103,9 @@ impl RegisterFile {
     }
 
     fn find(&mut self, element: &[i64]) -> Option<&mut (Vec<i64>, bool)> {
-        self.resident.iter_mut().find(|(coords, _)| coords == element)
+        self.resident
+            .iter_mut()
+            .find(|(coords, _)| coords == element)
     }
 
     /// Tries to insert an element.  Returns `(inserted, evicted_dirty)`.

@@ -86,7 +86,12 @@ impl ListScheduler {
         &self.limits
     }
 
-    fn resource_of(&self, dfg: &DataFlowGraph, node: NodeId, storage: &StorageMap) -> Option<(Resource, u32)> {
+    fn resource_of(
+        &self,
+        dfg: &DataFlowGraph,
+        node: NodeId,
+        storage: &StorageMap,
+    ) -> Option<(Resource, u32)> {
         match dfg.node(node).kind() {
             NodeKind::Reference { ref_id, array, .. } => {
                 if storage.storage(*ref_id) == Storage::Ram {
@@ -152,10 +157,7 @@ impl ListScheduler {
                 if scheduled[node.index()] {
                     continue;
                 }
-                let preds_done = dfg
-                    .predecessors(node)
-                    .iter()
-                    .all(|p| scheduled[p.index()]);
+                let preds_done = dfg.predecessors(node).iter().all(|p| scheduled[p.index()]);
                 if !preds_done {
                     continue;
                 }
@@ -234,8 +236,7 @@ mod tests {
         for name in ["a", "b", "d", "e"] {
             storage.set(table.find_by_name(name).unwrap().id(), Storage::Register);
         }
-        let schedule =
-            ListScheduler::default().schedule(&dfg, &LatencyModel::default(), &storage);
+        let schedule = ListScheduler::default().schedule(&dfg, &LatencyModel::default(), &storage);
         assert_eq!(schedule.cycles(), 4);
     }
 

@@ -263,8 +263,12 @@ mod tests {
 
     #[test]
     fn add_and_sub_are_inverse() {
-        let a = AffineExpr::constant(3).with_term(l(0), 2).with_term(l(1), -1);
-        let b = AffineExpr::constant(-5).with_term(l(1), 4).with_term(l(2), 1);
+        let a = AffineExpr::constant(3)
+            .with_term(l(0), 2)
+            .with_term(l(1), -1);
+        let b = AffineExpr::constant(-5)
+            .with_term(l(1), 4)
+            .with_term(l(2), 1);
         let sum = a.add(&b);
         assert_eq!(sum.coefficient(l(0)), 2);
         assert_eq!(sum.coefficient(l(1)), 3);
@@ -283,7 +287,9 @@ mod tests {
     #[test]
     fn eval_matches_manual_computation() {
         // 3 + 2*i - j
-        let e = AffineExpr::constant(3).with_term(l(0), 2).with_term(l(1), -1);
+        let e = AffineExpr::constant(3)
+            .with_term(l(0), 2)
+            .with_term(l(1), -1);
         assert_eq!(e.eval(&[4, 5]), 3 + 8 - 5);
         // missing dimensions are treated as zero
         assert_eq!(e.eval(&[4]), 3 + 8);
@@ -304,7 +310,9 @@ mod tests {
 
     #[test]
     fn render_uses_names_and_falls_back() {
-        let e = AffineExpr::constant(1).with_term(l(0), 1).with_term(l(2), -2);
+        let e = AffineExpr::constant(1)
+            .with_term(l(0), 1)
+            .with_term(l(2), -2);
         assert_eq!(e.render(&["i", "j", "k"]), "i - 2*k + 1");
         assert_eq!(e.render(&["i"]), "i - 2*i2 + 1");
         assert_eq!(AffineExpr::zero().render(&[]), "0");

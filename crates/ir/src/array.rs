@@ -106,7 +106,8 @@ impl ArrayDecl {
 
     /// Total storage footprint of the array in bits.
     pub fn total_bits(&self) -> u64 {
-        self.element_count().saturating_mul(u64::from(self.elem_bits))
+        self.element_count()
+            .saturating_mul(u64::from(self.elem_bits))
     }
 }
 
@@ -245,7 +246,10 @@ mod tests {
     fn render_produces_c_like_reference() {
         let r = ArrayRef::new(
             ArrayId::new(0),
-            vec![AffineExpr::index(l(0)), AffineExpr::index(l(2)).with_constant(2)],
+            vec![
+                AffineExpr::index(l(0)),
+                AffineExpr::index(l(2)).with_constant(2),
+            ],
             AccessKind::Read,
         );
         assert_eq!(r.render("d", &["i", "j", "k"]), "d[i][k + 2]");
@@ -254,7 +258,10 @@ mod tests {
     #[test]
     fn with_access_flips_kind() {
         let r = ArrayRef::new(ArrayId::new(0), vec![], AccessKind::Read);
-        assert_eq!(r.clone().with_access(AccessKind::Write).access(), AccessKind::Write);
+        assert_eq!(
+            r.clone().with_access(AccessKind::Write).access(),
+            AccessKind::Write
+        );
         assert_eq!(ArrayId::new(3).to_string(), "A3");
     }
 }

@@ -98,7 +98,9 @@ impl KernelBuilder {
     /// Affine subscript equal to `scale * loop + offset` (e.g. the decimated index of
     /// the Dec-FIR kernel).
     pub fn scaled_idx(&self, loop_id: LoopId, scale: i64, offset: i64) -> AffineExpr {
-        AffineExpr::zero().with_term(loop_id, scale).with_constant(offset)
+        AffineExpr::zero()
+            .with_term(loop_id, scale)
+            .with_constant(offset)
     }
 
     /// Affine subscript equal to the sum of two loop indices (sliding-window access).
@@ -187,11 +189,7 @@ impl KernelBuilder {
     pub fn store(&self, array: ArrayId, subscripts: &[AffineExpr], value: ExprHandle) {
         let value = self.resolve(value);
         self.statements.borrow_mut().push(Statement::new(
-            StoreTarget::Array(ArrayRef::new(
-                array,
-                subscripts.to_vec(),
-                AccessKind::Write,
-            )),
+            StoreTarget::Array(ArrayRef::new(array, subscripts.to_vec(), AccessKind::Write)),
             value,
         ));
     }

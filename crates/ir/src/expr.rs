@@ -214,11 +214,19 @@ impl Expr {
     }
 
     /// Convenience constructor for `lhs + rhs`.
+    ///
+    /// Not `std::ops::Add`: this is an associated constructor taking both
+    /// operands by value, not a method on `self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(lhs: Expr, rhs: Expr) -> Self {
         Expr::binary(BinOp::Add, lhs, rhs)
     }
 
     /// Convenience constructor for `lhs * rhs`.
+    ///
+    /// Not `std::ops::Mul`: this is an associated constructor taking both
+    /// operands by value, not a method on `self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(lhs: Expr, rhs: Expr) -> Self {
         Expr::binary(BinOp::Mul, lhs, rhs)
     }

@@ -42,7 +42,7 @@ pub fn validate_kernel(kernel: &Kernel) -> Result<(), IrError> {
                 name: a.name().to_owned(),
             });
         }
-        if a.rank() == 0 || a.dims().iter().any(|&d| d == 0) {
+        if a.rank() == 0 || a.dims().contains(&0) {
             return Err(IrError::InvalidArrayShape {
                 array: a.name().to_owned(),
             });
@@ -176,7 +176,10 @@ mod tests {
             body_reading(0, AffineExpr::index(LoopId::new(0)).with_constant(6)),
         )
         .unwrap_err();
-        assert!(matches!(err, IrError::SubscriptOutOfBounds { value: 13, .. }));
+        assert!(matches!(
+            err,
+            IrError::SubscriptOutOfBounds { value: 13, .. }
+        ));
     }
 
     #[test]
@@ -187,7 +190,10 @@ mod tests {
             body_reading(0, AffineExpr::index(LoopId::new(0)).with_constant(-1)),
         )
         .unwrap_err();
-        assert!(matches!(err, IrError::SubscriptOutOfBounds { value: -1, .. }));
+        assert!(matches!(
+            err,
+            IrError::SubscriptOutOfBounds { value: -1, .. }
+        ));
     }
 
     #[test]

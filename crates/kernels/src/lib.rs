@@ -70,8 +70,14 @@ pub fn paper_suite() -> Vec<KernelSpec> {
             "Decimating FIR filter: 4096-sample input, 64 taps, decimation 4",
         ),
         spec(mat::paper(), "Matrix-matrix multiply: 32 x 32"),
-        spec(imi::paper(), "Image interpolation: two 64 x 64 images, 16 steps"),
-        spec(pat::paper(), "Pattern matching: 16-char pattern in a 4096 string"),
+        spec(
+            imi::paper(),
+            "Image interpolation: two 64 x 64 images, 16 steps",
+        ),
+        spec(
+            pat::paper(),
+            "Pattern matching: 16-char pattern in a 4096 string",
+        ),
         spec(
             bic::paper(),
             "Binary image correlation: 8 x 8 template over a 64 x 64 image",

@@ -199,7 +199,10 @@ impl ReuseAnalysis {
 
     /// Total registers required to fully replace every reference.
     pub fn total_registers_full(&self) -> u64 {
-        self.summaries.iter().map(ReuseSummary::registers_full).sum()
+        self.summaries
+            .iter()
+            .map(ReuseSummary::registers_full)
+            .sum()
     }
 
     /// Total memory accesses without any replacement.

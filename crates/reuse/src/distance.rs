@@ -60,10 +60,7 @@ impl DependenceDistance {
     /// The outermost loop with a non-zero component, i.e. the loop that carries the
     /// reuse.  `None` for loop-independent reuse.
     pub fn carrying_loop(&self) -> Option<LoopId> {
-        self.distance
-            .iter()
-            .position(|&d| d != 0)
-            .map(LoopId::new)
+        self.distance.iter().position(|&d| d != 0).map(LoopId::new)
     }
 }
 
@@ -187,10 +184,7 @@ mod tests {
         let pairs = group_reuse_pairs(&kernel);
         // in[i] / in[i+1] / in[i+2] give three forward pairs:
         // in[i+1] -> in[i] distance 1, in[i+2] -> in[i+1] distance 1, in[i+2] -> in[i] distance 2.
-        let distances: Vec<i64> = pairs
-            .iter()
-            .map(|p| p.distance.components()[0])
-            .collect();
+        let distances: Vec<i64> = pairs.iter().map(|p| p.distance.components()[0]).collect();
         assert_eq!(pairs.len(), 3);
         assert!(distances.contains(&1));
         assert!(distances.contains(&2));
@@ -213,10 +207,7 @@ mod tests {
         let i = b.add_loop("i", 8);
         let a = b.add_array("a", &[16], 16);
         let t = b.add_array("t", &[16], 16);
-        let sum = b.add(
-            b.read(a, &[b.idx(i)]),
-            b.read(a, &[b.scaled_idx(i, 2, 0)]),
-        );
+        let sum = b.add(b.read(a, &[b.idx(i)]), b.read(a, &[b.scaled_idx(i, 2, 0)]));
         b.store(t, &[b.idx(i)], sum);
         let kernel = b.build().unwrap();
         let table = kernel.reference_table();

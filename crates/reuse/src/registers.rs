@@ -127,9 +127,8 @@ mod tests {
         let kernel = paper_example();
         let table = kernel.reference_table();
         let nest = kernel.nest();
-        let regs = |name: &str| {
-            registers_for_full_replacement(table.find_by_name(name).unwrap(), nest)
-        };
+        let regs =
+            |name: &str| registers_for_full_replacement(table.find_by_name(name).unwrap(), nest);
         assert_eq!(regs("a"), 30);
         assert_eq!(regs("b"), 600);
         assert_eq!(regs("c"), 20);
@@ -208,7 +207,10 @@ mod tests {
         let j = b.add_loop("j", 8);
         let x = b.add_array("x", &[8, 8], 16);
         let s = b.add_array("s", &[1], 32);
-        let sum = b.add(b.read(s, &[b.constant(0)]), b.read(x, &[b.idx(i), b.idx(j)]));
+        let sum = b.add(
+            b.read(s, &[b.constant(0)]),
+            b.read(x, &[b.idx(i), b.idx(j)]),
+        );
         b.store(s, &[b.constant(0)], sum);
         let kernel = b.build().unwrap();
         let table = kernel.reference_table();

@@ -41,8 +41,7 @@ impl AccessCounts {
             .occurrences()
             .iter()
             .filter(|o| {
-                !(o.access.is_read()
-                    && first_write.map(|w| w < o.statement).unwrap_or(false))
+                !(o.access.is_read() && first_write.map(|w| w < o.statement).unwrap_or(false))
             })
             .count() as u64;
         let total = memory_occurrences.saturating_mul(total_iterations);
@@ -63,8 +62,7 @@ impl AccessCounts {
                     .fold(1u64, |acc, &t| acc.saturating_mul(t));
                 let distinct = footprint(reference, nest, reuse.index());
                 let has_unforwarded_read = reference.occurrences().iter().any(|o| {
-                    o.access.is_read()
-                        && !first_write.map(|w| w < o.statement).unwrap_or(false)
+                    o.access.is_read() && !first_write.map(|w| w < o.statement).unwrap_or(false)
                 });
                 let directions =
                     (u64::from(has_unforwarded_read) + u64::from(reference.has_write())).max(1);

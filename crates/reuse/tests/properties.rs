@@ -22,7 +22,10 @@ fn generated_kernel(ni: u64, nj: u64, nk: u64, window: bool) -> Kernel {
     let sink = b.add_array("sink", &[ni, nj, nk], 16);
 
     let stream_subscript = if window { b.idx_sum(j, k) } else { b.idx(k) };
-    let product = b.mul(b.read(coeff, &[b.idx(k)]), b.read(stream, &[stream_subscript]));
+    let product = b.mul(
+        b.read(coeff, &[b.idx(k)]),
+        b.read(stream, &[stream_subscript]),
+    );
     let sum = b.add(b.read(acc, &[b.idx(i), b.idx(j)]), product);
     b.store(acc, &[b.idx(i), b.idx(j)], sum);
     b.store(sink, &[b.idx(i), b.idx(j), b.idx(k)], product);

@@ -1,0 +1,29 @@
+//! Offline stand-in for the parts of `serde` the workspace touches.
+//!
+//! The srra crates derive `Serialize` / `Deserialize` on their value types so
+//! downstream users with the real `serde` get wire formats for free, but the
+//! offline build environment has no registry access.  This shim keeps those
+//! derives compiling: the derive macros (re-exported from the `serde_derive`
+//! shim) expand to nothing and these marker traits carry no methods.
+//!
+//! Nothing in the workspace performs serde-based serialization — the
+//! `srra-explore` persistent result store writes its own line-oriented JSON —
+//! so swapping this shim for the real `serde` is a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (method-free).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (method-free, lifetime kept for
+/// signature compatibility).
+pub trait Deserialize<'de>: Sized {}
+
+/// Stand-ins for the `serde::de` module.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to a crate registry, so the workspace
+//! ships this no-op replacement: `#[derive(Serialize, Deserialize)]` parses and
+//! expands to nothing.  The marker traits live in the sibling `serde` shim; no
+//! actual serialization code is generated.  Code that needs real persistence
+//! (the `srra-explore` JSONL result store) hand-rolls its encoding instead of
+//! relying on these derives.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+///
+/// Accepts (and ignores) `#[serde(...)]` helper attributes so annotated types
+/// keep compiling if they ever gain them.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,54 @@
+//! Design-space exploration example: sweep the FIR kernel over register
+//! budgets, RAM latencies and two devices, cache every result on disk, and
+//! print the Pareto frontier plus the best-allocator summary.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example explore_pareto
+//! ```
+//!
+//! Running it a second time answers every design point from the JSONL cache
+//! (watch the hit count) and prints byte-identical tables.
+
+use srra_core::AllocatorKind;
+use srra_explore::{
+    best_allocators, pareto_frontier, render_best_allocators, render_frontier, DesignSpace,
+    Explorer, JsonlStore,
+};
+use srra_fpga::DeviceModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = srra_kernels::fir::paper()?;
+    let space = DesignSpace::new()
+        .with_kernel(kernel)
+        .with_allocators(&[
+            AllocatorKind::FullReuse,
+            AllocatorKind::PartialReuse,
+            AllocatorKind::CriticalPathAware,
+            AllocatorKind::KnapsackOptimal,
+        ])
+        .with_budgets(&[8, 16, 32, 64, 128])
+        .with_ram_latencies(&[1, 2, 4])
+        .with_devices(vec![DeviceModel::xcv1000(), DeviceModel::xcv300()]);
+    println!(
+        "exploring {} design points of the `fir` kernel...\n",
+        space.len()
+    );
+
+    let cache_path = std::env::temp_dir().join("srra-explore-example.jsonl");
+    let mut store = JsonlStore::open(&cache_path)?;
+    let run = Explorer::new(4).explore(&space, &mut store)?;
+    println!(
+        "{} cache hits, {} evaluated (cache: {})\n",
+        run.cache_hits,
+        run.evaluated,
+        cache_path.display()
+    );
+
+    let frontier = pareto_frontier(&run.records);
+    print!("{}", render_frontier("fir", &frontier));
+    println!();
+    print!("{}", render_best_allocators(&best_allocators(&run.records)));
+    Ok(())
+}

@@ -27,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Critical graph and cuts with everything still in RAM.
-    let analysis = CriticalPathAnalysis::new(&dfg, &LatencyModel::default(), &StorageMap::all_ram());
+    let analysis =
+        CriticalPathAnalysis::new(&dfg, &LatencyModel::default(), &StorageMap::all_ram());
     println!(
         "critical path length with all references in RAM: {} cycles",
         analysis.critical_length()

@@ -12,9 +12,11 @@
 //! * [`srra_core`] — the FR-RA / PR-RA / CPA-RA allocation algorithms,
 //! * [`srra_fpga`] — the FPGA execution, clock and area models,
 //! * [`srra_kernels`] — the six evaluation kernels,
+//! * [`srra_explore`] — parallel design-space exploration, result caching and
+//!   Pareto frontiers,
 //! * [`srra_bench`] — the Table 1 / Figure 2 reproduction harness.
 //!
-//! # Example
+//! # Example — evaluate one design point
 //!
 //! ```
 //! use srra::prelude::*;
@@ -26,10 +28,31 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Quickstart — sweep a design space and extract the Pareto frontier
+//!
+//! Three lines take a kernel from specification to the set of non-dominated
+//! (cycles × slices × registers) design points; swap [`MemoryStore`] for a
+//! [`srra_explore::JsonlStore`] to persist results so repeated sweeps never
+//! re-evaluate a point:
+//!
+//! ```
+//! use srra::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let space = DesignSpace::for_kernels([srra_kernels::fir::fir(64, 8)?])
+//!     .with_budgets(&[8, 16, 32, 64]);
+//! let run = Explorer::new(4).explore(&space, &mut MemoryStore::new())?;
+//! let frontier = srra_explore::pareto_frontier(&run.records);
+//! assert!(!frontier.is_empty());
+//! # Ok(())
+//! # }
+//! ```
 
 pub use srra_bench;
 pub use srra_core;
 pub use srra_dfg;
+pub use srra_explore;
 pub use srra_fpga;
 pub use srra_ir;
 pub use srra_kernels;
@@ -39,6 +62,7 @@ pub use srra_reuse;
 pub mod prelude {
     pub use srra_core::{AllocatorKind, RegisterAllocation};
     pub use srra_dfg::DataFlowGraph;
+    pub use srra_explore::{DesignSpace, Exploration, Explorer, JsonlStore, MemoryStore};
     pub use srra_fpga::{DeviceModel, HardwareDesign};
     pub use srra_ir::{ArrayRef, Kernel, LoopNest};
     pub use srra_reuse::ReuseAnalysis;

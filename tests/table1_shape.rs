@@ -10,7 +10,8 @@ fn table1_has_all_kernels_and_versions() {
     for kernel in ["fir", "dec_fir", "mat", "imi", "pat", "bic"] {
         for version in ["v1", "v2", "v3"] {
             assert!(
-                rows.iter().any(|r| r.kernel == kernel && r.version == version),
+                rows.iter()
+                    .any(|r| r.kernel == kernel && r.version == version),
                 "missing {kernel} {version}"
             );
         }
