@@ -2,7 +2,8 @@
 # CI gate for the srra workspace:
 #   1. formatting          (cargo fmt --check)
 #   2. lints as errors     (cargo clippy --workspace -- -D warnings)
-#   3. tier-1 verification (cargo build --release && cargo test -q)
+#   3. doc warnings as errors (RUSTDOCFLAGS="-D warnings" cargo doc --no-deps)
+#   4. tier-1 verification (cargo build --release && cargo test -q)
 #
 # Run from the repository root: ./ci.sh
 set -euo pipefail
@@ -13,6 +14,9 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo '==> RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps'
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo build --release"
 cargo build --release

@@ -1,10 +1,10 @@
 //! Reproduction of Figure 2(c): the running example under the three allocators.
 
 use serde::{Deserialize, Serialize};
-use srra_core::AllocatorKind;
+use srra_core::{AllocatorRegistry, CompiledKernel};
 use srra_ir::examples::paper_example;
 
-use crate::evaluate_kernel;
+use crate::evaluate_compiled;
 
 /// One allocator's row of the Figure 2(c) reproduction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,14 +31,14 @@ pub const FIGURE2_BUDGET: u64 = 64;
 ///
 /// Never panics: the running example always satisfies the 64-register budget.
 pub fn figure2() -> Vec<Figure2Row> {
-    let kernel = paper_example();
-    AllocatorKind::paper_versions()
+    let kernel = CompiledKernel::new(paper_example());
+    AllocatorRegistry::paper_versions()
         .into_iter()
-        .map(|kind| {
-            let outcome = evaluate_kernel(&kernel, kind, FIGURE2_BUDGET)
+        .map(|allocator| {
+            let outcome = evaluate_compiled(&kernel, allocator, FIGURE2_BUDGET)
                 .expect("running example fits the budget");
             Figure2Row {
-                algorithm: kind.label().to_owned(),
+                algorithm: allocator.label().to_owned(),
                 distribution: outcome.allocation.distribution(),
                 total_registers: outcome.allocation.total_registers(),
                 memory_cycles_per_outer_iteration: outcome.cost.memory_cycles_per_outer_iteration,

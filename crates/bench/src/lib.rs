@@ -3,10 +3,10 @@
 //! The paper reports two result sets:
 //!
 //! * **Figure 2(c)** — the running example's register distributions and memory cycles
-//!   for FR-RA, PR-RA and CPA-RA with the same register budget ([`figure2`]),
+//!   for FR-RA, PR-RA and CPA-RA with the same register budget ([`figure2()`]),
 //! * **Table 1** — six kernels × three design versions (`v1` = FR-RA, `v2` = PR-RA,
 //!   `v3` = CPA-RA) with register distribution, execution cycles, clock period,
-//!   wall-clock time, slices and BlockRAMs ([`table1`]), plus the aggregate
+//!   wall-clock time, slices and BlockRAMs ([`table1()`]), plus the aggregate
 //!   improvement percentages quoted in the text ([`Table1Summary`]).
 //!
 //! The binaries `table1`, `figure2` and `sweep` print these reproductions; the Criterion
@@ -26,15 +26,14 @@ pub use report::{figure2_csv, sweep_csv, table1_csv};
 pub use sweep::{
     budget_sweep, budget_sweep_cached, ram_latency_sweep, ram_latency_sweep_cached, SweepPoint,
 };
-pub use table1::{render_table1, summarize, table1, Table1Row, Table1Summary};
+pub use table1::{render_table1, summarize, table1, table1_for, Table1Row, Table1Summary};
 
 use srra_core::{
-    allocate, memory_cost, AllocError, AllocatorKind, MemoryCostModel, MemoryCostReport,
-    RegisterAllocation,
+    memory_cost, AllocError, AllocatorKind, AllocatorRef, CompiledKernel, MemoryCostModel,
+    MemoryCostReport, RegisterAllocation,
 };
 use srra_fpga::{DeviceModel, EvaluationOptions, HardwareDesign};
 use srra_ir::Kernel;
-use srra_reuse::ReuseAnalysis;
 
 /// Everything the harness derives for one (kernel, algorithm, budget) triple.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,8 +46,50 @@ pub struct KernelOutcome {
     pub design: HardwareDesign,
 }
 
+/// Runs the allocation → cost model → hardware design estimate pipeline against
+/// a shared [`CompiledKernel`] context with default models.
+///
+/// The context's memoized reuse analysis is computed on first use, so
+/// evaluating several (strategy, budget) pairs of one kernel — as
+/// [`table1()`] and [`figure2()`] do — analyses the kernel exactly once.
+///
+/// # Errors
+///
+/// Propagates [`AllocError`] from the allocation strategy (empty kernel or a
+/// budget smaller than the number of references).
+pub fn evaluate_compiled(
+    kernel: &CompiledKernel,
+    allocator: AllocatorRef,
+    budget: u64,
+) -> Result<KernelOutcome, AllocError> {
+    let allocation = allocator.allocate(kernel, budget)?;
+    let cost = memory_cost(
+        kernel.kernel(),
+        kernel.analysis(),
+        &allocation,
+        &MemoryCostModel::default(),
+    );
+    let design = HardwareDesign::evaluate(
+        kernel.kernel(),
+        kernel.analysis(),
+        &allocation,
+        &DeviceModel::xcv1000(),
+        &EvaluationOptions::default(),
+    );
+    Ok(KernelOutcome {
+        allocation,
+        cost,
+        design,
+    })
+}
+
 /// Runs the complete pipeline (reuse analysis → allocation → cost model → hardware
 /// design estimate) for one kernel with default models.
+///
+/// Compatibility shim over [`evaluate_compiled`] for one-shot callers; it
+/// builds a throwaway [`CompiledKernel`], so every call re-analyses the
+/// kernel.  Callers evaluating several strategies or budgets should build the
+/// context once and use [`evaluate_compiled`].
 ///
 /// # Errors
 ///
@@ -59,21 +100,7 @@ pub fn evaluate_kernel(
     kind: AllocatorKind,
     budget: u64,
 ) -> Result<KernelOutcome, AllocError> {
-    let analysis = ReuseAnalysis::of(kernel);
-    let allocation = allocate(kind, kernel, &analysis, budget)?;
-    let cost = memory_cost(kernel, &analysis, &allocation, &MemoryCostModel::default());
-    let design = HardwareDesign::evaluate(
-        kernel,
-        &analysis,
-        &allocation,
-        &DeviceModel::xcv1000(),
-        &EvaluationOptions::default(),
-    );
-    Ok(KernelOutcome {
-        allocation,
-        cost,
-        design,
-    })
+    evaluate_compiled(&CompiledKernel::new(kernel.clone()), kind.into(), budget)
 }
 
 #[cfg(test)]

@@ -1,11 +1,10 @@
 //! Reproduction of Table 1: six kernels × three register-allocation versions.
 
 use serde::{Deserialize, Serialize};
-use srra_core::AllocatorKind;
+use srra_core::{AllocatorRegistry, CompiledKernel};
 use srra_kernels::{paper_suite, KernelSpec};
-use srra_reuse::ReuseAnalysis;
 
-use crate::evaluate_kernel;
+use crate::evaluate_compiled;
 
 /// One row of the Table 1 reproduction (one kernel under one allocation algorithm).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,9 +59,9 @@ pub struct Table1Summary {
     pub avg_v3_over_v2_cycle_gain_pct: f64,
 }
 
-fn required_registers(spec: &KernelSpec) -> String {
-    let analysis = ReuseAnalysis::of(&spec.kernel);
-    analysis
+fn required_registers(kernel: &CompiledKernel) -> String {
+    kernel
+        .analysis()
         .iter()
         .map(|s| format!("{}:{}", s.array_name(), s.registers_full()))
         .collect::<Vec<_>>()
@@ -72,24 +71,27 @@ fn required_registers(spec: &KernelSpec) -> String {
 /// Computes the Table 1 rows for the given kernel suite.
 ///
 /// Rows come in kernel order, with the three versions (`v1`, `v2`, `v3`) of each kernel
-/// adjacent, exactly like the paper's table.  Kernels whose reference count exceeds the
-/// register budget are skipped (this cannot happen for the paper suite).
+/// adjacent, exactly like the paper's table.  Each kernel is analysed exactly once —
+/// the "required registers" column and all three versions share one [`CompiledKernel`]
+/// context.  Kernels whose reference count exceeds the register budget are skipped
+/// (this cannot happen for the paper suite).
 pub fn table1_for(suite: &[KernelSpec]) -> Vec<Table1Row> {
+    let [v1_ref, ..] = AllocatorRegistry::paper_versions();
     let mut rows = Vec::new();
     for spec in suite {
-        let required = required_registers(spec);
-        let Ok(v1) = evaluate_kernel(&spec.kernel, AllocatorKind::FullReuse, spec.register_budget)
-        else {
+        let compiled = spec.compiled();
+        let required = required_registers(&compiled);
+        let Ok(v1) = evaluate_compiled(&compiled, v1_ref, spec.register_budget) else {
             continue;
         };
-        for kind in AllocatorKind::paper_versions() {
-            let Ok(outcome) = evaluate_kernel(&spec.kernel, kind, spec.register_budget) else {
+        for allocator in AllocatorRegistry::paper_versions() {
+            let Ok(outcome) = evaluate_compiled(&compiled, allocator, spec.register_budget) else {
                 continue;
             };
             rows.push(Table1Row {
-                kernel: spec.kernel.name().to_owned(),
-                version: kind.version_name().to_owned(),
-                algorithm: kind.label().to_owned(),
+                kernel: compiled.name().to_owned(),
+                version: allocator.version_name().to_owned(),
+                algorithm: allocator.label().to_owned(),
                 required_registers: required.clone(),
                 distribution: outcome.allocation.distribution(),
                 total_registers: outcome.allocation.total_registers(),

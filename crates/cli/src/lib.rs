@@ -20,37 +20,50 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use srra_bench::{evaluate_kernel, figure2, render_figure2, render_table1, table1};
-use srra_core::AllocatorKind;
-use srra_dfg::{to_dot, CriticalPathAnalysis, DataFlowGraph, LatencyModel, StorageMap};
+use srra_bench::{evaluate_compiled, figure2, render_figure2, render_table1, table1};
+use srra_core::{AllocatorRef, AllocatorRegistry, CompiledKernel};
 use srra_explore::{
     exploration_csv, render_exploration, DesignSpace, Exploration, Explorer, JsonlStore,
     MemoryStore, ResultStore,
 };
 use srra_fpga::DeviceModel;
-use srra_ir::{examples::paper_example, Kernel};
+use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
-use srra_reuse::ReuseAnalysis;
 
 /// Usage text printed for `srra help` and on argument errors.
-pub const USAGE: &str = "usage: srra <command> [args]\n\
+///
+/// The algorithm lists are generated from the [`AllocatorRegistry`], so a new
+/// registered strategy shows up here without touching the CLI.
+pub fn usage() -> &'static str {
+    static USAGE: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    USAGE.get_or_init(|| {
+        let algos = AllocatorRegistry::global()
+            .names()
+            .collect::<Vec<_>>()
+            .join(" | ");
+        format!(
+            "usage: srra <command> [args]\n\
   kernels                        list built-in kernels\n\
   analyze  <kernel>              print the data-reuse analysis\n\
-  allocate <kernel> <algo> <N>   allocate N registers (algo: fr | pr | cpa | ks | none)\n\
+  allocate <kernel> <algo> <N>   allocate N registers (algo: {algos})\n\
   dot      <kernel>              print the DFG + critical graph in Graphviz format\n\
   figure2                        reproduce the paper's Figure 2(c)\n\
   table1                         reproduce the paper's Table 1\n\
   explore [options]              parallel design-space sweep with Pareto output\n\
     --kernel  <k[,k...]|all>     kernels to sweep (default: all six paper kernels)\n\
-    --algos   <a[,a...]>         algorithms (default: fr,pr,cpa)\n\
+    --algos   <a[,a...]>         algorithms (default: fr,pr,cpa; available: {algos})\n\
     --budgets <n[,n...]>         register budgets (default: 32)\n\
     --latencies <n[,n...]>       RAM latencies in cycles (default: 2)\n\
     --devices <d[,d...]>         xcv1000 and/or xcv300 (default: xcv1000)\n\
     --jobs    <n>                worker threads (default: all CPUs)\n\
     --cache   <path>             persistent JSONL result cache\n\
     --csv                        emit every design point as CSV instead of tables\n\
+    --stats-json <path>          write cache statistics as JSON to a file\n\
     (cache statistics go to stderr so stdout is identical across cached re-runs)\n\
-  help                           show this text";
+  help                           show this text"
+        )
+    })
+}
 
 /// Errors reported to the user as text plus a non-zero exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,14 +77,14 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-fn kernel_by_name(name: &str) -> Result<Kernel, CliError> {
+fn kernel_by_name(name: &str) -> Result<CompiledKernel, CliError> {
     if name == "example" {
-        return Ok(paper_example());
+        return Ok(CompiledKernel::new(paper_example()));
     }
     paper_suite()
         .into_iter()
         .find(|spec| spec.kernel.name() == name)
-        .map(|spec| spec.kernel)
+        .map(|spec| spec.compiled())
         .ok_or_else(|| {
             CliError(format!(
                 "unknown kernel `{name}`; expected example, fir, dec_fir, mat, imi, pat or bic"
@@ -79,17 +92,16 @@ fn kernel_by_name(name: &str) -> Result<Kernel, CliError> {
         })
 }
 
-fn algorithm_by_name(name: &str) -> Result<AllocatorKind, CliError> {
-    match name.to_ascii_lowercase().as_str() {
-        "fr" | "fr-ra" | "v1" => Ok(AllocatorKind::FullReuse),
-        "pr" | "pr-ra" | "v2" => Ok(AllocatorKind::PartialReuse),
-        "cpa" | "cpa-ra" | "v3" => Ok(AllocatorKind::CriticalPathAware),
-        "ks" | "knapsack" => Ok(AllocatorKind::KnapsackOptimal),
-        "none" | "base" => Ok(AllocatorKind::NoReplacement),
-        other => Err(CliError(format!(
-            "unknown algorithm `{other}`; expected fr, pr, cpa, ks or none"
-        ))),
-    }
+fn algorithm_by_name(name: &str) -> Result<AllocatorRef, CliError> {
+    AllocatorRegistry::global().get(name).ok_or_else(|| {
+        let known = AllocatorRegistry::global()
+            .names()
+            .collect::<Vec<_>>()
+            .join(", ");
+        CliError(format!(
+            "unknown algorithm `{name}`; expected one of: {known}"
+        ))
+    })
 }
 
 fn cmd_kernels() -> String {
@@ -107,13 +119,13 @@ fn cmd_kernels() -> String {
 
 fn cmd_analyze(name: &str) -> Result<String, CliError> {
     let kernel = kernel_by_name(name)?;
-    let analysis = ReuseAnalysis::of(&kernel);
-    let mut out = format!("{kernel}\n");
+    let analysis = kernel.analysis();
+    let mut out = format!("{}\n", kernel.kernel());
     out.push_str(&format!(
         "{:<20} {:>10} {:>12} {:>12} {:>10}\n",
         "reference", "R_full", "accesses", "eliminable", "gamma"
     ));
-    for summary in &analysis {
+    for summary in analysis {
         out.push_str(&format!(
             "{:<20} {:>10} {:>12} {:>12} {:>10.1}\n",
             summary.rendered(),
@@ -132,15 +144,15 @@ fn cmd_analyze(name: &str) -> Result<String, CliError> {
 
 fn cmd_allocate(name: &str, algo: &str, budget: &str) -> Result<String, CliError> {
     let kernel = kernel_by_name(name)?;
-    let kind = algorithm_by_name(algo)?;
+    let allocator = algorithm_by_name(algo)?;
     let budget: u64 = budget
         .parse()
         .map_err(|_| CliError(format!("invalid register budget `{budget}`")))?;
-    let outcome = evaluate_kernel(&kernel, kind, budget)
+    let outcome = evaluate_compiled(&kernel, allocator, budget)
         .map_err(|e| CliError(format!("allocation failed: {e}")))?;
     let mut out = format!(
         "{} on {} with {budget} registers\n",
-        kind.label(),
+        allocator.label(),
         kernel.name()
     );
     out.push_str(&format!(
@@ -160,14 +172,15 @@ fn cmd_allocate(name: &str, algo: &str, budget: &str) -> Result<String, CliError
 
 /// Parsed form of the `explore` subcommand's flags.
 struct ExploreArgs {
-    kernels: Vec<Kernel>,
-    allocators: Vec<AllocatorKind>,
+    kernels: Vec<CompiledKernel>,
+    allocators: Vec<AllocatorRef>,
     budgets: Vec<u64>,
     latencies: Vec<u64>,
     devices: Vec<DeviceModel>,
     jobs: usize,
     cache: Option<String>,
     csv: bool,
+    stats_json: Option<String>,
 }
 
 fn parse_u64_list(flag: &str, value: &str) -> Result<Vec<u64>, CliError> {
@@ -195,7 +208,7 @@ fn device_by_name(name: &str) -> Result<DeviceModel, CliError> {
 fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, CliError> {
     let mut parsed = ExploreArgs {
         kernels: Vec::new(),
-        allocators: AllocatorKind::paper_versions().to_vec(),
+        allocators: AllocatorRegistry::paper_versions().to_vec(),
         budgets: vec![32],
         latencies: vec![2],
         devices: vec![DeviceModel::xcv1000()],
@@ -204,6 +217,7 @@ fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, CliError> {
             .unwrap_or(1),
         cache: None,
         csv: false,
+        stats_json: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -222,7 +236,7 @@ fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, CliError> {
                     if name == "all" {
                         parsed
                             .kernels
-                            .extend(paper_suite().into_iter().map(|spec| spec.kernel));
+                            .extend(paper_suite().iter().map(|spec| spec.compiled()));
                     } else {
                         parsed.kernels.push(kernel_by_name(name)?);
                     }
@@ -258,11 +272,17 @@ fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, CliError> {
             }
             "--cache" => parsed.cache = Some(value("--cache")?),
             "--csv" => parsed.csv = true,
-            other => return Err(CliError(format!("unknown explore flag `{other}`\n{USAGE}"))),
+            "--stats-json" => parsed.stats_json = Some(value("--stats-json")?),
+            other => {
+                return Err(CliError(format!(
+                    "unknown explore flag `{other}`\n{}",
+                    usage()
+                )))
+            }
         }
     }
     if parsed.kernels.is_empty() {
-        parsed.kernels = paper_suite().into_iter().map(|spec| spec.kernel).collect();
+        parsed.kernels = paper_suite().iter().map(|spec| spec.compiled()).collect();
     }
     if parsed.budgets.is_empty()
         || parsed.latencies.is_empty()
@@ -276,11 +296,30 @@ fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, CliError> {
     Ok(parsed)
 }
 
+/// Machine-readable summary of one exploration's cache behaviour.
+struct ExploreStats {
+    points: usize,
+    cache_hits: usize,
+    evaluated: usize,
+    jobs: usize,
+    store_records: usize,
+}
+
+impl ExploreStats {
+    /// Hand-rolled JSON (the workspace's serde is an offline no-op shim).
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"points\":{},\"cache_hits\":{},\"evaluated\":{},\"jobs\":{},\"store_records\":{}}}\n",
+            self.points, self.cache_hits, self.evaluated, self.jobs, self.store_records
+        )
+    }
+}
+
 fn explore_with_store<S>(
     space: &DesignSpace,
     jobs: usize,
     store: &mut S,
-) -> Result<Exploration, CliError>
+) -> Result<(Exploration, ExploreStats), CliError>
 where
     S: ResultStore,
     S::Error: std::fmt::Display,
@@ -291,17 +330,20 @@ where
     let stored = store
         .len()
         .map_err(|err| CliError(format!("exploration failed: {err}")))?;
+    let stats = ExploreStats {
+        points: run.records.len(),
+        cache_hits: run.cache_hits,
+        evaluated: run.evaluated,
+        jobs,
+        store_records: stored,
+    };
     // Stats go to stderr so stdout stays byte-identical between a cold run and
     // a fully cached re-run.
     eprintln!(
         "explore: {} points, {} cache hits, {} evaluated with {} jobs (store holds {} records)",
-        run.records.len(),
-        run.cache_hits,
-        run.evaluated,
-        jobs,
-        stored
+        stats.points, stats.cache_hits, stats.evaluated, stats.jobs, stats.store_records
     );
-    Ok(run)
+    Ok((run, stats))
 }
 
 fn cmd_explore(args: &[String]) -> Result<String, CliError> {
@@ -312,7 +354,7 @@ fn cmd_explore(args: &[String]) -> Result<String, CliError> {
         .with_budgets(&parsed.budgets)
         .with_ram_latencies(&parsed.latencies)
         .with_devices(parsed.devices);
-    let run = match &parsed.cache {
+    let (run, stats) = match &parsed.cache {
         Some(path) => {
             let mut store = JsonlStore::open(path)
                 .map_err(|err| CliError(format!("cannot open cache `{path}`: {err}")))?;
@@ -320,6 +362,10 @@ fn cmd_explore(args: &[String]) -> Result<String, CliError> {
         }
         None => explore_with_store(&space, parsed.jobs, &mut MemoryStore::new())?,
     };
+    if let Some(path) = &parsed.stats_json {
+        std::fs::write(path, stats.to_json())
+            .map_err(|err| CliError(format!("cannot write stats to `{path}`: {err}")))?;
+    }
     Ok(if parsed.csv {
         exploration_csv(&run)
     } else {
@@ -329,10 +375,7 @@ fn cmd_explore(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_dot(name: &str) -> Result<String, CliError> {
     let kernel = kernel_by_name(name)?;
-    let dfg = DataFlowGraph::from_kernel(&kernel);
-    let analysis =
-        CriticalPathAnalysis::new(&dfg, &LatencyModel::default(), &StorageMap::all_ram());
-    Ok(to_dot(&dfg, Some(&analysis)))
+    Ok(srra_dfg::to_dot(kernel.dfg(), Some(kernel.critical_path())))
 }
 
 /// Runs one CLI invocation and returns the text to print.
@@ -343,8 +386,8 @@ fn cmd_dot(name: &str) -> Result<String, CliError> {
 /// kernels/algorithms or malformed numbers.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     match args {
-        [] => Ok(USAGE.to_owned()),
-        [cmd] if cmd == "help" || cmd == "--help" || cmd == "-h" => Ok(USAGE.to_owned()),
+        [] => Ok(usage().to_owned()),
+        [cmd] if cmd == "help" || cmd == "--help" || cmd == "-h" => Ok(usage().to_owned()),
         [cmd] if cmd == "kernels" => Ok(cmd_kernels()),
         [cmd] if cmd == "figure2" => Ok(render_figure2(&figure2())),
         [cmd] if cmd == "table1" => Ok(render_table1(&table1())),
@@ -353,8 +396,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         [cmd, kernel, algo, budget] if cmd == "allocate" => cmd_allocate(kernel, algo, budget),
         [cmd, rest @ ..] if cmd == "explore" => cmd_explore(rest),
         _ => Err(CliError(format!(
-            "unrecognised arguments: {}\n{USAGE}",
-            args.join(" ")
+            "unrecognised arguments: {}\n{}",
+            args.join(" "),
+            usage()
         ))),
     }
 }
@@ -369,9 +413,20 @@ mod tests {
 
     #[test]
     fn help_and_empty_invocations_print_usage() {
-        assert_eq!(run(&args(&[])).unwrap(), USAGE);
-        assert_eq!(run(&args(&["help"])).unwrap(), USAGE);
-        assert_eq!(run(&args(&["--help"])).unwrap(), USAGE);
+        assert_eq!(run(&args(&[])).unwrap(), usage());
+        assert_eq!(run(&args(&["help"])).unwrap(), usage());
+        assert_eq!(run(&args(&["--help"])).unwrap(), usage());
+    }
+
+    #[test]
+    fn usage_lists_every_registered_algorithm() {
+        // The algo lists are generated from the registry: a strategy that only
+        // exists as a registry entry (greedy) still shows up.
+        for name in AllocatorRegistry::global().names() {
+            assert!(usage().contains(name), "usage misses {name}");
+        }
+        assert!(usage().contains("greedy"));
+        assert!(usage().contains("--stats-json"));
     }
 
     #[test]
@@ -392,10 +447,81 @@ mod tests {
 
     #[test]
     fn allocate_runs_every_algorithm_alias() {
-        for algo in ["fr", "pr", "cpa", "ks", "none", "v3", "CPA-RA"] {
+        for algo in [
+            "fr", "pr", "cpa", "ks", "none", "v3", "CPA-RA", "greedy", "GR-RA",
+        ] {
             let out = run(&args(&["allocate", "example", algo, "64"])).unwrap();
             assert!(out.contains("distribution"), "algo {algo}");
         }
+    }
+
+    #[test]
+    fn registry_only_strategies_flow_through_explore_untouched() {
+        // `greedy` has no AllocatorKind variant and is never named by the
+        // explore/bench/cli layers; resolving it here proves a new allocator
+        // needs only its impl + registry entry.
+        let out = run(&args(&[
+            "explore",
+            "--kernel",
+            "fir",
+            "--algos",
+            "greedy,cpa",
+            "--budgets",
+            "8,32",
+            "--jobs",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("GR-RA"));
+        assert!(out.contains("CPA-RA"));
+    }
+
+    #[test]
+    fn explore_stats_json_writes_machine_readable_stats() {
+        // Per-process dir: concurrent test runs must not share cache files.
+        let dir = std::env::temp_dir().join(format!("srra-cli-stats-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stats_path = dir.join("stats.json");
+        let cache_path = dir.join("cache.jsonl");
+        let _ = std::fs::remove_file(&stats_path);
+        let _ = std::fs::remove_file(&cache_path);
+        let explore_args = |stats: &std::path::Path| {
+            args(&[
+                "explore",
+                "--kernel",
+                "fir",
+                "--budgets",
+                "8,16",
+                "--jobs",
+                "1",
+                "--cache",
+                cache_path.to_str().unwrap(),
+                "--stats-json",
+                stats.to_str().unwrap(),
+            ])
+        };
+        let cold_out = run(&explore_args(&stats_path)).unwrap();
+        let cold_stats = std::fs::read_to_string(&stats_path).unwrap();
+        assert_eq!(
+            cold_stats.trim(),
+            "{\"points\":6,\"cache_hits\":0,\"evaluated\":6,\"jobs\":1,\"store_records\":6}"
+        );
+        // Warm re-run: stdout stays byte-identical, the stats file tells the
+        // two runs apart.
+        let warm_out = run(&explore_args(&stats_path)).unwrap();
+        let warm_stats = std::fs::read_to_string(&stats_path).unwrap();
+        assert_eq!(warm_out, cold_out);
+        assert_eq!(
+            warm_stats.trim(),
+            "{\"points\":6,\"cache_hits\":6,\"evaluated\":0,\"jobs\":1,\"store_records\":6}"
+        );
+        let _ = std::fs::remove_file(&stats_path);
+        let _ = std::fs::remove_file(&cache_path);
+    }
+
+    #[test]
+    fn explore_stats_json_requires_a_value() {
+        assert!(run(&args(&["explore", "--stats-json"])).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The `srra` command-line binary; see [`srra_cli::USAGE`].
+//! The `srra` command-line binary; see [`srra_cli::usage`].
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

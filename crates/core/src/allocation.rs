@@ -3,7 +3,14 @@ use srra_dfg::{Storage, StorageMap};
 use srra_ir::RefId;
 use srra_reuse::{ReuseAnalysis, ReuseSummary};
 
-/// The register allocation algorithm that produced a [`RegisterAllocation`].
+use crate::registry::AllocatorRef;
+
+/// The five register-allocation strategies that predate the open registry.
+///
+/// This enum is kept as a stable, matchable handle for the built-in
+/// strategies; each variant maps to a [`crate::AllocatorRegistry`] entry via
+/// `AllocatorRef::from(kind)`.  New strategies are registry entries only and
+/// have no variant here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum AllocatorKind {
@@ -166,7 +173,7 @@ impl RefAllocation {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegisterAllocation {
     kernel_name: String,
-    algorithm: AllocatorKind,
+    algorithm: AllocatorRef,
     budget: u64,
     refs: Vec<RefAllocation>,
 }
@@ -174,7 +181,7 @@ pub struct RegisterAllocation {
 impl RegisterAllocation {
     pub(crate) fn new(
         kernel_name: impl Into<String>,
-        algorithm: AllocatorKind,
+        algorithm: AllocatorRef,
         budget: u64,
         refs: Vec<RefAllocation>,
     ) -> Self {
@@ -191,8 +198,12 @@ impl RegisterAllocation {
         &self.kernel_name
     }
 
-    /// The algorithm that produced the allocation.
-    pub fn algorithm(&self) -> AllocatorKind {
+    /// The strategy that produced the allocation.
+    ///
+    /// Compares equal to an [`AllocatorKind`] when the strategy is one of the
+    /// five built-ins, so `allocation.algorithm() == AllocatorKind::FullReuse`
+    /// keeps working.
+    pub fn algorithm(&self) -> AllocatorRef {
         self.algorithm
     }
 
@@ -299,7 +310,7 @@ pub(crate) fn mode_for(summary: &ReuseSummary, beta: u64) -> ReplacementMode {
 /// modes with [`mode_for`] except for references explicitly forced to a mode.
 pub(crate) fn build_allocation(
     kernel_name: &str,
-    algorithm: AllocatorKind,
+    algorithm: AllocatorRef,
     budget: u64,
     analysis: &ReuseAnalysis,
     betas: &[u64],
@@ -379,7 +390,7 @@ mod tests {
             .collect();
         let allocation = build_allocation(
             kernel.name(),
-            AllocatorKind::FullReuse,
+            AllocatorKind::FullReuse.into(),
             64,
             &analysis,
             &betas,

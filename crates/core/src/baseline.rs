@@ -16,7 +16,7 @@ pub fn no_replacement(kernel: &Kernel, analysis: &ReuseAnalysis) -> RegisterAllo
         .iter()
         .map(|summary| RefAllocation::new(summary, 0, ReplacementMode::None))
         .collect();
-    RegisterAllocation::new(kernel.name(), AllocatorKind::NoReplacement, 0, refs)
+    RegisterAllocation::new(kernel.name(), AllocatorKind::NoReplacement.into(), 0, refs)
 }
 
 #[cfg(test)]

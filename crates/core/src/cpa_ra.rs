@@ -140,8 +140,39 @@ pub fn critical_path_aware_with(
     budget: u64,
     options: &CpaOptions,
 ) -> Result<RegisterAllocation, AllocError> {
+    critical_path_aware_on_dfg(
+        kernel,
+        analysis,
+        &DataFlowGraph::from_kernel(kernel),
+        budget,
+        options,
+    )
+}
+
+/// CPA-RA over a [`crate::CompiledKernel`]: reuses the context's memoized
+/// reuse analysis *and* data-flow graph instead of re-deriving either.
+pub(crate) fn critical_path_aware_compiled(
+    compiled: &crate::CompiledKernel,
+    budget: u64,
+    options: &CpaOptions,
+) -> Result<RegisterAllocation, AllocError> {
+    critical_path_aware_on_dfg(
+        compiled.kernel(),
+        compiled.analysis(),
+        compiled.dfg(),
+        budget,
+        options,
+    )
+}
+
+fn critical_path_aware_on_dfg(
+    kernel: &Kernel,
+    analysis: &ReuseAnalysis,
+    dfg: &DataFlowGraph,
+    budget: u64,
+    options: &CpaOptions,
+) -> Result<RegisterAllocation, AllocError> {
     check_budget(analysis, budget)?;
-    let dfg = DataFlowGraph::from_kernel(kernel);
 
     // Feasibility: one register per reference, like the greedy variants.
     let mut betas = vec![1u64; analysis.len()];
@@ -149,7 +180,7 @@ pub fn critical_path_aware_with(
     let mut forced_partial: Vec<RefId> = Vec::new();
 
     while remaining > 0 {
-        let candidates = candidates(&dfg, analysis, &betas, options);
+        let candidates = candidates(dfg, analysis, &betas, options);
         let Some(best) = select(&candidates, options.policy) else {
             break;
         };
@@ -207,7 +238,7 @@ pub fn critical_path_aware_with(
 
     Ok(build_allocation(
         kernel.name(),
-        AllocatorKind::CriticalPathAware,
+        AllocatorKind::CriticalPathAware.into(),
         budget,
         analysis,
         &betas,

@@ -17,9 +17,15 @@ pub(crate) fn check_budget(analysis: &ReuseAnalysis, budget: u64) -> Result<(), 
     Ok(())
 }
 
-/// Computes the β vector shared by FR-RA and PR-RA: one feasibility register per
-/// reference, then full upgrades in descending benefit/cost order while they fit.
-pub(crate) fn full_reuse_betas(analysis: &ReuseAnalysis, budget: u64) -> Vec<u64> {
+/// Shared scaffold of the greedy full-replacement allocators (FR-RA, GR-RA):
+/// one feasibility register per reference, the everything-fits fast path, then
+/// full upgrades in the caller's visit order while they fit.  Only the visit
+/// order distinguishes the strategies.
+pub(crate) fn greedy_full_betas<'a>(
+    analysis: &ReuseAnalysis,
+    budget: u64,
+    order: impl IntoIterator<Item = &'a srra_reuse::ReuseSummary>,
+) -> Vec<u64> {
     let mut betas = vec![1u64; analysis.len()];
     let mut remaining = budget - analysis.len() as u64;
 
@@ -32,7 +38,7 @@ pub(crate) fn full_reuse_betas(analysis: &ReuseAnalysis, budget: u64) -> Vec<u64
         return betas;
     }
 
-    for summary in analysis.sorted_by_benefit_cost() {
+    for summary in order {
         if !summary.has_reuse() {
             continue;
         }
@@ -43,6 +49,12 @@ pub(crate) fn full_reuse_betas(analysis: &ReuseAnalysis, budget: u64) -> Vec<u64
         }
     }
     betas
+}
+
+/// Computes the β vector shared by FR-RA and PR-RA: one feasibility register per
+/// reference, then full upgrades in descending benefit/cost order while they fit.
+pub(crate) fn full_reuse_betas(analysis: &ReuseAnalysis, budget: u64) -> Vec<u64> {
+    greedy_full_betas(analysis, budget, analysis.sorted_by_benefit_cost())
 }
 
 /// FR-RA: Full Reuse Register Allocation.
@@ -87,7 +99,7 @@ pub fn full_reuse(
     let betas = full_reuse_betas(analysis, budget);
     Ok(build_allocation(
         kernel.name(),
-        AllocatorKind::FullReuse,
+        AllocatorKind::FullReuse.into(),
         budget,
         analysis,
         &betas,

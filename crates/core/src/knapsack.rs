@@ -106,7 +106,7 @@ pub fn knapsack_optimal(
 
     Ok(build_allocation(
         kernel.name(),
-        AllocatorKind::KnapsackOptimal,
+        AllocatorKind::KnapsackOptimal.into(),
         budget,
         analysis,
         &betas,

@@ -15,7 +15,36 @@
 //! * [`knapsack_optimal`] — an exact 0/1-knapsack baseline maximising eliminated
 //!   memory accesses (the "simple objective function" the paper formulates and then
 //!   improves upon),
-//! * [`no_replacement`] — the untransformed code, every access goes to RAM.
+//! * [`no_replacement`] — the untransformed code, every access goes to RAM,
+//! * [`greedy_savings`] — **GR-RA**: greedy by absolute eliminated accesses, the
+//!   registry's extensibility demonstration.
+//!
+//! # The allocator registry
+//!
+//! Strategies are open, not a closed enum: anything implementing the
+//! [`Allocator`] trait can be registered in an [`AllocatorRegistry`] and then
+//! drives every downstream layer (the `srra-explore` sweep engine, the
+//! `srra-bench` harness, the CLI) without those layers naming it.
+//! [`AllocatorRegistry::global`] holds the built-ins in deterministic order
+//! (`none`, `fr`, `pr`, `cpa`, `ks`, `greedy`); [`AllocatorRegistry::get`]
+//! resolves names, labels (`CPA-RA`), version names (`v3`) and aliases,
+//! case-insensitively.  [`AllocatorRef`] is the copyable handle the pipeline
+//! carries around; [`AllocatorKind`] remains as a stable, matchable handle for
+//! the five pre-registry strategies and converts via `AllocatorRef::from`.
+//!
+//! # The `CompiledKernel` lifecycle
+//!
+//! Allocators take a [`CompiledKernel`]: the kernel bundled with
+//! lazily-memoized, allocation-independent artifacts (reuse analysis,
+//! data-flow graph, baseline critical path).  Construct one per kernel
+//! (`CompiledKernel::new(kernel)` or `kernel.into()`), share it by reference
+//! across as many strategies, budgets and threads as needed — each artifact is
+//! computed at most once per context, on first use — and drop it when the
+//! kernel leaves scope.  A sweep over N design points of one kernel therefore
+//! performs exactly one reuse analysis.  The legacy
+//! [`allocate`]`(kind, kernel, analysis, budget)` entry point remains as a thin
+//! shim that seeds a context with the caller's analysis and dispatches through
+//! the registry.
 //!
 //! The resulting [`RegisterAllocation`] can be costed with [`memory_cost`], turned into
 //! a code-generation-level [`ReplacementPlan`], or handed to `srra-fpga` for a full
@@ -25,16 +54,16 @@
 //!
 //! ```
 //! use srra_ir::examples::paper_example;
-//! use srra_reuse::ReuseAnalysis;
-//! use srra_core::{allocate, AllocatorKind, MemoryCostModel};
+//! use srra_core::{AllocatorRegistry, CompiledKernel, MemoryCostModel};
 //!
 //! # fn main() -> Result<(), srra_core::AllocError> {
-//! let kernel = paper_example();
-//! let analysis = ReuseAnalysis::of(&kernel);
+//! let ck = CompiledKernel::new(paper_example());
+//! let registry = AllocatorRegistry::global();
 //! let budget = 64;
 //!
-//! let fr = allocate(AllocatorKind::FullReuse, &kernel, &analysis, budget)?;
-//! let cpa = allocate(AllocatorKind::CriticalPathAware, &kernel, &analysis, budget)?;
+//! // One memoized analysis serves both strategies.
+//! let fr = registry.get("fr").unwrap().allocate(&ck, budget)?;
+//! let cpa = registry.get("cpa").unwrap().allocate(&ck, budget)?;
 //!
 //! // FR-RA fully replaces a and c; CPA-RA spends the same budget along the cuts
 //! // {d} and {a, b} instead.
@@ -43,8 +72,8 @@
 //! assert_eq!(cpa.by_name("a").unwrap().beta(), 16);
 //!
 //! let model = MemoryCostModel::default();
-//! let fr_cost = srra_core::memory_cost(&kernel, &analysis, &fr, &model);
-//! let cpa_cost = srra_core::memory_cost(&kernel, &analysis, &cpa, &model);
+//! let fr_cost = srra_core::memory_cost(ck.kernel(), ck.analysis(), &fr, &model);
+//! let cpa_cost = srra_core::memory_cost(ck.kernel(), ck.analysis(), &cpa, &model);
 //! assert!(cpa_cost.memory_cycles < fr_cost.memory_cycles);
 //! # Ok(())
 //! # }
@@ -55,28 +84,41 @@
 
 mod allocation;
 mod baseline;
+mod context;
 mod cost;
 mod cpa_ra;
 mod error;
 mod fr_ra;
+mod greedy;
 mod knapsack;
 mod pr_ra;
+mod registry;
 mod scalar_replace;
 
 pub use allocation::{AllocatorKind, RefAllocation, RegisterAllocation, ReplacementMode};
 pub use baseline::no_replacement;
+pub use context::CompiledKernel;
 pub use cost::{memory_cost, MemoryCostModel, MemoryCostReport, StageCost};
 pub use cpa_ra::{critical_path_aware, critical_path_aware_with, CpaOptions, CutSelectionPolicy};
 pub use error::AllocError;
 pub use fr_ra::full_reuse;
+pub use greedy::greedy_savings;
 pub use knapsack::knapsack_optimal;
 pub use pr_ra::partial_reuse;
+pub use registry::{Allocator, AllocatorRef, AllocatorRegistry};
 pub use scalar_replace::{RefPlan, ReplacementPlan};
 
 use srra_ir::Kernel;
 use srra_reuse::ReuseAnalysis;
 
-/// Runs the allocator selected by `kind` with its default options.
+/// Runs the built-in strategy selected by `kind` with its default options.
+///
+/// This is the pre-registry entry point, kept as a thin compatibility shim: it
+/// seeds a [`CompiledKernel`] with the caller's analysis (no recomputation) and
+/// dispatches through the corresponding [`AllocatorRegistry`] entry.  New code
+/// and anything evaluating more than one (strategy, budget) pair per kernel
+/// should hold a [`CompiledKernel`] and call [`AllocatorRef::allocate`]
+/// directly.
 ///
 /// # Errors
 ///
@@ -89,13 +131,8 @@ pub fn allocate(
     analysis: &ReuseAnalysis,
     budget: u64,
 ) -> Result<RegisterAllocation, AllocError> {
-    match kind {
-        AllocatorKind::NoReplacement => Ok(no_replacement(kernel, analysis)),
-        AllocatorKind::FullReuse => full_reuse(kernel, analysis, budget),
-        AllocatorKind::PartialReuse => partial_reuse(kernel, analysis, budget),
-        AllocatorKind::CriticalPathAware => critical_path_aware(kernel, analysis, budget),
-        AllocatorKind::KnapsackOptimal => knapsack_optimal(kernel, analysis, budget),
-    }
+    let compiled = CompiledKernel::with_analysis(kernel.clone(), analysis.clone());
+    AllocatorRef::from(kind).allocate(&compiled, budget)
 }
 
 #[cfg(test)]
@@ -114,6 +151,18 @@ mod tests {
             if kind != AllocatorKind::NoReplacement {
                 assert!(allocation.total_registers() <= 64);
             }
+        }
+    }
+
+    #[test]
+    fn registry_and_kind_dispatch_agree() {
+        let kernel = paper_example();
+        let analysis = ReuseAnalysis::of(&kernel);
+        let ck = CompiledKernel::with_analysis(kernel.clone(), analysis.clone());
+        for kind in AllocatorKind::all() {
+            let via_kind = allocate(kind, &kernel, &analysis, 64).unwrap();
+            let via_registry = AllocatorRef::from(kind).allocate(&ck, 64).unwrap();
+            assert_eq!(via_kind, via_registry, "kind {kind:?}");
         }
     }
 }

@@ -76,7 +76,7 @@ pub fn partial_reuse(
 
     Ok(build_allocation(
         kernel.name(),
-        AllocatorKind::PartialReuse,
+        AllocatorKind::PartialReuse.into(),
         budget,
         analysis,
         &betas,

@@ -5,25 +5,22 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use srra_core::{allocate, MemoryCostModel};
+use srra_core::{CompiledKernel, MemoryCostModel};
 use srra_fpga::{EvaluationOptions, HardwareDesign};
-use srra_ir::Kernel;
-use srra_reuse::ReuseAnalysis;
 
 use crate::space::{DesignPoint, DesignSpace};
 use crate::store::{PointRecord, ResultStore};
 
 /// Evaluates one design point from scratch (no cache involved).
 ///
-/// The point's RAM latency parameterises both the steady-state memory-cycle
-/// metric and the hardware evaluation, so `ram_latency = 2` reproduces
-/// `srra_bench::evaluate_kernel`'s numbers and `ram_latency = 1` reproduces the
-/// abstract `T_mem` metric of the Figure 2 reproduction.
-pub fn evaluate_point(
-    kernel: &Kernel,
-    analysis: &ReuseAnalysis,
-    point: &DesignPoint,
-) -> PointRecord {
+/// The kernel's [`CompiledKernel`] context supplies the (memoized) reuse
+/// analysis, so evaluating many points of one kernel performs the analysis
+/// once, on first use.  The point's RAM latency parameterises both the
+/// steady-state memory-cycle metric and the hardware evaluation, so
+/// `ram_latency = 2` reproduces `srra_bench::evaluate_kernel`'s numbers and
+/// `ram_latency = 1` reproduces the abstract `T_mem` metric of the Figure 2
+/// reproduction.
+pub fn evaluate_point(kernel: &CompiledKernel, point: &DesignPoint) -> PointRecord {
     let canonical = point.canonical();
     let key = point.key();
     let base = PointRecord {
@@ -48,14 +45,20 @@ pub fn evaluate_point(
         block_rams: 0,
         distribution: String::new(),
     };
-    let Ok(allocation) = allocate(point.allocator, kernel, analysis, point.budget) else {
+    let Ok(allocation) = point.allocator.allocate(kernel, point.budget) else {
         return base;
     };
     let options = EvaluationOptions {
         memory: MemoryCostModel::default().with_ram_latency(point.ram_latency),
         ..EvaluationOptions::default()
     };
-    let design = HardwareDesign::evaluate(kernel, analysis, &allocation, &point.device, &options);
+    let design = HardwareDesign::evaluate(
+        kernel.kernel(),
+        kernel.analysis(),
+        &allocation,
+        &point.device,
+        &options,
+    );
     PointRecord {
         feasible: true,
         fits: point.device.fits(design.slices, design.block_rams),
@@ -176,16 +179,9 @@ impl Explorer {
             }
         }
 
-        // One reuse analysis per kernel that actually has pending work, shared
-        // read-only by every worker.  A fully warm run computes none.
-        let mut analyses: Vec<Option<ReuseAnalysis>> = vec![None; space.kernels().len()];
-        for point in &pending {
-            let slot = &mut analyses[point.kernel_index];
-            if slot.is_none() {
-                *slot = Some(ReuseAnalysis::of(&space.kernels()[point.kernel_index]));
-            }
-        }
-
+        // Each kernel's `CompiledKernel` context memoizes its reuse analysis:
+        // the first pending point of a kernel computes it, every other point
+        // (on any worker thread) reuses it, and a fully warm run computes none.
         let evaluated = pending.len();
         let fresh: Vec<(usize, PointRecord)> = if self.jobs == 1 || pending.len() <= 1 {
             pending
@@ -194,18 +190,12 @@ impl Explorer {
                 .map(|(slot, point)| {
                     (
                         slot,
-                        evaluate_point(
-                            &space.kernels()[point.kernel_index],
-                            analyses[point.kernel_index]
-                                .as_ref()
-                                .expect("analysis prepared for every pending kernel"),
-                            point,
-                        ),
+                        evaluate_point(&space.kernels()[point.kernel_index], point),
                     )
                 })
                 .collect()
         } else {
-            self.evaluate_parallel(space, &analyses, &pending)
+            self.evaluate_parallel(space, &pending)
         };
 
         for (slot, record) in fresh {
@@ -232,7 +222,6 @@ impl Explorer {
     fn evaluate_parallel(
         &self,
         space: &DesignSpace,
-        analyses: &[Option<ReuseAnalysis>],
         pending: &[&DesignPoint],
     ) -> Vec<(usize, PointRecord)> {
         let cursor = AtomicUsize::new(0);
@@ -246,13 +235,7 @@ impl Explorer {
                     let Some(&point) = pending.get(slot) else {
                         break;
                     };
-                    let record = evaluate_point(
-                        &space.kernels()[point.kernel_index],
-                        analyses[point.kernel_index]
-                            .as_ref()
-                            .expect("analysis prepared for every pending kernel"),
-                        point,
-                    );
+                    let record = evaluate_point(&space.kernels()[point.kernel_index], point);
                     results
                         .lock()
                         .expect("no worker panics while holding the result lock")
@@ -278,9 +261,10 @@ impl Default for Explorer {
 mod tests {
     use super::*;
     use crate::store::MemoryStore;
-    use srra_core::AllocatorKind;
+    use srra_core::{allocate, AllocatorKind};
     use srra_ir::examples::paper_example;
     use srra_kernels::paper_suite;
+    use srra_reuse::ReuseAnalysis;
 
     fn small_space() -> DesignSpace {
         DesignSpace::new()

@@ -5,8 +5,12 @@
 //! registers, one XCV1000 device).  This crate turns the one-shot pipeline into
 //! a batched sweep over the full cross product of
 //!
-//! * kernels,
-//! * allocation algorithms ([`srra_core::AllocatorKind`]),
+//! * kernels (each wrapped in a shared [`srra_core::CompiledKernel`] analysis
+//!   context, so a sweep performs one reuse analysis per kernel no matter how
+//!   many points it evaluates),
+//! * allocation strategies ([`srra_core::AllocatorRef`] handles resolved from
+//!   the open [`srra_core::AllocatorRegistry`] — any registered strategy can
+//!   be swept without touching this crate),
 //! * register budgets,
 //! * RAM latencies, and
 //! * target devices ([`srra_fpga::DeviceModel`]),

@@ -1,9 +1,8 @@
 //! The design-space specification: which (kernel, allocator, budget, RAM
 //! latency, device) combinations an exploration covers.
 
-use srra_core::AllocatorKind;
+use srra_core::{AllocatorRef, AllocatorRegistry, CompiledKernel};
 use srra_fpga::DeviceModel;
-use srra_ir::Kernel;
 
 /// 64-bit FNV-1a hash, used to content-address design points.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {
@@ -33,8 +32,8 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DesignSpace {
-    kernels: Vec<Kernel>,
-    allocators: Vec<AllocatorKind>,
+    kernels: Vec<CompiledKernel>,
+    allocators: Vec<AllocatorRef>,
     budgets: Vec<u64>,
     ram_latencies: Vec<u64>,
     devices: Vec<DeviceModel>,
@@ -47,7 +46,7 @@ impl DesignSpace {
     pub fn new() -> Self {
         Self {
             kernels: Vec::new(),
-            allocators: AllocatorKind::paper_versions().to_vec(),
+            allocators: AllocatorRegistry::paper_versions().to_vec(),
             budgets: vec![32],
             ram_latencies: vec![2],
             devices: vec![DeviceModel::xcv1000()],
@@ -55,28 +54,39 @@ impl DesignSpace {
     }
 
     /// A space over the given kernels with the default axes.
-    pub fn for_kernels(kernels: impl IntoIterator<Item = Kernel>) -> Self {
+    pub fn for_kernels<K>(kernels: impl IntoIterator<Item = K>) -> Self
+    where
+        K: Into<CompiledKernel>,
+    {
         Self::new().with_kernels(kernels)
     }
 
-    /// Adds one kernel.
+    /// Adds one kernel (a plain `Kernel` or an already-shared
+    /// [`CompiledKernel`] whose memoized analyses carry over).
     #[must_use]
-    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
-        self.kernels.push(kernel);
+    pub fn with_kernel(mut self, kernel: impl Into<CompiledKernel>) -> Self {
+        self.kernels.push(kernel.into());
         self
     }
 
     /// Adds several kernels.
     #[must_use]
-    pub fn with_kernels(mut self, kernels: impl IntoIterator<Item = Kernel>) -> Self {
-        self.kernels.extend(kernels);
+    pub fn with_kernels<K>(mut self, kernels: impl IntoIterator<Item = K>) -> Self
+    where
+        K: Into<CompiledKernel>,
+    {
+        self.kernels.extend(kernels.into_iter().map(Into::into));
         self
     }
 
-    /// Replaces the allocator axis.
+    /// Replaces the allocator axis.  Accepts registry handles
+    /// ([`AllocatorRef`]) or legacy [`srra_core::AllocatorKind`] values.
     #[must_use]
-    pub fn with_allocators(mut self, allocators: &[AllocatorKind]) -> Self {
-        self.allocators = allocators.to_vec();
+    pub fn with_allocators<A>(mut self, allocators: &[A]) -> Self
+    where
+        A: Into<AllocatorRef> + Copy,
+    {
+        self.allocators = allocators.iter().map(|&a| a.into()).collect();
         self
     }
 
@@ -102,8 +112,8 @@ impl DesignSpace {
         self
     }
 
-    /// The kernels on the kernel axis.
-    pub fn kernels(&self) -> &[Kernel] {
+    /// The kernels on the kernel axis, with their shared analysis contexts.
+    pub fn kernels(&self) -> &[CompiledKernel] {
         &self.kernels
     }
 
@@ -160,8 +170,8 @@ pub struct DesignPoint {
     pub kernel_index: usize,
     /// Kernel name (also part of the content address).
     pub kernel: String,
-    /// Allocation algorithm to run.
-    pub allocator: AllocatorKind,
+    /// Allocation strategy to run, resolved from the registry.
+    pub allocator: AllocatorRef,
     /// Register budget `N_R`.
     pub budget: u64,
     /// RAM access latency in cycles.
@@ -192,6 +202,7 @@ impl DesignPoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use srra_core::AllocatorKind;
     use srra_ir::examples::paper_example;
 
     #[test]

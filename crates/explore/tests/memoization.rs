@@ -1,0 +1,56 @@
+//! Regression test for the `CompiledKernel` memoization contract: an explore
+//! sweep over N design points of one kernel performs exactly one reuse
+//! analysis.
+//!
+//! The test instruments `srra_reuse::analysis_runs()`, a process-wide counter
+//! bumped by every `ReuseAnalysis::of` call.  It lives in its own integration
+//! test binary (one `#[test]`) so no concurrently running test can touch the
+//! counter between the deltas.
+
+use srra_explore::{DesignSpace, Explorer, MemoryStore};
+use srra_ir::examples::paper_example;
+use srra_kernels::paper_suite;
+
+#[test]
+fn one_reuse_analysis_per_kernel_per_sweep() {
+    // 24 design points of a single kernel (3 allocators x 4 budgets x 2 RAM
+    // latencies), evaluated by 4 racing workers.
+    let space = DesignSpace::new()
+        .with_kernel(paper_example())
+        .with_budgets(&[16, 32, 64, 128])
+        .with_ram_latencies(&[1, 2]);
+    assert_eq!(space.len(), 24);
+
+    let before = srra_reuse::analysis_runs();
+    let mut store = MemoryStore::new();
+    let cold = Explorer::new(4).explore(&space, &mut store).unwrap();
+    let after_cold = srra_reuse::analysis_runs();
+    assert_eq!(cold.evaluated, 24);
+    assert_eq!(
+        after_cold - before,
+        1,
+        "a cold sweep over 24 points of one kernel must analyse it exactly once"
+    );
+
+    // A warm re-run of the same space answers everything from the store and
+    // the space's memoized context means not even one analysis runs.
+    let warm = Explorer::new(4).explore(&space, &mut store).unwrap();
+    assert_eq!(warm.cache_hits, 24);
+    assert_eq!(
+        srra_reuse::analysis_runs(),
+        after_cold,
+        "a fully cached re-run must not analyse at all"
+    );
+
+    // Multi-kernel spaces scale the bound linearly: one analysis per kernel,
+    // regardless of how many points each kernel contributes.
+    let suite_space = DesignSpace::new()
+        .with_kernels(paper_suite().into_iter().map(|spec| spec.kernel))
+        .with_budgets(&[16, 32]);
+    let kernels = suite_space.kernels().len();
+    let before_suite = srra_reuse::analysis_runs();
+    Explorer::new(4)
+        .explore(&suite_space, &mut MemoryStore::new())
+        .unwrap();
+    assert_eq!(srra_reuse::analysis_runs() - before_suite, kernels);
+}

@@ -33,6 +33,7 @@ pub mod imi;
 pub mod mat;
 pub mod pat;
 
+use srra_core::CompiledKernel;
 use srra_ir::{IrError, Kernel};
 
 /// The register-file limit the paper imposes on every implementation ("a maximum limit
@@ -48,6 +49,25 @@ pub struct KernelSpec {
     pub description: &'static str,
     /// Register budget to evaluate the kernel with.
     pub register_budget: u64,
+}
+
+impl KernelSpec {
+    /// The kernel wrapped in a fresh [`CompiledKernel`] analysis context.
+    ///
+    /// Callers evaluating several strategies or budgets should hold on to the
+    /// returned context so its memoized reuse analysis is shared.
+    pub fn compiled(&self) -> CompiledKernel {
+        CompiledKernel::new(self.kernel.clone())
+    }
+}
+
+/// The six paper kernels as [`CompiledKernel`] contexts, ready for a registry
+/// sweep that analyses each kernel exactly once.
+pub fn compiled_paper_suite() -> Vec<CompiledKernel> {
+    paper_suite()
+        .into_iter()
+        .map(|spec| spec.compiled())
+        .collect()
 }
 
 /// Builds the full six-kernel evaluation suite at the paper's problem sizes.

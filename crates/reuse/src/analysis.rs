@@ -115,9 +115,24 @@ pub struct ReuseAnalysis {
     summaries: Vec<ReuseSummary>,
 }
 
+/// Process-wide count of whole-kernel reuse analyses, see [`analysis_runs`].
+static ANALYSIS_RUNS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// The number of whole-kernel reuse analyses performed by this process so far.
+///
+/// Instrumentation for the memoization regression tests: callers that share a
+/// memoized analysis context can assert that a sweep over N design points bumps
+/// this counter exactly once per kernel.  The counter is monotonic, so tests
+/// must compare deltas, not absolute values.
+#[doc(hidden)]
+pub fn analysis_runs() -> usize {
+    ANALYSIS_RUNS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 impl ReuseAnalysis {
     /// Analyses every reference group of the kernel.
     pub fn of(kernel: &Kernel) -> Self {
+        ANALYSIS_RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Self::from_table(kernel, &kernel.reference_table())
     }
 

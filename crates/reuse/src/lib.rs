@@ -36,6 +36,8 @@ mod partial;
 mod registers;
 mod savings;
 
+#[doc(hidden)]
+pub use analysis::analysis_runs;
 pub use analysis::{ReuseAnalysis, ReuseSummary};
 pub use distance::{dependence_distance, group_reuse_pairs, DependenceDistance, GroupReusePair};
 pub use partial::{eliminated_accesses, remaining_accesses, replacement_fraction};

@@ -249,7 +249,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// A length specification for [`vec`]: an exact length or a range.
+        /// A length specification for [`vec()`]: an exact length or a range.
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             min: usize,
@@ -284,7 +284,7 @@ pub mod prop {
             }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,

@@ -8,10 +8,9 @@
 //! cargo run --example custom_kernel
 //! ```
 
-use srra_bench::evaluate_kernel;
-use srra_core::AllocatorKind;
+use srra_bench::evaluate_compiled;
+use srra_core::{AllocatorRegistry, CompiledKernel};
 use srra_ir::{Kernel, KernelBuilder};
-use srra_reuse::ReuseAnalysis;
 
 /// A 3x3 blur over a `size x size` image: every output pixel sums a 3x3 window of the
 /// input, weighted by a small coefficient kernel held in `w`.
@@ -35,12 +34,13 @@ fn blur3x3(size: u64) -> Result<Kernel, srra_ir::IrError> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernel = blur3x3(64)?;
-    println!("{kernel}");
+    // One CompiledKernel context serves the reuse report and every evaluation
+    // below: the analysis runs once, on first use.
+    let kernel = CompiledKernel::new(blur3x3(64)?);
+    println!("{}", kernel.kernel());
 
-    let analysis = ReuseAnalysis::of(&kernel);
     println!("reference requirements:");
-    for summary in &analysis {
+    for summary in kernel.analysis() {
         println!(
             "  {:<16} R = {:<5} eliminable accesses = {}",
             summary.rendered(),
@@ -54,11 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<8} {:>10} {:>12} {:>10} {:>12}",
         "algo", "registers", "cycles", "clock ns", "time us"
     );
-    for kind in AllocatorKind::paper_versions() {
-        let outcome = evaluate_kernel(&kernel, kind, 24)?;
+    for allocator in AllocatorRegistry::paper_versions() {
+        let outcome = evaluate_compiled(&kernel, allocator, 24)?;
         println!(
             "{:<8} {:>10} {:>12} {:>10.1} {:>12.1}",
-            kind.label(),
+            allocator.label(),
             outcome.allocation.total_registers(),
             outcome.design.total_cycles,
             outcome.design.clock_period_ns,

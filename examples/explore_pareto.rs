@@ -11,7 +11,7 @@
 //! Running it a second time answers every design point from the JSONL cache
 //! (watch the hit count) and prints byte-identical tables.
 
-use srra_core::AllocatorKind;
+use srra_core::AllocatorRegistry;
 use srra_explore::{
     best_allocators, pareto_frontier, render_best_allocators, render_frontier, DesignSpace,
     Explorer, JsonlStore,
@@ -20,14 +20,17 @@ use srra_fpga::DeviceModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = srra_kernels::fir::paper()?;
+    // Resolve the allocator axis from the registry by name: any registered
+    // strategy — including ones added after this example was written — can be
+    // swept without touching the explore crate.
+    let registry = AllocatorRegistry::global();
+    let allocators: Vec<_> = ["fr", "pr", "cpa", "ks", "greedy"]
+        .iter()
+        .map(|name| registry.get(name).expect("built-in strategy"))
+        .collect();
     let space = DesignSpace::new()
         .with_kernel(kernel)
-        .with_allocators(&[
-            AllocatorKind::FullReuse,
-            AllocatorKind::PartialReuse,
-            AllocatorKind::CriticalPathAware,
-            AllocatorKind::KnapsackOptimal,
-        ])
+        .with_allocators(&allocators)
         .with_budgets(&[8, 16, 32, 64, 128])
         .with_ram_latencies(&[1, 2, 4])
         .with_devices(vec![DeviceModel::xcv1000(), DeviceModel::xcv300()]);

@@ -8,15 +8,17 @@
 //! cargo run --example fir_design_space
 //! ```
 
-use srra_bench::evaluate_kernel;
-use srra_core::AllocatorKind;
+use srra_bench::evaluate_compiled;
+use srra_core::{AllocatorRegistry, CompiledKernel};
 use srra_kernels::fir;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernel = fir::fir(1_024, 32)?;
+    // One shared context for all 24 (budget, strategy) evaluations: the reuse
+    // analysis runs once instead of once per design point.
+    let kernel = CompiledKernel::new(fir::fir(1_024, 32)?);
     println!(
         "FIR design space — {} output samples, 32 taps\n",
-        kernel.nest().trip_counts()[0]
+        kernel.kernel().nest().trip_counts()[0]
     );
     println!(
         "{:<8} {:<8} {:>10} {:>12} {:>10} {:>12} {:>8}",
@@ -24,14 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for budget in [8u64, 16, 24, 32, 48, 64, 96, 128] {
-        for kind in AllocatorKind::paper_versions() {
-            let Ok(outcome) = evaluate_kernel(&kernel, kind, budget) else {
+        for allocator in AllocatorRegistry::paper_versions() {
+            let Ok(outcome) = evaluate_compiled(&kernel, allocator, budget) else {
                 continue;
             };
             println!(
                 "{:<8} {:<8} {:>10} {:>12} {:>10.1} {:>12.1} {:>8}",
                 budget,
-                kind.label(),
+                allocator.label(),
                 outcome.allocation.total_registers(),
                 outcome.design.total_cycles,
                 outcome.design.clock_period_ns,

@@ -7,17 +7,19 @@
 //! cargo run --example matmul_allocation
 //! ```
 
-use srra_core::{allocate, AllocatorKind};
-use srra_dfg::{find_cuts, CriticalPathAnalysis, DataFlowGraph, LatencyModel, StorageMap};
+use srra_core::{AllocatorRegistry, CompiledKernel};
+use srra_dfg::find_cuts;
 use srra_kernels::mat;
-use srra_reuse::ReuseAnalysis;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernel = mat::mat(16)?;
-    println!("{kernel}");
+    // The CompiledKernel context memoizes the DFG, the baseline critical-path
+    // analysis and the reuse analysis — each is computed once below and shared
+    // with the three allocator runs.
+    let kernel = CompiledKernel::new(mat::mat(16)?);
+    println!("{}", kernel.kernel());
 
     // The data-flow graph of one iteration of the loop body.
-    let dfg = DataFlowGraph::from_kernel(&kernel);
+    let dfg = kernel.dfg();
     println!(
         "DFG: {} nodes ({} references, {} operations), {} edges",
         dfg.node_count(),
@@ -27,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Critical graph and cuts with everything still in RAM.
-    let analysis =
-        CriticalPathAnalysis::new(&dfg, &LatencyModel::default(), &StorageMap::all_ram());
+    let analysis = kernel.critical_path();
     println!(
         "critical path length with all references in RAM: {} cycles",
         analysis.critical_length()
@@ -39,19 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {}", dfg.node(node).label());
     }
     println!("cuts of the critical graph:");
-    for cut in find_cuts(&dfg, cg) {
+    for cut in find_cuts(dfg, cg) {
         let labels: Vec<&str> = cut.iter().map(|&n| dfg.node(n).label()).collect();
         println!("  {{{}}}", labels.join(", "));
     }
 
     // Compare the allocations for a 32-register budget.
-    let reuse = ReuseAnalysis::of(&kernel);
     println!("\nallocations with 32 registers:");
-    for kind in AllocatorKind::paper_versions() {
-        let allocation = allocate(kind, &kernel, &reuse, 32)?;
+    for allocator in AllocatorRegistry::paper_versions() {
+        let allocation = allocator.allocate(&kernel, 32)?;
         println!(
             "  {:<7} -> {}  ({} registers, {} fully / {} partially replaced)",
-            kind.label(),
+            allocator.label(),
             allocation.distribution(),
             allocation.total_registers(),
             allocation.fully_replaced(),

@@ -7,21 +7,22 @@
 //! cargo run --example quickstart
 //! ```
 
-use srra_core::{allocate, memory_cost, AllocatorKind, MemoryCostModel};
+use srra_core::{memory_cost, AllocatorRegistry, CompiledKernel, MemoryCostModel};
 use srra_ir::examples::paper_example;
-use srra_reuse::ReuseAnalysis;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Build (or load) a kernel.  `paper_example()` is the loop nest of Figure 1:
+    // 1. Build (or load) a kernel and wrap it in a CompiledKernel: the shared
+    //    analysis context every pipeline stage draws from.  `paper_example()`
+    //    is the loop nest of Figure 1:
     //    d[i][k] = a[k] * b[k][j];  e[i][j][k] = c[j] * d[i][k];
-    let kernel = paper_example();
-    println!("{kernel}");
+    let kernel = CompiledKernel::new(paper_example());
+    println!("{}", kernel.kernel());
 
-    // 2. Run the data-reuse analysis: how many registers does each reference need and
-    //    how many memory accesses would a full replacement eliminate?
-    let analysis = ReuseAnalysis::of(&kernel);
+    // 2. Inspect the data-reuse analysis: how many registers does each reference
+    //    need and how many memory accesses would a full replacement eliminate?
+    //    The analysis is computed here, once; every allocator below reuses it.
     println!("reference          R_full   saved    gamma");
-    for summary in &analysis {
+    for summary in kernel.analysis() {
         println!(
             "{:<18} {:>6} {:>7} {:>8.1}",
             summary.rendered(),
@@ -31,21 +32,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 3. Allocate a 64-register budget with each algorithm and compare the memory
-    //    cycles of the resulting designs.
+    // 3. Allocate a 64-register budget with every registered strategy and compare
+    //    the memory cycles of the resulting designs.  The registry supplies the
+    //    strategies — including ones, like `greedy`, that no pipeline layer
+    //    names explicitly.
     let model = MemoryCostModel::default();
     println!("\nalgorithm  registers  distribution                          Tmem/outer");
-    for kind in [
-        AllocatorKind::FullReuse,
-        AllocatorKind::PartialReuse,
-        AllocatorKind::CriticalPathAware,
-        AllocatorKind::KnapsackOptimal,
-    ] {
-        let allocation = allocate(kind, &kernel, &analysis, 64)?;
-        let cost = memory_cost(&kernel, &analysis, &allocation, &model);
+    for allocator in AllocatorRegistry::global().iter() {
+        let allocation = allocator.allocate(&kernel, 64)?;
+        let cost = memory_cost(kernel.kernel(), kernel.analysis(), &allocation, &model);
         println!(
             "{:<10} {:>9}  {:<36} {:>10}",
-            kind.label(),
+            allocator.label(),
             allocation.total_registers(),
             allocation.distribution(),
             cost.memory_cycles_per_outer_iteration

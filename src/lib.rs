@@ -9,7 +9,9 @@
 //! * [`srra_ir`] — loop-nest / affine-reference intermediate representation,
 //! * [`srra_reuse`] — data-reuse analysis and register-requirement model,
 //! * [`srra_dfg`] — data-flow graph, critical graph and cut enumeration,
-//! * [`srra_core`] — the FR-RA / PR-RA / CPA-RA allocation algorithms,
+//! * [`srra_core`] — the allocation strategies (FR-RA / PR-RA / CPA-RA and
+//!   more) behind the open [`srra_core::AllocatorRegistry`], plus the
+//!   [`srra_core::CompiledKernel`] memoized analysis context,
 //! * [`srra_fpga`] — the FPGA execution, clock and area models,
 //! * [`srra_kernels`] — the six evaluation kernels,
 //! * [`srra_explore`] — parallel design-space exploration, result caching and
@@ -22,8 +24,9 @@
 //! use srra::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let kernel = srra_kernels::fir::fir(64, 8)?;
-//! let outcome = srra_bench::evaluate_kernel(&kernel, AllocatorKind::CriticalPathAware, 32)?;
+//! let kernel = CompiledKernel::new(srra_kernels::fir::fir(64, 8)?);
+//! let cpa = AllocatorRegistry::global().get("cpa").expect("built-in strategy");
+//! let outcome = srra_bench::evaluate_compiled(&kernel, cpa, 32)?;
 //! assert!(outcome.design.total_cycles > 0);
 //! # Ok(())
 //! # }
@@ -32,9 +35,9 @@
 //! # Quickstart — sweep a design space and extract the Pareto frontier
 //!
 //! Three lines take a kernel from specification to the set of non-dominated
-//! (cycles × slices × registers) design points; swap [`MemoryStore`] for a
-//! [`srra_explore::JsonlStore`] to persist results so repeated sweeps never
-//! re-evaluate a point:
+//! (cycles × slices × registers) design points; swap
+//! [`srra_explore::MemoryStore`] for a [`srra_explore::JsonlStore`] to persist
+//! results so repeated sweeps never re-evaluate a point:
 //!
 //! ```
 //! use srra::prelude::*;
@@ -60,7 +63,10 @@ pub use srra_reuse;
 
 /// Commonly used items across the workspace.
 pub mod prelude {
-    pub use srra_core::{AllocatorKind, RegisterAllocation};
+    pub use srra_core::{
+        Allocator, AllocatorKind, AllocatorRef, AllocatorRegistry, CompiledKernel,
+        RegisterAllocation,
+    };
     pub use srra_dfg::DataFlowGraph;
     pub use srra_explore::{DesignSpace, Exploration, Explorer, JsonlStore, MemoryStore};
     pub use srra_fpga::{DeviceModel, HardwareDesign};

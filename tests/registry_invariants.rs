@@ -1,0 +1,108 @@
+//! Cross-allocator registry invariants over the built-in kernel suite.
+//!
+//! These tests guard the trait-registry refactor: every registered strategy,
+//! on every built-in kernel, must respect the register budget, and the five
+//! strategies predating the registry must produce bit-identical allocations
+//! through the legacy `allocate(AllocatorKind, …)` dispatch and through their
+//! registry entries.
+
+use proptest::prelude::*;
+use srra_core::{allocate, AllocatorKind, AllocatorRegistry, CompiledKernel};
+use srra_ir::examples::paper_example;
+use srra_kernels::paper_suite;
+
+/// The paper's six kernels plus the running example, as shared contexts.
+fn builtin_kernels() -> Vec<CompiledKernel> {
+    let mut kernels = vec![CompiledKernel::new(paper_example())];
+    kernels.extend(paper_suite().iter().map(|spec| spec.compiled()));
+    kernels
+}
+
+#[test]
+fn every_registry_allocator_respects_the_budget_on_every_builtin_kernel() {
+    for kernel in builtin_kernels() {
+        let references = kernel.analysis().len() as u64;
+        for allocator in AllocatorRegistry::global().iter() {
+            for budget in [references, 16, 32, 64, 256, 1024] {
+                let Ok(allocation) = allocator.allocate(&kernel, budget) else {
+                    assert!(
+                        budget < references,
+                        "{} on {} rejected feasible budget {budget}",
+                        allocator.name(),
+                        kernel.name()
+                    );
+                    continue;
+                };
+                if allocator.kind() != Some(AllocatorKind::NoReplacement) {
+                    assert!(
+                        allocation.total_registers() <= budget,
+                        "{} on {} exceeds budget {budget}: {}",
+                        allocator.name(),
+                        kernel.name(),
+                        allocation.total_registers()
+                    );
+                }
+                for decision in &allocation {
+                    let summary = kernel.analysis().get(decision.ref_id()).unwrap();
+                    assert!(decision.beta() <= summary.registers_full().max(1));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_entries_agree_with_the_legacy_kind_dispatch() {
+    for kernel in builtin_kernels() {
+        let analysis = kernel.analysis();
+        for kind in AllocatorKind::all() {
+            let entry = srra_core::AllocatorRef::from(kind);
+            for budget in [8u64, 32, 64, 700] {
+                let legacy = allocate(kind, kernel.kernel(), analysis, budget);
+                let registry = entry.allocate(&kernel, budget);
+                match (legacy, registry) {
+                    (Ok(a), Ok(b)) => assert_eq!(
+                        a,
+                        b,
+                        "{} on {} at budget {budget} disagrees",
+                        entry.name(),
+                        kernel.name()
+                    ),
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    (a, b) => panic!(
+                        "{} on {} at budget {budget}: legacy {a:?} vs registry {b:?}",
+                        entry.name(),
+                        kernel.name()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomised budgets over the generalised paper example: the registry
+    /// dispatch and the legacy dispatch stay in lockstep even off the paper's
+    /// fixed evaluation points.
+    #[test]
+    fn dispatch_agreement_holds_for_random_budgets(
+        ni in 1u64..6,
+        nj in 2u64..24,
+        nk in 2u64..24,
+        budget in 5u64..300,
+    ) {
+        let kernel = srra_ir::examples::paper_example_with(ni, nj, nk);
+        let compiled = CompiledKernel::new(kernel.clone());
+        let analysis = srra_reuse::ReuseAnalysis::of(&kernel);
+        for kind in AllocatorKind::all() {
+            let legacy = allocate(kind, &kernel, &analysis, budget);
+            let registry = srra_core::AllocatorRef::from(kind).allocate(&compiled, budget);
+            prop_assert_eq!(legacy.is_ok(), registry.is_ok(), "kind {:?}", kind);
+            if let (Ok(a), Ok(b)) = (legacy, registry) {
+                prop_assert_eq!(a, b, "kind {:?}", kind);
+            }
+        }
+    }
+}
