@@ -4,6 +4,7 @@
 #   2. lints as errors     (cargo clippy --workspace -- -D warnings)
 #   3. doc warnings as errors (RUSTDOCFLAGS="-D warnings" cargo doc --no-deps)
 #   4. tier-1 verification (cargo build --release && cargo test -q)
+#   5. serve smoke test    (srra serve + srra query against a live socket)
 #
 # Run from the repository root: ./ci.sh
 set -euo pipefail
@@ -23,5 +24,39 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test --workspace -q
+
+echo "==> serve smoke test"
+SRRA="target/release/srra"
+SMOKE_DIR="$(mktemp -d)"
+cleanup_smoke() {
+  [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup_smoke EXIT
+"$SRRA" serve --addr 127.0.0.1:0 --shards 4 --cache-dir "$SMOKE_DIR/cache" \
+  > "$SMOKE_DIR/serve.out" 2> "$SMOKE_DIR/serve.err" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^srra-serve listening on \([0-9.:]*\).*/\1/p' "$SMOKE_DIR/serve.out")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve smoke: server never announced its address"; exit 1; }
+# One miss (empty shards), one evaluation, then one hit of the same point.
+"$SRRA" query --addr "$ADDR" get fir cpa 32 | grep -q '"found":false'
+"$SRRA" query --addr "$ADDR" explore --kernel fir --algos cpa --budgets 32 \
+  | grep -q '"evaluated":1'
+"$SRRA" query --addr "$ADDR" get fir cpa 32 | grep -q '"found":true'
+"$SRRA" query --addr "$ADDR" stats | grep -q '"records":1'
+# Graceful shutdown: ack on the wire, clean exit, summary line, lock released.
+"$SRRA" query --addr "$ADDR" shutdown | grep -q '"shutting_down":true'
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q "srra-serve stopped" "$SMOKE_DIR/serve.out"
+[ ! -e "$SMOKE_DIR/cache/LOCK" ] || { echo "serve smoke: LOCK left behind"; exit 1; }
+# The evaluated record landed in a shard file.
+cat "$SMOKE_DIR"/cache/shard-*.jsonl | grep -q '"kernel":"fir"' \
+  || { echo "serve smoke: shards are empty"; exit 1; }
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,159 @@
+//! Multi-client query-serving benchmark behind `BENCH_3.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p srra-bench --bin serve_bench [-- <clients>]
+//! ```
+//!
+//! Starts an in-process `srra-serve` server over a scratch shard directory
+//! and drives it with concurrent clients over real loopback TCP, three
+//! phases over the same 240-point grid as BENCH_2:
+//!
+//! 1. **cold explore** — empty shards, every point evaluated on demand
+//!    (exactly once across all racing clients);
+//! 2. **warm explore** — identical workload, answered entirely from shards;
+//! 3. **warm get** — pure canonical-string lookups.
+//!
+//! Each client issues single-point requests (one connection per request, as
+//! `srra query` does) in a per-client rotation of the grid, so concurrent
+//! clients hammer different shards at any instant.  Reports per-phase
+//! throughput and p50/p99 request latency as JSON on stdout.
+
+use std::time::Instant;
+
+use srra_serve::{Client, QueryPoint, Server, ServerConfig};
+
+/// The BENCH_2 grid: 6 kernels x 5 algorithms x 4 budgets x 2 latencies.
+fn grid() -> Vec<QueryPoint> {
+    let mut points = Vec::new();
+    for kernel in ["fir", "dec_fir", "mat", "imi", "pat", "bic"] {
+        for algo in ["fr", "pr", "cpa", "ks", "greedy"] {
+            for budget in [8, 16, 32, 64] {
+                for latency in [1, 2] {
+                    let mut point = QueryPoint::new(kernel, algo, budget);
+                    point.ram_latency = latency;
+                    points.push(point);
+                }
+            }
+        }
+    }
+    points
+}
+
+/// One phase: every client walks the full grid (rotated by client index so
+/// the instantaneous load spreads over the shards) and records per-request
+/// latencies.  Returns (wall seconds, sorted latencies in microseconds).
+fn run_phase(addr: &str, clients: usize, points: &[QueryPoint], get: bool) -> (f64, Vec<u64>) {
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|index| {
+                scope.spawn(move || {
+                    let client = Client::new(addr.to_owned());
+                    let offset = index * points.len() / clients;
+                    let mut local = Vec::with_capacity(points.len());
+                    for i in 0..points.len() {
+                        let point = &points[(i + offset) % points.len()];
+                        let sent = Instant::now();
+                        if get {
+                            let canonical =
+                                srra_serve::canonical_for(point).expect("grid resolves");
+                            client
+                                .get(&canonical)
+                                .expect("get succeeds")
+                                .expect("warm store hits");
+                        } else {
+                            let reply = client
+                                .explore(std::slice::from_ref(point))
+                                .expect("explore succeeds");
+                            assert_eq!(reply.records.len(), 1);
+                        }
+                        local.push(sent.elapsed().as_micros() as u64);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    (wall, latencies)
+}
+
+fn percentile(sorted: &[u64], fraction: f64) -> u64 {
+    let index = ((sorted.len() as f64 - 1.0) * fraction).round() as usize;
+    sorted[index]
+}
+
+fn phase_json(name: &str, requests: usize, wall: f64, latencies: &[u64]) -> String {
+    format!(
+        "    \"{name}\": {{\"requests\":{requests},\"wall_ms\":{:.1},\"throughput_rps\":{:.0},\"p50_us\":{},\"p99_us\":{}}}",
+        wall * 1e3,
+        requests as f64 / wall,
+        percentile(latencies, 0.50),
+        percentile(latencies, 0.99)
+    )
+}
+
+fn main() {
+    let clients: usize = std::env::args()
+        .nth(1)
+        .map(|raw| raw.parse().expect("client count is a number"))
+        .unwrap_or(4);
+    let dir = std::env::temp_dir().join(format!("srra-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: dir.clone(),
+        shards: 4,
+        workers: clients,
+    })
+    .expect("server binds");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server runs"));
+
+    let points = grid();
+    let requests = clients * points.len();
+    let (cold_wall, cold_lat) = run_phase(&addr, clients, &points, false);
+    let (warm_wall, warm_lat) = run_phase(&addr, clients, &points, false);
+    let (get_wall, get_lat) = run_phase(&addr, clients, &points, true);
+
+    let client = Client::new(addr);
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.evaluated as usize,
+        points.len(),
+        "every distinct point is evaluated exactly once, in the cold phase"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).expect("scratch dir removed");
+
+    println!("{{");
+    println!(
+        "  \"grid_points\": {}, \"clients\": {clients}, \"shards\": 4,",
+        points.len()
+    );
+    println!("  \"phases\": {{");
+    println!(
+        "{},",
+        phase_json("cold_explore", requests, cold_wall, &cold_lat)
+    );
+    println!(
+        "{},",
+        phase_json("warm_explore", requests, warm_wall, &warm_lat)
+    );
+    println!("{}", phase_json("warm_get", requests, get_wall, &get_lat));
+    println!("  }},");
+    println!(
+        "  \"server_totals\": {{\"requests\":{},\"hits\":{},\"evaluated\":{},\"shard_records\":{:?}}}",
+        stats.requests, stats.hits, stats.evaluated, stats.shard_records
+    );
+    println!("}}");
+}

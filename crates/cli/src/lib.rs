@@ -12,6 +12,10 @@
 //! srra table1                       # reproduce Table 1
 //! srra explore --kernel fir --budgets 8,16,32,64 --jobs 4 --cache /tmp/srra.jsonl
 //!                                   # parallel design-space sweep + Pareto table
+//! srra serve --cache-dir /tmp/srra-cache --shards 4 --addr 127.0.0.1:0
+//!                                   # sharded result store + TCP query server
+//! srra query --addr 127.0.0.1:PORT get fir cpa 32
+//!                                   # one query against a running server
 //! ```
 //!
 //! The argument handling lives in this library crate (so it is unit-testable); the
@@ -29,6 +33,7 @@ use srra_explore::{
 use srra_fpga::DeviceModel;
 use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
+use srra_serve::{Client, QueryPoint, Request, Server, ServerConfig, ShardedStore};
 
 /// Usage text printed for `srra help` and on argument errors.
 ///
@@ -56,10 +61,22 @@ pub fn usage() -> &'static str {
     --latencies <n[,n...]>       RAM latencies in cycles (default: 2)\n\
     --devices <d[,d...]>         xcv1000 and/or xcv300 (default: xcv1000)\n\
     --jobs    <n>                worker threads (default: all CPUs)\n\
-    --cache   <path>             persistent JSONL result cache\n\
+    --cache   <path>             persistent single-file JSONL result cache\n\
+    --cache-dir <dir>            persistent *sharded* JSONL result cache\n\
+    --shards  <n>                shard count for --cache-dir (default 4)\n\
     --csv                        emit every design point as CSV instead of tables\n\
     --stats-json <path>          write cache statistics as JSON to a file\n\
     (cache statistics go to stderr so stdout is identical across cached re-runs)\n\
+  serve [options]                sharded result store + TCP query server\n\
+    --cache-dir <dir>            shard directory (required)\n\
+    --addr    <host:port>        bind address (default 127.0.0.1:0 = ephemeral port)\n\
+    --shards  <n>                shard files (default 4)\n\
+    --workers <n>                serving threads (default: all CPUs)\n\
+  query --addr <host:port> <op>  one request against a running server; prints\n\
+                                 the raw JSON response line (see docs/serving.md)\n\
+    get <kernel> <algo> <N> [--latency <n>] [--device <d>]\n\
+    explore [axis flags as for explore]\n\
+    stats | shutdown\n\
   help                           show this text"
         )
     })
@@ -179,6 +196,8 @@ struct ExploreArgs {
     devices: Vec<DeviceModel>,
     jobs: usize,
     cache: Option<String>,
+    cache_dir: Option<String>,
+    shards: Option<usize>,
     csv: bool,
     stats_json: Option<String>,
 }
@@ -196,13 +215,9 @@ fn parse_u64_list(flag: &str, value: &str) -> Result<Vec<u64>, CliError> {
 }
 
 fn device_by_name(name: &str) -> Result<DeviceModel, CliError> {
-    match name.to_ascii_lowercase().as_str() {
-        "xcv1000" => Ok(DeviceModel::xcv1000()),
-        "xcv300" => Ok(DeviceModel::xcv300()),
-        other => Err(CliError(format!(
-            "unknown device `{other}`; expected xcv1000 or xcv300"
-        ))),
-    }
+    // One resolver for both the local explore path and the serve protocol,
+    // so `--devices` accepts the same spellings everywhere.
+    srra_serve::device_by_name(name).map_err(CliError)
 }
 
 fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, CliError> {
@@ -216,6 +231,8 @@ fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, CliError> {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
         cache: None,
+        cache_dir: None,
+        shards: None,
         csv: false,
         stats_json: None,
     };
@@ -271,6 +288,16 @@ fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, CliError> {
                     .ok_or_else(|| CliError(format!("invalid --jobs value `{raw}`")))?;
             }
             "--cache" => parsed.cache = Some(value("--cache")?),
+            "--cache-dir" => parsed.cache_dir = Some(value("--cache-dir")?),
+            "--shards" => {
+                let raw = value("--shards")?;
+                parsed.shards = Some(
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| CliError(format!("invalid --shards value `{raw}`")))?,
+                );
+            }
             "--csv" => parsed.csv = true,
             "--stats-json" => parsed.stats_json = Some(value("--stats-json")?),
             other => {
@@ -293,6 +320,14 @@ fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, CliError> {
             "explore: every axis needs at least one value".into(),
         ));
     }
+    if parsed.cache.is_some() && parsed.cache_dir.is_some() {
+        return Err(CliError(
+            "explore: --cache and --cache-dir are mutually exclusive".into(),
+        ));
+    }
+    if parsed.shards.is_some() && parsed.cache_dir.is_none() {
+        return Err(CliError("explore: --shards needs --cache-dir".into()));
+    }
     Ok(parsed)
 }
 
@@ -303,15 +338,31 @@ struct ExploreStats {
     evaluated: usize,
     jobs: usize,
     store_records: usize,
+    /// Store backend the run used: `memory`, `jsonl` or `sharded`.
+    backend: &'static str,
+    /// Per-shard record counts, present only for the sharded backend.
+    shard_records: Option<Vec<usize>>,
 }
 
 impl ExploreStats {
     /// Hand-rolled JSON (the workspace's serde is an offline no-op shim).
     fn to_json(&self) -> String {
-        format!(
-            "{{\"points\":{},\"cache_hits\":{},\"evaluated\":{},\"jobs\":{},\"store_records\":{}}}\n",
-            self.points, self.cache_hits, self.evaluated, self.jobs, self.store_records
-        )
+        let mut out = format!(
+            "{{\"points\":{},\"cache_hits\":{},\"evaluated\":{},\"jobs\":{},\"store_records\":{},\"backend\":\"{}\"",
+            self.points, self.cache_hits, self.evaluated, self.jobs, self.store_records, self.backend
+        );
+        if let Some(shards) = &self.shard_records {
+            out.push_str(",\"shards\":[");
+            for (index, count) in shards.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                out.push_str(&count.to_string());
+            }
+            out.push(']');
+        }
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -319,6 +370,7 @@ fn explore_with_store<S>(
     space: &DesignSpace,
     jobs: usize,
     store: &mut S,
+    backend: &'static str,
 ) -> Result<(Exploration, ExploreStats), CliError>
 where
     S: ResultStore,
@@ -336,6 +388,8 @@ where
         evaluated: run.evaluated,
         jobs,
         store_records: stored,
+        backend,
+        shard_records: None,
     };
     // Stats go to stderr so stdout stays byte-identical between a cold run and
     // a fully cached re-run.
@@ -354,13 +408,25 @@ fn cmd_explore(args: &[String]) -> Result<String, CliError> {
         .with_budgets(&parsed.budgets)
         .with_ram_latencies(&parsed.latencies)
         .with_devices(parsed.devices);
-    let (run, stats) = match &parsed.cache {
-        Some(path) => {
+    let (run, stats) = match (&parsed.cache, &parsed.cache_dir) {
+        (Some(path), None) => {
             let mut store = JsonlStore::open(path)
                 .map_err(|err| CliError(format!("cannot open cache `{path}`: {err}")))?;
-            explore_with_store(&space, parsed.jobs, &mut store)?
+            explore_with_store(&space, parsed.jobs, &mut store, "jsonl")?
         }
-        None => explore_with_store(&space, parsed.jobs, &mut MemoryStore::new())?,
+        (None, Some(dir)) => {
+            let shards = parsed.shards.unwrap_or(4);
+            let mut store = ShardedStore::open(dir, shards)
+                .map_err(|err| CliError(format!("cannot open cache dir `{dir}`: {err}")))?;
+            let (run, mut stats) = explore_with_store(&space, parsed.jobs, &mut store, "sharded")?;
+            stats.shard_records = Some(
+                store
+                    .shard_sizes()
+                    .map_err(|err| CliError(format!("cannot read shard sizes: {err}")))?,
+            );
+            (run, stats)
+        }
+        _ => explore_with_store(&space, parsed.jobs, &mut MemoryStore::new(), "memory")?,
     };
     if let Some(path) = &parsed.stats_json {
         std::fs::write(path, stats.to_json())
@@ -371,6 +437,220 @@ fn cmd_explore(args: &[String]) -> Result<String, CliError> {
     } else {
         render_exploration(&run)
     })
+}
+
+/// Parsed form of the `serve` subcommand's flags.
+struct ServeArgs {
+    addr: String,
+    cache_dir: String,
+    shards: usize,
+    workers: usize,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut cache_dir: Option<String> = None;
+    let mut shards = 4usize;
+    let mut workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        let positive = |name: &str, raw: String| {
+            raw.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| CliError(format!("invalid {name} value `{raw}`")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")?),
+            "--shards" => shards = positive("--shards", value("--shards")?)?,
+            "--workers" => workers = positive("--workers", value("--workers")?)?,
+            other => {
+                return Err(CliError(format!(
+                    "unknown serve flag `{other}`\n{}",
+                    usage()
+                )))
+            }
+        }
+    }
+    let cache_dir = cache_dir.ok_or_else(|| CliError("serve needs --cache-dir".into()))?;
+    Ok(ServeArgs {
+        addr,
+        cache_dir,
+        shards,
+        workers,
+    })
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_serve_args(args)?;
+    let config = ServerConfig {
+        addr: parsed.addr,
+        cache_dir: parsed.cache_dir.clone().into(),
+        shards: parsed.shards,
+        workers: parsed.workers,
+    };
+    let server = Server::bind(&config).map_err(|err| CliError(format!("serve: {err}")))?;
+    // Announce the bound address immediately (the config may have asked for
+    // an ephemeral port); scripts and ci.sh scrape this line.
+    println!(
+        "srra-serve listening on {} ({} shards under {}, {} workers)",
+        server.local_addr(),
+        parsed.shards,
+        parsed.cache_dir,
+        parsed.workers
+    );
+    let report = server
+        .run()
+        .map_err(|err| CliError(format!("serve: {err}")))?;
+    let stats = report.stats;
+    Ok(format!(
+        "srra-serve stopped after {} connections, {} requests ({} hits, {} misses, {} evaluated; {} records across {} shards)",
+        stats.connections,
+        stats.requests,
+        stats.hits,
+        stats.misses,
+        stats.evaluated,
+        stats.records(),
+        stats.shard_records.len()
+    ))
+}
+
+/// Builds the `explore` request points for `srra query explore` from the same
+/// axis flags the local `explore` command takes — but resolved server-side,
+/// so only names travel over the wire.
+fn parse_query_points(args: &[String]) -> Result<Vec<QueryPoint>, CliError> {
+    let mut kernels: Vec<String> = Vec::new();
+    let mut algos: Vec<String> = vec!["fr".into(), "pr".into(), "cpa".into()];
+    let mut budgets: Vec<u64> = vec![32];
+    let mut latencies: Vec<u64> = vec![2];
+    let mut devices: Vec<String> = vec!["xcv1000".into()];
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        let names = |raw: String| -> Vec<String> {
+            raw.split(',')
+                .map(str::trim)
+                .filter(|n| !n.is_empty())
+                .map(str::to_owned)
+                .collect()
+        };
+        match flag.as_str() {
+            "--kernel" | "--kernels" => {
+                for name in names(value("--kernel")?) {
+                    if name == "all" {
+                        kernels.extend(paper_suite().iter().map(|s| s.kernel.name().to_owned()));
+                    } else {
+                        kernels.push(name);
+                    }
+                }
+            }
+            "--algos" | "--algo" => algos = names(value("--algos")?),
+            "--budgets" => budgets = parse_u64_list("--budgets", &value("--budgets")?)?,
+            "--latencies" => latencies = parse_u64_list("--latencies", &value("--latencies")?)?,
+            "--devices" => devices = names(value("--devices")?),
+            other => {
+                return Err(CliError(format!("unknown query explore flag `{other}`")));
+            }
+        }
+    }
+    if kernels.is_empty() {
+        kernels = paper_suite()
+            .iter()
+            .map(|s| s.kernel.name().to_owned())
+            .collect();
+    }
+    if algos.is_empty() || budgets.is_empty() || latencies.is_empty() || devices.is_empty() {
+        return Err(CliError(
+            "query explore: every axis needs at least one value".into(),
+        ));
+    }
+    let mut points = Vec::new();
+    for kernel in &kernels {
+        for algo in &algos {
+            for &budget in &budgets {
+                for &ram_latency in &latencies {
+                    for device in &devices {
+                        points.push(QueryPoint {
+                            kernel: kernel.clone(),
+                            algorithm: algo.clone(),
+                            budget,
+                            ram_latency,
+                            device: device.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(points)
+}
+
+fn cmd_query(args: &[String]) -> Result<String, CliError> {
+    let (addr, rest) = match args {
+        [flag, addr, rest @ ..] if flag == "--addr" => (addr.clone(), rest),
+        _ => {
+            return Err(CliError(format!(
+                "query needs --addr <host:port>\n{}",
+                usage()
+            )))
+        }
+    };
+    let request = match rest {
+        [op, kernel, algo, budget, opts @ ..] if op == "get" => {
+            let mut point = QueryPoint::new(kernel.clone(), algo.clone(), 0);
+            point.budget = budget
+                .parse()
+                .map_err(|_| CliError(format!("invalid register budget `{budget}`")))?;
+            let mut iter = opts.iter();
+            while let Some(flag) = iter.next() {
+                let mut value = |name: &str| {
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| CliError(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--latency" => {
+                        let raw = value("--latency")?;
+                        point.ram_latency = raw
+                            .parse()
+                            .map_err(|_| CliError(format!("invalid --latency value `{raw}`")))?;
+                    }
+                    "--device" => point.device = value("--device")?,
+                    other => return Err(CliError(format!("unknown query get flag `{other}`"))),
+                }
+            }
+            let canonical = srra_serve::canonical_for(&point).map_err(CliError)?;
+            Request::Get { canonical }
+        }
+        [op, rest @ ..] if op == "explore" => Request::Explore {
+            points: parse_query_points(rest)?,
+        },
+        [op] if op == "stats" => Request::Stats,
+        [op] if op == "shutdown" => Request::Shutdown,
+        _ => {
+            return Err(CliError(format!(
+                "query expects get/explore/stats/shutdown, got `{}`\n{}",
+                rest.join(" "),
+                usage()
+            )))
+        }
+    };
+    let response = Client::new(addr)
+        .roundtrip(&request)
+        .map_err(|err| CliError(format!("query: {err}")))?;
+    Ok(response.render())
 }
 
 fn cmd_dot(name: &str) -> Result<String, CliError> {
@@ -395,6 +675,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         [cmd, kernel] if cmd == "dot" => cmd_dot(kernel),
         [cmd, kernel, algo, budget] if cmd == "allocate" => cmd_allocate(kernel, algo, budget),
         [cmd, rest @ ..] if cmd == "explore" => cmd_explore(rest),
+        [cmd, rest @ ..] if cmd == "serve" => cmd_serve(rest),
+        [cmd, rest @ ..] if cmd == "query" => cmd_query(rest),
         _ => Err(CliError(format!(
             "unrecognised arguments: {}\n{}",
             args.join(" "),
@@ -427,6 +709,9 @@ mod tests {
         }
         assert!(usage().contains("greedy"));
         assert!(usage().contains("--stats-json"));
+        assert!(usage().contains("serve"));
+        assert!(usage().contains("query"));
+        assert!(usage().contains("--cache-dir"));
     }
 
     #[test]
@@ -504,7 +789,7 @@ mod tests {
         let cold_stats = std::fs::read_to_string(&stats_path).unwrap();
         assert_eq!(
             cold_stats.trim(),
-            "{\"points\":6,\"cache_hits\":0,\"evaluated\":6,\"jobs\":1,\"store_records\":6}"
+            "{\"points\":6,\"cache_hits\":0,\"evaluated\":6,\"jobs\":1,\"store_records\":6,\"backend\":\"jsonl\"}"
         );
         // Warm re-run: stdout stays byte-identical, the stats file tells the
         // two runs apart.
@@ -513,7 +798,7 @@ mod tests {
         assert_eq!(warm_out, cold_out);
         assert_eq!(
             warm_stats.trim(),
-            "{\"points\":6,\"cache_hits\":6,\"evaluated\":0,\"jobs\":1,\"store_records\":6}"
+            "{\"points\":6,\"cache_hits\":6,\"evaluated\":0,\"jobs\":1,\"store_records\":6,\"backend\":\"jsonl\"}"
         );
         let _ = std::fs::remove_file(&stats_path);
         let _ = std::fs::remove_file(&cache_path);
@@ -522,6 +807,139 @@ mod tests {
     #[test]
     fn explore_stats_json_requires_a_value() {
         assert!(run(&args(&["explore", "--stats-json"])).is_err());
+    }
+
+    #[test]
+    fn explore_with_a_sharded_cache_reports_per_shard_statistics() {
+        let dir = std::env::temp_dir().join(format!("srra-cli-shards-test-{}", std::process::id()));
+        let cache_dir = dir.join("cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stats_path = dir.join("stats.json");
+        let explore_args = || {
+            args(&[
+                "explore",
+                "--kernel",
+                "fir",
+                "--budgets",
+                "8,16",
+                "--jobs",
+                "1",
+                "--cache-dir",
+                cache_dir.to_str().unwrap(),
+                "--shards",
+                "3",
+                "--stats-json",
+                stats_path.to_str().unwrap(),
+            ])
+        };
+        let cold_out = run(&explore_args()).unwrap();
+        let cold_stats = std::fs::read_to_string(&stats_path).unwrap();
+        assert!(
+            cold_stats.contains("\"backend\":\"sharded\""),
+            "{cold_stats}"
+        );
+        assert!(cold_stats.contains("\"evaluated\":6"), "{cold_stats}");
+        assert!(cold_stats.contains(",\"shards\":["), "{cold_stats}");
+        // The shard list has exactly three entries summing to the store size.
+        let shards: Vec<usize> = cold_stats
+            .split("\"shards\":[")
+            .nth(1)
+            .unwrap()
+            .split(']')
+            .next()
+            .unwrap()
+            .split(',')
+            .map(|n| n.parse().unwrap())
+            .collect();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().sum::<usize>(), 6);
+        // Warm re-run: stdout byte-identical, everything a cache hit.
+        let warm_out = run(&explore_args()).unwrap();
+        let warm_stats = std::fs::read_to_string(&stats_path).unwrap();
+        assert_eq!(warm_out, cold_out);
+        assert!(warm_stats.contains("\"cache_hits\":6"), "{warm_stats}");
+        assert!(
+            warm_stats.contains("\"backend\":\"sharded\""),
+            "{warm_stats}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explore_rejects_conflicting_cache_flags() {
+        assert!(run(&args(&[
+            "explore",
+            "--kernel",
+            "fir",
+            "--cache",
+            "/tmp/x.jsonl",
+            "--cache-dir",
+            "/tmp/xdir"
+        ]))
+        .is_err());
+        assert!(run(&args(&["explore", "--kernel", "fir", "--shards", "4"])).is_err());
+        assert!(run(&args(&[
+            "explore",
+            "--shards",
+            "0",
+            "--cache-dir",
+            "/tmp/y"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn serve_and_query_round_trip_over_a_live_socket() {
+        let dir = std::env::temp_dir().join(format!("srra-cli-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache_dir = dir.join("cache");
+
+        // Bind directly (not via `run`) so the test learns the port without
+        // scraping stdout, then exercise the `query` command end to end.
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            cache_dir: cache_dir.clone(),
+            shards: 2,
+            workers: 2,
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let query = |rest: &[&str]| {
+            let mut full = vec!["query", "--addr", addr.as_str()];
+            full.extend_from_slice(rest);
+            run(&args(&full))
+        };
+        let miss = query(&["get", "fir", "cpa", "32"]).unwrap();
+        assert_eq!(miss, "{\"ok\":true,\"found\":false}");
+        let explored = query(&["explore", "--kernel", "fir", "--algos", "cpa"]).unwrap();
+        assert!(explored.contains("\"evaluated\":1"), "{explored}");
+        let hit = query(&["get", "fir", "cpa", "32"]).unwrap();
+        assert!(hit.contains("\"found\":true"), "{hit}");
+        assert!(hit.contains("\"kernel\":\"fir\""), "{hit}");
+        let stats = query(&["stats"]).unwrap();
+        assert!(stats.contains("\"evaluated\":1"), "{stats}");
+        assert_eq!(
+            query(&["shutdown"]).unwrap(),
+            "{\"ok\":true,\"shutting_down\":true}"
+        );
+        handle.join().unwrap();
+
+        // Bad query invocations fail client-side with usage hints.
+        assert!(run(&args(&["query", "get", "fir", "cpa", "32"])).is_err());
+        assert!(query(&["get", "fir", "cpa", "many"]).is_err());
+        assert!(query(&["frobnicate"]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_missing_or_malformed_flags() {
+        assert!(run(&args(&["serve"])).is_err(), "serve needs --cache-dir");
+        assert!(run(&args(&["serve", "--cache-dir"])).is_err());
+        assert!(run(&args(&["serve", "--cache-dir", "/tmp/x", "--shards", "0"])).is_err());
+        assert!(run(&args(&["serve", "--cache-dir", "/tmp/x", "--frobnicate"])).is_err());
     }
 
     #[test]

@@ -164,7 +164,8 @@ impl Explorer {
                     continue;
                 }
                 // A key collision between distinct points: fall through and
-                // evaluate separately (the store keeps only the first).
+                // evaluate separately (the store indexes a vec per key, so
+                // both colliding records are cached).
             }
             match store.get(key, canonical)? {
                 Some(record) => {

@@ -4,9 +4,10 @@
 //! The layering follows the `StorageBase` / `Storage` split common in embedded
 //! storage APIs: [`StoreBase`] carries the error type and the cheap queries,
 //! [`ResultStore`] adds typed get/put.  Records are keyed by the FNV-1a hash of
-//! the design point's canonical string; `get` re-checks the canonical string so
-//! a (vanishingly unlikely) hash collision degrades to a cache miss instead of
-//! returning the wrong record.
+//! the design point's canonical string, but every store indexes a *small vector*
+//! of records per key and matches on the canonical string, so a (vanishingly
+//! unlikely) hash collision stores both colliding records instead of silently
+//! dropping — and forever re-evaluating — the second one.
 
 use std::collections::HashMap;
 use std::convert::Infallible;
@@ -343,8 +344,10 @@ pub trait ResultStore: StoreBase {
     /// Backend-specific (I/O for persistent stores).
     fn get(&self, key: u64, canonical: &str) -> Result<Option<PointRecord>, Self::Error>;
 
-    /// Inserts a record; returns `false` if the key was already present (the
-    /// stored record wins — results are immutable).
+    /// Inserts a record; returns `false` if a record with the same canonical
+    /// string was already present (the stored record wins — results are
+    /// immutable).  A record whose key collides with a *different* canonical
+    /// string is stored alongside the existing one, not dropped.
     ///
     /// # Errors
     ///
@@ -352,16 +355,47 @@ pub trait ResultStore: StoreBase {
     fn put(&mut self, record: &PointRecord) -> Result<bool, Self::Error>;
 }
 
+/// The shared per-key index of the in-memory backends: a small vector of
+/// records per FNV key (almost always length 1; longer only under a genuine
+/// 64-bit hash collision).
+type KeyIndex = HashMap<u64, Vec<PointRecord>>;
+
+/// Inserts into a [`KeyIndex`], deduplicating by canonical string; returns
+/// whether the record was fresh.
+fn index_insert(index: &mut KeyIndex, record: &PointRecord) -> bool {
+    let bucket = index.entry(record.key).or_default();
+    if bucket.iter().any(|held| held.canonical == record.canonical) {
+        return false;
+    }
+    bucket.push(record.clone());
+    true
+}
+
+/// Looks a canonical string up in a [`KeyIndex`].
+fn index_get(index: &KeyIndex, key: u64, canonical: &str) -> Option<PointRecord> {
+    index
+        .get(&key)?
+        .iter()
+        .find(|record| record.canonical == canonical)
+        .cloned()
+}
+
 /// A purely in-memory store.
 #[derive(Debug, Default)]
 pub struct MemoryStore {
-    records: HashMap<u64, PointRecord>,
+    records: KeyIndex,
+    count: usize,
 }
 
 impl MemoryStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Iterates over every held record (unspecified order).
+    pub fn records(&self) -> impl Iterator<Item = &PointRecord> {
+        self.records.values().flatten()
     }
 }
 
@@ -373,28 +407,19 @@ impl StoreBase for MemoryStore {
     }
 
     fn len(&self) -> Result<usize, Infallible> {
-        Ok(self.records.len())
+        Ok(self.count)
     }
 }
 
 impl ResultStore for MemoryStore {
     fn get(&self, key: u64, canonical: &str) -> Result<Option<PointRecord>, Infallible> {
-        Ok(self
-            .records
-            .get(&key)
-            .filter(|record| record.canonical == canonical)
-            .cloned())
+        Ok(index_get(&self.records, key, canonical))
     }
 
     fn put(&mut self, record: &PointRecord) -> Result<bool, Infallible> {
-        use std::collections::hash_map::Entry;
-        match self.records.entry(record.key) {
-            Entry::Occupied(_) => Ok(false),
-            Entry::Vacant(slot) => {
-                slot.insert(record.clone());
-                Ok(true)
-            }
-        }
+        let fresh = index_insert(&mut self.records, record);
+        self.count += usize::from(fresh);
+        Ok(fresh)
     }
 }
 
@@ -439,7 +464,8 @@ impl From<std::io::Error> for JsonlError {
 #[derive(Debug)]
 pub struct JsonlStore {
     path: PathBuf,
-    index: HashMap<u64, PointRecord>,
+    index: KeyIndex,
+    count: usize,
     writer: BufWriter<File>,
 }
 
@@ -457,7 +483,8 @@ impl JsonlStore {
     /// [`JsonlError::Parse`] if a newline-terminated line is corrupt.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, JsonlError> {
         let path = path.as_ref().to_path_buf();
-        let mut index = HashMap::new();
+        let mut index = KeyIndex::new();
+        let mut count = 0;
         let mut terminate_valid_tail = false;
         if path.exists() {
             let data = std::fs::read_to_string(&path)?;
@@ -474,7 +501,10 @@ impl JsonlStore {
                 if !line.trim().is_empty() {
                     match PointRecord::from_json_line(line) {
                         Ok(record) => {
-                            index.insert(record.key, record);
+                            // Duplicate lines (e.g. a merged file) keep the
+                            // first occurrence; distinct canonicals sharing a
+                            // key are all kept.
+                            count += usize::from(index_insert(&mut index, &record));
                             // A parseable but unterminated tail stays; the
                             // writer adds the missing newline before appending.
                             terminate_valid_tail = !terminated;
@@ -504,6 +534,7 @@ impl JsonlStore {
         Ok(Self {
             path,
             index,
+            count,
             writer,
         })
     }
@@ -511,6 +542,11 @@ impl JsonlStore {
     /// The file backing this store.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Iterates over every held record (unspecified order).
+    pub fn records(&self) -> impl Iterator<Item = &PointRecord> {
+        self.index.values().flatten()
     }
 }
 
@@ -522,28 +558,25 @@ impl StoreBase for JsonlStore {
     }
 
     fn len(&self) -> Result<usize, JsonlError> {
-        Ok(self.index.len())
+        Ok(self.count)
     }
 }
 
 impl ResultStore for JsonlStore {
     fn get(&self, key: u64, canonical: &str) -> Result<Option<PointRecord>, JsonlError> {
-        Ok(self
-            .index
-            .get(&key)
-            .filter(|record| record.canonical == canonical)
-            .cloned())
+        Ok(index_get(&self.index, key, canonical))
     }
 
     fn put(&mut self, record: &PointRecord) -> Result<bool, JsonlError> {
-        if self.index.contains_key(&record.key) {
+        if index_get(&self.index, record.key, &record.canonical).is_some() {
             return Ok(false);
         }
         let line = record.to_json_line();
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        self.index.insert(record.key, record.clone());
+        index_insert(&mut self.index, record);
+        self.count += 1;
         Ok(true)
     }
 }
@@ -609,6 +642,53 @@ mod tests {
         );
         // A colliding key with a different canonical string is a miss.
         assert_eq!(store.get(7, "other").unwrap(), None);
+    }
+
+    #[test]
+    fn colliding_keys_store_both_records_instead_of_dropping_one() {
+        // Two *distinct* design points whose canonical strings FNV-hash to the
+        // same 64-bit key.  Before the key→vec index, the second `put`
+        // returned Ok(false) without storing anything, so the point was
+        // re-evaluated on every run.
+        let first = sample_record(7);
+        let mut second = sample_record(7);
+        second.canonical = "kernel=mat;algo=FR-RA;budget=9;latency=1;device=XCV300".to_owned();
+        second.total_cycles = 999;
+
+        let mut memory = MemoryStore::new();
+        assert!(memory.put(&first).unwrap());
+        assert!(
+            memory.put(&second).unwrap(),
+            "a colliding key must not silently drop the record"
+        );
+        assert!(!memory.put(&second).unwrap(), "identical canonical dedupes");
+        assert_eq!(memory.len().unwrap(), 2);
+        assert_eq!(
+            memory.get(7, &first.canonical).unwrap(),
+            Some(first.clone())
+        );
+        assert_eq!(
+            memory.get(7, &second.canonical).unwrap(),
+            Some(second.clone())
+        );
+        assert_eq!(memory.records().count(), 2);
+
+        // Same contract for the persistent backend, across a reopen.
+        let dir = std::env::temp_dir().join(format!("srra-store-collide-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = JsonlStore::open(&path).unwrap();
+            assert!(store.put(&first).unwrap());
+            assert!(store.put(&second).unwrap());
+            assert!(!store.put(&second).unwrap());
+        }
+        let store = JsonlStore::open(&path).unwrap();
+        assert_eq!(store.len().unwrap(), 2);
+        assert_eq!(store.get(7, &first.canonical).unwrap(), Some(first));
+        assert_eq!(store.get(7, &second.canonical).unwrap(), Some(second));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

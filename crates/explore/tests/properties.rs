@@ -67,6 +67,43 @@ fn scratch_cache_path(tag: &str, case: u64) -> std::path::PathBuf {
     ))
 }
 
+/// Strings stuffed with everything the JSONL escaping has to survive: quotes,
+/// backslashes, control characters, JSON syntax and multi-byte code points.
+fn nasty_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            'a', 'Z', '0', ' ', ';', '=', ':', ',', '{', '}', '[', ']', '"', '\\', '/', '\n', '\r',
+            '\t', '\u{0}', '\u{1}', '\u{1f}', '\u{7f}', 'é', '→', '𝕊',
+        ]),
+        0..16,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Finite but extreme `f64`s: subnormals, the type's edges, exact zeroes of
+/// both signs, and arbitrary finite bit patterns.
+fn extreme_f64() -> impl Strategy<Value = f64> {
+    (any::<u64>(), 0u8..8).prop_map(|(bits, pick)| match pick {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f64::MAX,
+        3 => f64::MIN,
+        4 => f64::MIN_POSITIVE,
+        5 => 5e-324, // Smallest positive subnormal.
+        6 => f64::EPSILON,
+        _ => {
+            let raw = f64::from_bits(bits);
+            if raw.is_finite() {
+                raw
+            } else {
+                // NaN/inf have no JSON literal; fold them onto a finite value
+                // derived from the same draw.
+                (bits >> 12) as f64 * 1e-3
+            }
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -144,6 +181,78 @@ proptest! {
         prop_assert_eq!(render_exploration(&warm), render_exploration(&cold));
         prop_assert_eq!(exploration_csv(&warm), exploration_csv(&cold));
     }
+}
+
+// The record codec is microseconds-cheap per case, so it gets its own block
+// with a much larger case budget than the exploration properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn point_record_json_lines_round_trip_bit_exactly(
+        key in any::<u64>(),
+        canonical in nasty_string(),
+        kernel in nasty_string(),
+        algorithm in nasty_string(),
+        version in nasty_string(),
+        device in nasty_string(),
+        distribution in nasty_string(),
+        feasible in any::<bool>(),
+        fits in any::<bool>(),
+        cycles in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        sizes in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        clock_period_ns in extreme_f64(),
+        execution_time_us in extreme_f64(),
+    ) {
+        let (budget, ram_latency, total_cycles, compute_cycles, memory_cycles) = cycles;
+        let (transfer_cycles, registers_used, slices, block_rams) = sizes;
+        let record = PointRecord {
+            key,
+            canonical,
+            kernel,
+            algorithm,
+            version,
+            budget,
+            ram_latency,
+            device,
+            feasible,
+            fits,
+            registers_used,
+            total_cycles,
+            compute_cycles,
+            memory_cycles,
+            transfer_cycles,
+            clock_period_ns,
+            execution_time_us,
+            slices,
+            block_rams,
+            distribution,
+        };
+        let line = record.to_json_line();
+        prop_assert!(!line.contains('\n'), "encoded record must stay on one line");
+        let back = match PointRecord::from_json_line(&line) {
+            Ok(back) => back,
+            Err(err) => return Err(TestCaseError::fail(format!(
+                "failed to parse own encoding `{line}`: {err}"
+            ))),
+        };
+        prop_assert_eq!(&back, &record);
+        // Bit-exact floats (PartialEq alone would let -0.0 == 0.0 slip by).
+        prop_assert_eq!(
+            back.clock_period_ns.to_bits(),
+            record.clock_period_ns.to_bits()
+        );
+        prop_assert_eq!(
+            back.execution_time_us.to_bits(),
+            record.execution_time_us.to_bits()
+        );
+        // Re-encoding is byte-identical, so cached files never churn.
+        prop_assert_eq!(back.to_json_line(), line);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn parallel_and_serial_exploration_produce_the_same_result_set(

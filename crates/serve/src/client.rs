@@ -1,0 +1,165 @@
+//! A small blocking client for the serve protocol, used by `srra query`, the
+//! integration tests and the serving benchmark.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use srra_explore::PointRecord;
+
+use crate::protocol::{QueryPoint, Request, Response, ServerStats};
+
+/// Errors of the query client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The response line could not be decoded.
+    Protocol(String),
+    /// The server answered with an error response.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "query I/O error: {err}"),
+            ClientError::Protocol(message) => write!(f, "malformed server response: {message}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+/// The records and cache statistics of one `explore` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreReply {
+    /// One record per requested point, in request order.
+    pub records: Vec<PointRecord>,
+    /// Points answered from the shards.
+    pub hits: u64,
+    /// Points evaluated on demand.
+    pub evaluated: u64,
+}
+
+/// A connection-per-request client addressing one server.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the server at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures and malformed responses.
+    pub fn roundtrip(&self, request: &Request) -> Result<Response, ClientError> {
+        let mut addrs = self.addr.to_socket_addrs()?;
+        let addr = addrs.next().ok_or_else(|| {
+            ClientError::Protocol(format!("unresolvable address `{}`", self.addr))
+        })?;
+        let mut stream = TcpStream::connect(addr)?;
+        stream.write_all(request.render().as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        if line.is_empty() {
+            return Err(ClientError::Protocol(
+                "server closed the connection without answering".to_owned(),
+            ));
+        }
+        Response::parse(line.trim_end()).map_err(ClientError::Protocol)
+    }
+
+    /// Looks a record up by canonical string; `None` is a miss.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn get(&self, canonical: &str) -> Result<Option<PointRecord>, ClientError> {
+        match self.roundtrip(&Request::Get {
+            canonical: canonical.to_owned(),
+        })? {
+            Response::Found { record } => Ok(Some(record)),
+            Response::NotFound => Ok(None),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to get: {other:?}"
+            ))),
+        }
+    }
+
+    /// Answers a batch of design points (hits from the shards, misses
+    /// evaluated server-side).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn explore(&self, points: &[QueryPoint]) -> Result<ExploreReply, ClientError> {
+        match self.roundtrip(&Request::Explore {
+            points: points.to_vec(),
+        })? {
+            Response::Explored {
+                records,
+                hits,
+                evaluated,
+            } => Ok(ExploreReply {
+                records,
+                hits,
+                evaluated,
+            }),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to explore: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server statistics.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn stats(&self) -> Result<ServerStats, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to shutdown: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! A minimal recursive JSON reader/writer for the wire protocol.
+//!
+//! The workspace's `serde` is an offline no-op shim, and the flat-object
+//! parser inside `srra_explore` only handles the shape of a
+//! [`srra_explore::PointRecord`] line, so the protocol layer carries its own
+//! small JSON value type.  Numbers are kept as their raw source text: the
+//! parser never converts to `f64` and back, so re-rendering a parsed value
+//! reproduces the original digits exactly (this is what lets a client pass an
+//! embedded record object straight back to
+//! [`srra_explore::PointRecord::from_json_line`] without losing precision).
+
+use std::fmt::Write as _;
+
+/// One JSON value: the full recursive grammar, with numbers kept as raw text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw (already validated) source text.
+    Number(String),
+    /// A string (unescaped).
+    Text(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object as an ordered field list (duplicate keys keep first).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one complete JSON document; trailing garbage is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing input at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    /// Renders the value as compact JSON (no added whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Number(raw) => out.push_str(raw),
+            JsonValue::Text(text) => render_string(out, text),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (name, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(out, name);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Looks a field up in an object (first occurrence); `None` for other
+    /// variants or a missing field.
+    pub fn get(&self, name: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields
+                .iter()
+                .find(|(key, _)| key == name)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Text` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Text(text) => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`, if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Writes `text` as a quoted, escaped JSON string.
+fn render_string(out: &mut String, text: &str) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Text(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected value start {other:?} at byte {}",
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let name = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((name, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => return Err(format!("expected `,` or `]`, got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // Decode by chars, not bytes: the input is valid UTF-8 already, so
+        // track multi-byte sequences through a chars iterator over the rest.
+        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+            .map_err(|_| "invalid UTF-8 in string".to_owned())?;
+        let mut chars = rest.char_indices();
+        loop {
+            let Some((offset, ch)) = chars.next() else {
+                return Err("unterminated string".to_owned());
+            };
+            match ch {
+                '"' => {
+                    self.pos += offset + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let digits: String =
+                            (0..4).filter_map(|_| chars.next().map(|c| c.1)).collect();
+                        if digits.len() != 4 {
+                            return Err("truncated \\u escape".to_owned());
+                        }
+                        let code = u32::from_str_radix(&digits, 16)
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u code point {code:#x}"))?,
+                        );
+                    }
+                    other => return Err(format!("bad escape `\\{other:?}`")),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let raw =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if raw.parse::<f64>().is_err() {
+            return Err(format!("bad number `{raw}` at byte {start}"));
+        }
+        Ok(JsonValue::Number(raw.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_rerenders_nested_documents() {
+        let text = r#"{"op":"explore","points":[{"kernel":"fir","budget":32,"deep":[1,2.5,-3e2]}],"flag":true,"none":null}"#;
+        let value = JsonValue::parse(text).expect("parses");
+        assert_eq!(
+            value.render(),
+            text,
+            "raw numbers re-render byte-identically"
+        );
+        assert_eq!(value.get("op").and_then(JsonValue::as_str), Some("explore"));
+        let points = value.get("points").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            points[0].get("budget").and_then(JsonValue::as_u64),
+            Some(32)
+        );
+        assert_eq!(points[0].get("deep").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(value.get("flag").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(value.get("none"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a\"b\\c\nd\te\u{1}f→g";
+        let rendered = {
+            let mut out = String::new();
+            render_string(&mut out, original);
+            out
+        };
+        let back = JsonValue::parse(&rendered).unwrap();
+        assert_eq!(back.as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let value = JsonValue::parse("\"\\u0041\\u00e9\\u2192\"").unwrap();
+        assert_eq!(value.as_str(), Some("Aé→"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "{\"a\":1} trailing",
+            "01a",
+            "nulL",
+            "\"bad \\q escape\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn numbers_preserve_source_text() {
+        let value = JsonValue::parse("[10.573, 1305.312048, 1e-300]").unwrap();
+        assert_eq!(value.render(), "[10.573,1305.312048,1e-300]");
+        let items = value.as_array().unwrap();
+        assert_eq!(items[0].as_f64(), Some(10.573));
+        assert_eq!(items[1].as_f64(), Some(1_305.312_048));
+    }
+}

@@ -1,0 +1,63 @@
+//! Sharded result store and concurrent query serving over the `srra`
+//! exploration cache.
+//!
+//! The exploration engine of [`srra_explore`] caches every evaluated design
+//! point in a content-addressed [`srra_explore::ResultStore`].  This crate
+//! scales that substrate in two layers:
+//!
+//! 1. [`ShardedStore`] — the cache split over N JSONL shard files (records
+//!    routed by `key % N`), each shard behind its own mutex so concurrent
+//!    threads touch disjoint shards without contention, plus a lock file
+//!    guarding the directory against concurrent processes.
+//!    [`ShardedStore::merge_file`] folds a legacy single-file cache into the
+//!    shards and [`ShardedStore::compact`] deduplicates and re-routes dirty
+//!    shards, retiring the old single-writer caveat.
+//! 2. [`Server`] — a thread-pool TCP front end (`std::net` only, no async
+//!    runtime) speaking a line-delimited JSON protocol: `get` a record by
+//!    canonical design-point string, `explore` a batch of points (hits
+//!    answered from the shards, misses evaluated through the
+//!    [`srra_explore::evaluate_point`] seam exactly once — concurrent
+//!    requests for the same missing point block on an in-flight table rather
+//!    than re-evaluating), `stats`, and graceful `shutdown`.
+//!
+//! The wire protocol is specified in `docs/serving.md`; [`Request`] /
+//! [`Response`] are its single encode/decode implementation, shared by the
+//! server and the [`Client`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use srra_serve::{Client, QueryPoint, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("srra-serve-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let server = Server::bind(&ServerConfig::ephemeral(&dir))?;
+//! let addr = server.local_addr();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let client = Client::new(addr.to_string());
+//! let reply = client.explore(&[QueryPoint::new("fir", "cpa", 32)])?;
+//! assert_eq!(reply.records.len(), 1);
+//! assert_eq!(reply.evaluated, 1, "cold shard: the miss is evaluated");
+//! client.shutdown()?;
+//! handle.join().expect("server thread")?;
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod json;
+mod protocol;
+mod server;
+mod shard;
+
+pub use client::{Client, ClientError, ExploreReply};
+pub use json::JsonValue;
+pub use protocol::{QueryPoint, Request, Response, ServerStats};
+pub use server::{canonical_for, device_by_name, ServeError, Server, ServerConfig, ServerReport};
+pub use shard::{CompactOutcome, MergeOutcome, ShardError, ShardedStore};

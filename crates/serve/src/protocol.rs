@@ -1,0 +1,550 @@
+//! The line-delimited JSON wire protocol spoken between `srra serve` and
+//! `srra query`.
+//!
+//! Every request and every response is exactly one JSON object on one line
+//! (`\n`-terminated).  A connection may carry any number of request/response
+//! pairs in order.  The full specification lives in `docs/serving.md`; this
+//! module is the single encode/decode implementation used by both the server
+//! and the client, so the two cannot drift apart.
+
+use srra_explore::PointRecord;
+
+use crate::json::JsonValue;
+
+/// One design point named by a query (the request-side mirror of
+/// [`srra_explore::DesignPoint`], with everything by name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPoint {
+    /// Kernel name (`fir`, `mat`, ..., or `example`).
+    pub kernel: String,
+    /// Allocator name, label, version or alias (resolved through the
+    /// [`srra_core::AllocatorRegistry`]).
+    pub algorithm: String,
+    /// Register budget.
+    pub budget: u64,
+    /// RAM access latency in cycles.
+    pub ram_latency: u64,
+    /// Device name (`xcv1000` / `xcv300`, case-insensitive, or a full part
+    /// name).
+    pub device: String,
+}
+
+impl QueryPoint {
+    /// A point with the protocol defaults for latency (2 cycles) and device
+    /// (`xcv1000`).
+    pub fn new(kernel: impl Into<String>, algorithm: impl Into<String>, budget: u64) -> Self {
+        Self {
+            kernel: kernel.into(),
+            algorithm: algorithm.into(),
+            budget,
+            ram_latency: 2,
+            device: "xcv1000".to_owned(),
+        }
+    }
+
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("kernel".to_owned(), JsonValue::Text(self.kernel.clone())),
+            ("algo".to_owned(), JsonValue::Text(self.algorithm.clone())),
+            (
+                "budget".to_owned(),
+                JsonValue::Number(self.budget.to_string()),
+            ),
+            (
+                "latency".to_owned(),
+                JsonValue::Number(self.ram_latency.to_string()),
+            ),
+            ("device".to_owned(), JsonValue::Text(self.device.clone())),
+        ])
+    }
+
+    fn from_value(value: &JsonValue) -> Result<Self, String> {
+        let text = |name: &str| -> Result<String, String> {
+            value
+                .get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("point needs a string `{name}` field"))
+        };
+        let budget = value
+            .get("budget")
+            .and_then(JsonValue::as_u64)
+            .ok_or("point needs a numeric `budget` field")?;
+        let ram_latency = match value.get("latency") {
+            None => 2,
+            Some(v) => v.as_u64().ok_or("`latency` must be a number")?,
+        };
+        let device = match value.get("device") {
+            None => "xcv1000".to_owned(),
+            Some(v) => v
+                .as_str()
+                .map(str::to_owned)
+                .ok_or("`device` must be a string")?,
+        };
+        Ok(Self {
+            kernel: text("kernel")?,
+            algorithm: text("algo")?,
+            budget,
+            ram_latency,
+            device,
+        })
+    }
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Look a record up by its canonical design-point string; never evaluates.
+    Get {
+        /// The canonical string (see `srra_explore::DesignPoint::canonical`).
+        canonical: String,
+    },
+    /// Answer a batch of design points: cache hits from the shards, misses
+    /// evaluated on demand and written back.
+    Explore {
+        /// The points to answer, in request order.
+        points: Vec<QueryPoint>,
+    },
+    /// Server statistics.
+    Stats,
+    /// Graceful shutdown: the server acknowledges, stops accepting, drains
+    /// in-flight connections and exits.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Get { canonical } => JsonValue::Object(vec![
+                ("op".to_owned(), JsonValue::Text("get".to_owned())),
+                ("canonical".to_owned(), JsonValue::Text(canonical.clone())),
+            ])
+            .render(),
+            Request::Explore { points } => JsonValue::Object(vec![
+                ("op".to_owned(), JsonValue::Text("explore".to_owned())),
+                (
+                    "points".to_owned(),
+                    JsonValue::Array(points.iter().map(QueryPoint::to_value).collect()),
+                ),
+            ])
+            .render(),
+            Request::Stats => r#"{"op":"stats"}"#.to_owned(),
+            Request::Shutdown => r#"{"op":"shutdown"}"#.to_owned(),
+        }
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing description of the first problem (malformed JSON,
+    /// unknown op, missing fields).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let value = JsonValue::parse(line)?;
+        let op = value
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or("request needs a string `op` field")?;
+        match op {
+            "get" => Ok(Request::Get {
+                canonical: value
+                    .get("canonical")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("`get` needs a string `canonical` field")?
+                    .to_owned(),
+            }),
+            "explore" => {
+                let items = value
+                    .get("points")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("`explore` needs a `points` array")?;
+                if items.is_empty() {
+                    return Err("`explore` needs at least one point".to_owned());
+                }
+                let points = items
+                    .iter()
+                    .map(QueryPoint::from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Explore { points })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}
+
+/// Server statistics reported by [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests handled (all ops).
+    pub requests: u64,
+    /// Lookups answered from the shards.
+    pub hits: u64,
+    /// Lookups that found nothing in the shards.
+    pub misses: u64,
+    /// Design points evaluated on demand.
+    pub evaluated: u64,
+    /// Record count per shard, in shard order.
+    pub shard_records: Vec<usize>,
+}
+
+impl ServerStats {
+    /// Total records across all shards.
+    pub fn records(&self) -> usize {
+        self.shard_records.iter().sum()
+    }
+
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "uptime_ms".to_owned(),
+                JsonValue::Number(self.uptime_ms.to_string()),
+            ),
+            (
+                "connections".to_owned(),
+                JsonValue::Number(self.connections.to_string()),
+            ),
+            (
+                "requests".to_owned(),
+                JsonValue::Number(self.requests.to_string()),
+            ),
+            ("hits".to_owned(), JsonValue::Number(self.hits.to_string())),
+            (
+                "misses".to_owned(),
+                JsonValue::Number(self.misses.to_string()),
+            ),
+            (
+                "evaluated".to_owned(),
+                JsonValue::Number(self.evaluated.to_string()),
+            ),
+            (
+                "records".to_owned(),
+                JsonValue::Number(self.records().to_string()),
+            ),
+            (
+                "shards".to_owned(),
+                JsonValue::Array(
+                    self.shard_records
+                        .iter()
+                        .map(|n| JsonValue::Number(n.to_string()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(value: &JsonValue) -> Result<Self, String> {
+        let num = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("stats need a numeric `{name}` field"))
+        };
+        let shard_records = value
+            .get("shards")
+            .and_then(JsonValue::as_array)
+            .ok_or("stats need a `shards` array")?
+            .iter()
+            .map(|v| v.as_u64().map(|n| n as usize))
+            .collect::<Option<Vec<_>>>()
+            .ok_or("`shards` entries must be numbers")?;
+        Ok(Self {
+            uptime_ms: num("uptime_ms")?,
+            connections: num("connections")?,
+            requests: num("requests")?,
+            hits: num("hits")?,
+            misses: num("misses")?,
+            evaluated: num("evaluated")?,
+            shard_records,
+        })
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `get` hit.
+    Found {
+        /// The stored record.
+        record: PointRecord,
+    },
+    /// `get` miss.
+    NotFound,
+    /// `explore` answer.
+    Explored {
+        /// One record per requested point, in request order.
+        records: Vec<PointRecord>,
+        /// Points answered from the shards.
+        hits: u64,
+        /// Points evaluated on demand (by this request or one it waited on).
+        evaluated: u64,
+    },
+    /// `stats` answer.
+    Stats(ServerStats),
+    /// `shutdown` acknowledgement.
+    ShuttingDown,
+    /// Any failure; the connection stays open.
+    Error {
+        /// A user-facing description of the problem.
+        message: String,
+    },
+}
+
+/// Embeds a [`PointRecord`] as a raw JSON object (its JSONL line).
+fn record_value(record: &PointRecord) -> JsonValue {
+    JsonValue::parse(&record.to_json_line()).expect("PointRecord lines are valid JSON")
+}
+
+/// Decodes a [`PointRecord`] from a parsed JSON object by re-rendering it as
+/// a JSONL line.  Numbers keep their raw source text, so the round trip is
+/// bit-exact for the f64 fields.
+fn record_from_value(value: &JsonValue) -> Result<PointRecord, String> {
+    PointRecord::from_json_line(&value.render())
+}
+
+impl Response {
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Found { record } => JsonValue::Object(vec![
+                ("ok".to_owned(), JsonValue::Bool(true)),
+                ("found".to_owned(), JsonValue::Bool(true)),
+                ("record".to_owned(), record_value(record)),
+            ])
+            .render(),
+            Response::NotFound => r#"{"ok":true,"found":false}"#.to_owned(),
+            Response::Explored {
+                records,
+                hits,
+                evaluated,
+            } => JsonValue::Object(vec![
+                ("ok".to_owned(), JsonValue::Bool(true)),
+                (
+                    "records".to_owned(),
+                    JsonValue::Array(records.iter().map(record_value).collect()),
+                ),
+                ("hits".to_owned(), JsonValue::Number(hits.to_string())),
+                (
+                    "evaluated".to_owned(),
+                    JsonValue::Number(evaluated.to_string()),
+                ),
+            ])
+            .render(),
+            Response::Stats(stats) => JsonValue::Object(vec![
+                ("ok".to_owned(), JsonValue::Bool(true)),
+                ("stats".to_owned(), stats.to_value()),
+            ])
+            .render(),
+            Response::ShuttingDown => r#"{"ok":true,"shutting_down":true}"#.to_owned(),
+            Response::Error { message } => JsonValue::Object(vec![
+                ("ok".to_owned(), JsonValue::Bool(false)),
+                ("error".to_owned(), JsonValue::Text(message.clone())),
+            ])
+            .render(),
+        }
+    }
+
+    /// Decodes one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem (malformed JSON or an
+    /// unrecognised shape).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let value = JsonValue::parse(line)?;
+        let ok = value
+            .get("ok")
+            .and_then(JsonValue::as_bool)
+            .ok_or("response needs a boolean `ok` field")?;
+        if !ok {
+            return Ok(Response::Error {
+                message: value
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unspecified server error")
+                    .to_owned(),
+            });
+        }
+        if let Some(found) = value.get("found").and_then(JsonValue::as_bool) {
+            return if found {
+                Ok(Response::Found {
+                    record: record_from_value(
+                        value
+                            .get("record")
+                            .ok_or("`found` response lacks `record`")?,
+                    )?,
+                })
+            } else {
+                Ok(Response::NotFound)
+            };
+        }
+        if let Some(items) = value.get("records").and_then(JsonValue::as_array) {
+            let records = items
+                .iter()
+                .map(record_from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            let hits = value
+                .get("hits")
+                .and_then(JsonValue::as_u64)
+                .ok_or("`explore` response lacks `hits`")?;
+            let evaluated = value
+                .get("evaluated")
+                .and_then(JsonValue::as_u64)
+                .ok_or("`explore` response lacks `evaluated`")?;
+            return Ok(Response::Explored {
+                records,
+                hits,
+                evaluated,
+            });
+        }
+        if let Some(stats) = value.get("stats") {
+            return Ok(Response::Stats(ServerStats::from_value(stats)?));
+        }
+        if value.get("shutting_down").and_then(JsonValue::as_bool) == Some(true) {
+            return Ok(Response::ShuttingDown);
+        }
+        Err("unrecognised response shape".to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> PointRecord {
+        PointRecord {
+            key: 0x1234_5678_9abc_def0,
+            canonical: "kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560".to_owned(),
+            kernel: "fir".to_owned(),
+            algorithm: "CPA-RA".to_owned(),
+            version: "v3".to_owned(),
+            budget: 32,
+            ram_latency: 2,
+            device: "XCV1000-BG560".to_owned(),
+            feasible: true,
+            fits: true,
+            registers_used: 17,
+            total_cycles: 4242,
+            compute_cycles: 4000,
+            memory_cycles: 200,
+            transfer_cycles: 42,
+            clock_period_ns: 10.573,
+            execution_time_us: 1_305.312_048,
+            slices: 471,
+            block_rams: 3,
+            distribution: "a:16 \"b\":1".to_owned(),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Get {
+                canonical: "kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560"
+                    .to_owned(),
+            },
+            Request::Explore {
+                points: vec![
+                    QueryPoint::new("fir", "cpa", 32),
+                    QueryPoint {
+                        kernel: "mat".to_owned(),
+                        algorithm: "FR-RA".to_owned(),
+                        budget: 8,
+                        ram_latency: 1,
+                        device: "xcv300".to_owned(),
+                    },
+                ],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.render();
+            assert!(!line.contains('\n'), "one line per request");
+            assert_eq!(Request::parse(&line).unwrap(), request, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn explore_points_default_latency_and_device() {
+        let parsed = Request::parse(
+            r#"{"op":"explore","points":[{"kernel":"fir","algo":"cpa","budget":32}]}"#,
+        )
+        .unwrap();
+        let Request::Explore { points } = parsed else {
+            panic!("wrong variant");
+        };
+        assert_eq!(points[0].ram_latency, 2);
+        assert_eq!(points[0].device, "xcv1000");
+    }
+
+    #[test]
+    fn responses_round_trip_with_bit_exact_floats() {
+        let record = sample_record();
+        let responses = [
+            Response::Found {
+                record: record.clone(),
+            },
+            Response::NotFound,
+            Response::Explored {
+                records: vec![record.clone(), record],
+                hits: 1,
+                evaluated: 1,
+            },
+            Response::Stats(ServerStats {
+                uptime_ms: 1234,
+                connections: 5,
+                requests: 17,
+                hits: 10,
+                misses: 7,
+                evaluated: 7,
+                shard_records: vec![3, 0, 4, 1],
+            }),
+            Response::ShuttingDown,
+            Response::Error {
+                message: "unknown kernel `nope`".to_owned(),
+            },
+        ];
+        for response in responses {
+            let line = response.render();
+            assert!(!line.contains('\n'), "one line per response");
+            assert_eq!(Response::parse(&line).unwrap(), response, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn stats_totals_sum_the_shards() {
+        let stats = ServerStats {
+            uptime_ms: 1,
+            connections: 1,
+            requests: 1,
+            hits: 0,
+            misses: 0,
+            evaluated: 0,
+            shard_records: vec![2, 3, 5],
+        };
+        assert_eq!(stats.records(), 10);
+        assert!(stats.to_value().render().contains("\"records\":10"));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        for bad in [
+            "",
+            "{}",
+            "not json",
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"get"}"#,
+            r#"{"op":"explore","points":[]}"#,
+            r#"{"op":"explore","points":[{"kernel":"fir"}]}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! The thread-pool TCP server: accepts line-delimited JSON queries and
+//! answers them from the sharded store, evaluating misses on demand.
+//!
+//! Built entirely on `std::net` + scoped threads (the build environment is
+//! offline, so no async runtime).  Architecture:
+//!
+//! * the accept loop hands sockets to a fixed pool of worker threads over an
+//!   `mpsc` channel (receiver shared behind a mutex);
+//! * every worker answers requests against one shared [`ShardedStore`] —
+//!   shard-level mutexes give reads and writes of different shards full
+//!   parallelism;
+//! * an in-flight table (mutex + condvar) guarantees each cache miss is
+//!   evaluated *exactly once* even when many clients request the same point
+//!   concurrently: the first claimant evaluates, everyone else blocks until
+//!   the record lands in the store and then reads it back;
+//! * `shutdown` flips an atomic flag and pokes the listener with a loopback
+//!   connection so the blocking `accept` wakes up; accepted connections are
+//!   served to completion before the server returns.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Instant;
+
+use srra_core::{AllocatorRegistry, CompiledKernel};
+use srra_explore::{evaluate_point, DesignPoint, PointRecord};
+use srra_fpga::DeviceModel;
+use srra_ir::examples::paper_example;
+use srra_kernels::paper_suite;
+
+use crate::protocol::{QueryPoint, Request, Response, ServerStats};
+use crate::shard::{ShardError, ShardedStore};
+
+/// Errors starting or running a [`Server`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Sharded-store failure.
+    Shard(ShardError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(err) => write!(f, "serve I/O error: {err}"),
+            ServeError::Shard(err) => write!(f, "serve store error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(err: std::io::Error) -> Self {
+        ServeError::Io(err)
+    }
+}
+
+impl From<ShardError> for ServeError {
+    fn from(err: ShardError) -> Self {
+        ServeError::Shard(err)
+    }
+}
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Cache directory holding the shard files.
+    pub cache_dir: PathBuf,
+    /// Number of shards.
+    pub shards: usize,
+    /// Worker threads serving connections.
+    pub workers: usize,
+}
+
+impl ServerConfig {
+    /// A loopback/ephemeral-port configuration over `cache_dir` with 4 shards
+    /// and 4 workers.
+    pub fn ephemeral(cache_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            cache_dir: cache_dir.into(),
+            shards: 4,
+            workers: 4,
+        }
+    }
+}
+
+/// The in-flight table: keys currently being evaluated by some worker.
+#[derive(Debug, Default)]
+struct Inflight {
+    keys: Mutex<HashSet<u64>>,
+    done: Condvar,
+}
+
+impl Inflight {
+    /// Claims `key` for evaluation; `false` means another worker holds it.
+    fn claim(&self, key: u64) -> bool {
+        self.keys
+            .lock()
+            .expect("no worker panics while holding the in-flight lock")
+            .insert(key)
+    }
+
+    /// Releases `key` and wakes every waiter.
+    fn release(&self, key: u64) {
+        let mut keys = self
+            .keys
+            .lock()
+            .expect("no worker panics while holding the in-flight lock");
+        keys.remove(&key);
+        drop(keys);
+        self.done.notify_all();
+    }
+
+    /// Blocks until `key` is not claimed (returns immediately if it already
+    /// is not).
+    fn wait_released(&self, key: u64) {
+        let mut keys = self
+            .keys
+            .lock()
+            .expect("no worker panics while holding the in-flight lock");
+        while keys.contains(&key) {
+            keys = self
+                .done
+                .wait(keys)
+                .expect("no worker panics while holding the in-flight lock");
+        }
+    }
+}
+
+/// Monotonic counters exposed through `stats`.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evaluated: AtomicU64,
+}
+
+/// Shared state of a running server.
+struct ServerState {
+    store: ShardedStore,
+    kernels: HashMap<String, CompiledKernel>,
+    inflight: Inflight,
+    counters: Counters,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// Final report returned by [`Server::run`] after a graceful shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerReport {
+    /// The statistics at shutdown time.
+    pub stats: ServerStats,
+}
+
+/// Resolves a device name the way the CLI does (`xcv1000` / `xcv300`,
+/// case-insensitive; full part names also accepted).
+///
+/// # Errors
+///
+/// Returns a user-facing message naming the unknown device.
+pub fn device_by_name(name: &str) -> Result<DeviceModel, String> {
+    let lower = name.to_ascii_lowercase();
+    for device in [DeviceModel::xcv1000(), DeviceModel::xcv300()] {
+        if device.name().to_ascii_lowercase() == lower
+            || device
+                .name()
+                .to_ascii_lowercase()
+                .starts_with(&format!("{lower}-"))
+        {
+            return Ok(device);
+        }
+    }
+    Err(format!(
+        "unknown device `{name}`; expected xcv1000 or xcv300"
+    ))
+}
+
+/// The canonical design-point string for a named query, resolved exactly as
+/// the server resolves it — so a client-side `get` matches what `explore`
+/// stored.
+///
+/// # Errors
+///
+/// Returns a user-facing message for an unknown algorithm or device (kernel
+/// names pass through verbatim; an unknown kernel simply misses).
+pub fn canonical_for(point: &QueryPoint) -> Result<String, String> {
+    let allocator = AllocatorRegistry::global()
+        .get(&point.algorithm)
+        .ok_or_else(|| format!("unknown algorithm `{}`", point.algorithm))?;
+    let device = device_by_name(&point.device)?;
+    Ok(format!(
+        "kernel={};algo={};budget={};latency={};device={}",
+        point.kernel,
+        allocator.label(),
+        point.budget,
+        point.ram_latency,
+        device.name()
+    ))
+}
+
+/// A bound, not-yet-running query server.
+///
+/// Separating [`bind`](Server::bind) from [`run`](Server::run) lets callers
+/// learn the ephemeral port before the accept loop starts — integration tests
+/// and `ci.sh` depend on it.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: ServerState,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener and opens the sharded store.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors ([`ServeError::Io`]) or store errors
+    /// ([`ServeError::Shard`], including the directory lock).
+    pub fn bind(config: &ServerConfig) -> Result<Self, ServeError> {
+        let store = ShardedStore::open(&config.cache_dir, config.shards)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let mut kernels = HashMap::new();
+        kernels.insert("example".to_owned(), CompiledKernel::new(paper_example()));
+        for spec in paper_suite() {
+            kernels.insert(spec.kernel.name().to_owned(), spec.compiled());
+        }
+        Ok(Self {
+            listener,
+            local_addr,
+            state: ServerState {
+                store,
+                kernels,
+                inflight: Inflight::default(),
+                counters: Counters::default(),
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+            },
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address (with the real port when the config asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains and returns the
+    /// final statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection I/O errors close that
+    /// connection and are not fatal.
+    pub fn run(self) -> Result<ServerReport, ServeError> {
+        let Self {
+            listener,
+            local_addr,
+            state,
+            workers,
+        } = self;
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Mutex::new(receiver);
+        let state_ref = &state;
+        std::thread::scope(|scope| -> Result<(), ServeError> {
+            for _ in 0..workers {
+                let receiver = &receiver;
+                scope.spawn(move || loop {
+                    let next = receiver
+                        .lock()
+                        .expect("no worker panics while holding the receiver lock")
+                        .recv();
+                    match next {
+                        Ok(stream) => serve_connection(state_ref, stream, local_addr),
+                        Err(_) => break, // Accept loop is done and queue drained.
+                    }
+                });
+            }
+            for incoming in listener.incoming() {
+                if state_ref.shutdown.load(Ordering::SeqCst) {
+                    break; // The wake-up connection is dropped unserved.
+                }
+                match incoming {
+                    Ok(stream) => {
+                        state_ref
+                            .counters
+                            .connections
+                            .fetch_add(1, Ordering::Relaxed);
+                        if sender.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // Transient accept-level failures (peer reset before the
+                    // accept, interrupted syscall) concern one connection,
+                    // not the listener — keep serving.
+                    Err(err)
+                        if matches!(
+                            err.kind(),
+                            std::io::ErrorKind::ConnectionAborted
+                                | std::io::ErrorKind::ConnectionReset
+                                | std::io::ErrorKind::Interrupted
+                                | std::io::ErrorKind::WouldBlock
+                        ) => {}
+                    Err(err) => return Err(err.into()),
+                }
+            }
+            drop(sender);
+            Ok(())
+        })?;
+        let stats = snapshot_stats(&state)?;
+        Ok(ServerReport { stats })
+    }
+}
+
+/// Builds the current [`ServerStats`] from the shared state.
+fn snapshot_stats(state: &ServerState) -> Result<ServerStats, ServeError> {
+    Ok(ServerStats {
+        uptime_ms: state.started.elapsed().as_millis() as u64,
+        connections: state.counters.connections.load(Ordering::Relaxed),
+        requests: state.counters.requests.load(Ordering::Relaxed),
+        hits: state.counters.hits.load(Ordering::Relaxed),
+        misses: state.counters.misses.load(Ordering::Relaxed),
+        evaluated: state.counters.evaluated.load(Ordering::Relaxed),
+        shard_records: state.store.shard_sizes()?,
+    })
+}
+
+/// Serves one connection: any number of request lines, one response line each.
+fn serve_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAddr) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return; // Peer vanished mid-line.
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, shutdown) = match Request::parse(&line) {
+            Err(message) => (Response::Error { message }, false),
+            Ok(Request::Get { canonical }) => (handle_get(state, &canonical), false),
+            Ok(Request::Explore { points }) => (handle_explore(state, &points), false),
+            Ok(Request::Stats) => (
+                match snapshot_stats(state) {
+                    Ok(stats) => Response::Stats(stats),
+                    Err(err) => Response::Error {
+                        message: err.to_string(),
+                    },
+                },
+                false,
+            ),
+            Ok(Request::Shutdown) => (Response::ShuttingDown, true),
+        };
+        let sent = writer
+            .write_all(response.render().as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if shutdown {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Poke the accept loop awake; it re-checks the flag and exits.
+            let _ = TcpStream::connect(local_addr);
+            return;
+        }
+        if sent.is_err() {
+            return;
+        }
+    }
+}
+
+/// Answers a `get`: pure lookup, never evaluates.
+fn handle_get(state: &ServerState, canonical: &str) -> Response {
+    let key = srra_explore::fnv1a_64(canonical.as_bytes());
+    match state.store.get_record(key, canonical) {
+        Ok(Some(record)) => {
+            state.counters.hits.fetch_add(1, Ordering::Relaxed);
+            Response::Found { record }
+        }
+        Ok(None) => {
+            state.counters.misses.fetch_add(1, Ordering::Relaxed);
+            Response::NotFound
+        }
+        Err(err) => Response::Error {
+            message: err.to_string(),
+        },
+    }
+}
+
+/// Answers an `explore` batch: hits from the shards, misses evaluated exactly
+/// once (across all concurrent clients) and written back.
+fn handle_explore(state: &ServerState, points: &[QueryPoint]) -> Response {
+    let mut records = Vec::with_capacity(points.len());
+    let mut hits = 0;
+    let mut evaluated = 0;
+    for point in points {
+        match answer_point(state, point) {
+            Ok((record, was_hit)) => {
+                if was_hit {
+                    hits += 1;
+                } else {
+                    evaluated += 1;
+                }
+                records.push(record);
+            }
+            Err(message) => return Response::Error { message },
+        }
+    }
+    Response::Explored {
+        records,
+        hits,
+        evaluated,
+    }
+}
+
+/// Resolves and answers one point; the boolean is `true` when the record came
+/// from the store without this request evaluating it.
+fn answer_point(state: &ServerState, point: &QueryPoint) -> Result<(PointRecord, bool), String> {
+    let kernel = state.kernels.get(&point.kernel).ok_or_else(|| {
+        format!(
+            "unknown kernel `{}`; expected example, fir, dec_fir, mat, imi, pat or bic",
+            point.kernel
+        )
+    })?;
+    let allocator = AllocatorRegistry::global()
+        .get(&point.algorithm)
+        .ok_or_else(|| format!("unknown algorithm `{}`", point.algorithm))?;
+    let device = device_by_name(&point.device)?;
+    let design_point = DesignPoint {
+        kernel_index: 0, // Unused by `evaluate_point`; the kernel is passed directly.
+        kernel: point.kernel.clone(),
+        allocator,
+        budget: point.budget,
+        ram_latency: point.ram_latency,
+        device,
+    };
+    let canonical = design_point.canonical();
+    let key = design_point.key();
+    let mut first_try = true;
+    loop {
+        match state.store.get_record(key, &canonical) {
+            Ok(Some(record)) => {
+                state.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((record, first_try));
+            }
+            Ok(None) => {}
+            Err(err) => return Err(err.to_string()),
+        }
+        if state.inflight.claim(key) {
+            let outcome = evaluate_claimed(state, kernel, &design_point, key, &canonical);
+            state.inflight.release(key);
+            return outcome;
+        }
+        // Another worker is evaluating this key: wait for it, then re-read.
+        state.inflight.wait_released(key);
+        first_try = false;
+    }
+}
+
+/// Runs while holding the in-flight claim on `key`: re-checks the store
+/// first — the previous holder may have published between this request's
+/// miss and its claim succeeding — then evaluates.  Without the re-check a
+/// preempted worker could evaluate a point twice, breaking the exactly-once
+/// guarantee.  The caller releases the claim.
+fn evaluate_claimed(
+    state: &ServerState,
+    kernel: &CompiledKernel,
+    design_point: &DesignPoint,
+    key: u64,
+    canonical: &str,
+) -> Result<(PointRecord, bool), String> {
+    match state.store.get_record(key, canonical) {
+        Ok(Some(record)) => {
+            state.counters.hits.fetch_add(1, Ordering::Relaxed);
+            Ok((record, false))
+        }
+        Ok(None) => {
+            let record = evaluate_point(kernel, design_point);
+            if let Err(err) = state.store.put_record(&record) {
+                return Err(err.to_string());
+            }
+            state.counters.misses.fetch_add(1, Ordering::Relaxed);
+            state.counters.evaluated.fetch_add(1, Ordering::Relaxed);
+            Ok((record, false))
+        }
+        Err(err) => Err(err.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_resolution_matches_design_point_canonicals() {
+        let point = QueryPoint::new("fir", "cpa", 32);
+        let canonical = canonical_for(&point).unwrap();
+        assert_eq!(
+            canonical,
+            "kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560"
+        );
+        assert!(canonical_for(&QueryPoint::new("fir", "nope", 32)).is_err());
+        let mut bad_device = QueryPoint::new("fir", "cpa", 32);
+        bad_device.device = "xcv9000".to_owned();
+        assert!(canonical_for(&bad_device).is_err());
+    }
+
+    #[test]
+    fn device_names_resolve_case_insensitively() {
+        assert_eq!(device_by_name("xcv1000").unwrap(), DeviceModel::xcv1000());
+        assert_eq!(
+            device_by_name("XCV1000-BG560").unwrap(),
+            DeviceModel::xcv1000()
+        );
+        assert_eq!(device_by_name("Xcv300").unwrap(), DeviceModel::xcv300());
+        assert!(device_by_name("xcv9000").is_err());
+    }
+
+    #[test]
+    fn server_binds_an_ephemeral_port_and_shuts_down() {
+        let dir = std::env::temp_dir().join(format!(
+            "srra-serve-unit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::bind(&ServerConfig::ephemeral(&dir)).unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("{}\n", Request::Stats.render()).as_bytes())
+            .unwrap();
+        let mut reply = String::new();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        reader.read_line(&mut reply).unwrap();
+        let Response::Stats(stats) = Response::parse(reply.trim()).unwrap() else {
+            panic!("expected stats, got {reply}");
+        };
+        assert_eq!(stats.shard_records.len(), 4);
+
+        // Same connection: issue the shutdown.
+        stream
+            .write_all(format!("{}\n", Request::Shutdown.render()).as_bytes())
+            .unwrap();
+        let mut ack = String::new();
+        reader.read_line(&mut ack).unwrap();
+        assert_eq!(Response::parse(ack.trim()).unwrap(), Response::ShuttingDown);
+
+        let report = handle.join().unwrap();
+        assert!(report.stats.requests >= 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,579 @@
+//! [`ShardedStore`]: a result store split across N JSONL shard files.
+//!
+//! Records are routed to shard `key % N`.  Each shard is an independent
+//! [`JsonlStore`] behind its own mutex, so concurrent threads read and write
+//! disjoint shards without contention, and a lock file in the cache directory
+//! keeps concurrent *processes* from interleaving appends.  [`merge_file`]
+//! folds a legacy single-file cache into the shards and [`compact`] rewrites
+//! shards in place, dropping duplicate lines and re-routing records that sit
+//! in the wrong shard — together these retire the old "`JsonlStore` is
+//! single-writer" caveat.
+//!
+//! [`merge_file`]: ShardedStore::merge_file
+//! [`compact`]: ShardedStore::compact
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use srra_explore::{JsonlError, JsonlStore, PointRecord, ResultStore, StoreBase};
+
+/// Errors of the sharded backend.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A shard file failed to open or parse.
+    Store(JsonlError),
+    /// Another process holds the cache directory's lock file.
+    Locked(PathBuf),
+    /// The directory already holds a different number of shard files.
+    ShardCount {
+        /// Shard files found on disk.
+        found: usize,
+        /// Shard count requested by the caller.
+        requested: usize,
+    },
+    /// A shard count of zero was requested.
+    EmptyShardCount,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Io(err) => write!(f, "shard I/O error: {err}"),
+            ShardError::Store(err) => write!(f, "shard store error: {err}"),
+            ShardError::Locked(path) => write!(
+                f,
+                "cache directory is locked by another process (remove `{}` if it is stale)",
+                path.display()
+            ),
+            ShardError::ShardCount { found, requested } => write!(
+                f,
+                "cache directory holds {found} shard files but {requested} were requested"
+            ),
+            ShardError::EmptyShardCount => write!(f, "shard count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<std::io::Error> for ShardError {
+    fn from(err: std::io::Error) -> Self {
+        ShardError::Io(err)
+    }
+}
+
+impl From<JsonlError> for ShardError {
+    fn from(err: JsonlError) -> Self {
+        ShardError::Store(err)
+    }
+}
+
+/// An exclusive lock on a cache directory, held for the lifetime of the value.
+///
+/// The lock is a `LOCK` file created with `create_new` (O_EXCL) semantics and
+/// removed on drop, which is portable to every platform std supports.  A
+/// crashed process leaves the file behind; the [`ShardError::Locked`] message
+/// tells the operator which file to remove.
+#[derive(Debug)]
+struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    fn acquire(dir: &Path) -> Result<Self, ShardError> {
+        let path = dir.join("LOCK");
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut file) => {
+                // Best-effort breadcrumb for the operator; the lock works
+                // whether or not the write succeeds.
+                let _ = writeln!(file, "{}", std::process::id());
+                Ok(Self { path })
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => {
+                Err(ShardError::Locked(path))
+            }
+            Err(err) => Err(err.into()),
+        }
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// What [`ShardedStore::merge_file`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Records copied into the shards.
+    pub merged: usize,
+    /// Records skipped because an identical canonical was already stored.
+    pub duplicates: usize,
+}
+
+/// What [`ShardedStore::compact`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Records kept across all shards after the rewrite.
+    pub kept: usize,
+    /// Disk lines dropped (duplicate lines within or across shards).
+    pub duplicates_dropped: usize,
+    /// Records moved to the shard their key routes to.
+    pub rerouted: usize,
+}
+
+/// A [`ResultStore`] sharded over `N` JSONL files under one cache directory.
+///
+/// Routing is `key % N`.  All read/write methods take `&self` (each shard sits
+/// behind its own mutex), so one `ShardedStore` can be shared across server
+/// worker threads; the [`ResultStore`] impl forwards to them so the store also
+/// drops into [`srra_explore::Explorer::explore`] unchanged.
+#[derive(Debug)]
+pub struct ShardedStore {
+    dir: PathBuf,
+    shards: Vec<Mutex<JsonlStore>>,
+    _lock: DirLock,
+}
+
+/// File name of shard `index`.
+fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:03}.jsonl")
+}
+
+impl ShardedStore {
+    /// Opens (creating if needed) a store of `shard_count` shards under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Locked`] if another process holds the directory,
+    /// [`ShardError::ShardCount`] if the directory already holds a different
+    /// number of shard files, [`ShardError::EmptyShardCount`] for
+    /// `shard_count == 0`, and I/O / parse errors from the shard files.
+    pub fn open(dir: impl AsRef<Path>, shard_count: usize) -> Result<Self, ShardError> {
+        if shard_count == 0 {
+            return Err(ShardError::EmptyShardCount);
+        }
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let lock = DirLock::acquire(&dir)?;
+        let existing = Self::existing_shard_files(&dir)?;
+        if !existing.is_empty() && existing.len() != shard_count {
+            return Err(ShardError::ShardCount {
+                found: existing.len(),
+                requested: shard_count,
+            });
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        for index in 0..shard_count {
+            let store = JsonlStore::open(dir.join(shard_file_name(index)))?;
+            shards.push(Mutex::new(store));
+        }
+        Ok(Self {
+            dir,
+            shards,
+            _lock: lock,
+        })
+    }
+
+    /// The shard files already present under `dir`, sorted by name.
+    fn existing_shard_files(dir: &Path) -> Result<Vec<PathBuf>, ShardError> {
+        let mut files = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("shard-") && name.ends_with(".jsonl") {
+                files.push(path);
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to.
+    pub fn route(&self, key: u64) -> usize {
+        (key % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, key: u64) -> std::sync::MutexGuard<'_, JsonlStore> {
+        self.shards[self.route(key)]
+            .lock()
+            .expect("no shard user panics while holding the lock")
+    }
+
+    /// Looks up the record for `key`, verifying `canonical` (shared-reference
+    /// twin of [`ResultStore::get`], usable across threads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard I/O errors.
+    pub fn get_record(&self, key: u64, canonical: &str) -> Result<Option<PointRecord>, ShardError> {
+        Ok(self.shard(key).get(key, canonical)?)
+    }
+
+    /// Inserts a record into its shard (shared-reference twin of
+    /// [`ResultStore::put`]); returns whether the record was fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard I/O errors.
+    pub fn put_record(&self, record: &PointRecord) -> Result<bool, ShardError> {
+        Ok(self.shard(record.key).put(record)?)
+    }
+
+    /// Record count per shard, in shard order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard I/O errors.
+    pub fn shard_sizes(&self) -> Result<Vec<usize>, ShardError> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                Ok(shard
+                    .lock()
+                    .expect("no shard user panics while holding the lock")
+                    .len()?)
+            })
+            .collect()
+    }
+
+    /// Folds a legacy single-file JSONL cache into the shards.
+    ///
+    /// Every record of `path` is routed to its shard; records whose canonical
+    /// string is already stored are skipped.  The legacy file itself is left
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse errors from either side.
+    pub fn merge_file(&self, path: impl AsRef<Path>) -> Result<MergeOutcome, ShardError> {
+        let legacy = JsonlStore::open(path)?;
+        let mut outcome = MergeOutcome {
+            merged: 0,
+            duplicates: 0,
+        };
+        for record in legacy.records() {
+            if self.put_record(record)? {
+                outcome.merged += 1;
+            } else {
+                outcome.duplicates += 1;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Rewrites every shard file: drops duplicate disk lines and moves records
+    /// into the shard their key routes to.
+    ///
+    /// Takes `&mut self` — compaction is exclusive by construction, no reader
+    /// or writer can observe a half-rewritten shard.  Each shard is written to
+    /// a temporary file and atomically renamed into place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard I/O errors; on error the already-renamed shards keep
+    /// their compacted contents and the rest keep their originals (every state
+    /// in between is a valid store).
+    pub fn compact(&mut self) -> Result<CompactOutcome, ShardError> {
+        let shard_count = self.shards.len();
+        // Drain: collect every record, remembering which shard file held it,
+        // and count raw disk lines to report dropped duplicates.
+        let mut routed: Vec<Vec<PointRecord>> = vec![Vec::new(); shard_count];
+        let mut disk_lines = 0;
+        let mut kept = 0;
+        let mut rerouted = 0;
+        for (index, slot) in self.shards.iter_mut().enumerate() {
+            let shard = slot.get_mut().expect("compact holds the only reference");
+            let raw = std::fs::read_to_string(shard.path())?;
+            disk_lines += raw.lines().filter(|line| !line.trim().is_empty()).count();
+            for record in shard.records() {
+                let target = (record.key % shard_count as u64) as usize;
+                let bucket = &mut routed[target];
+                if bucket
+                    .iter()
+                    .any(|held| held.key == record.key && held.canonical == record.canonical)
+                {
+                    continue; // Cross-shard duplicate: keep the first copy.
+                }
+                if target != index {
+                    rerouted += 1;
+                }
+                kept += 1;
+                bucket.push(record.clone());
+            }
+        }
+        // Rewrite: temp file + atomic rename, then reopen the shard handles.
+        for (index, records) in routed.iter().enumerate() {
+            let path = self.dir.join(shard_file_name(index));
+            let tmp = self.dir.join(format!("{}.tmp", shard_file_name(index)));
+            let mut text = String::new();
+            for record in records {
+                text.push_str(&record.to_json_line());
+                text.push('\n');
+            }
+            std::fs::write(&tmp, text)?;
+            std::fs::rename(&tmp, &path)?;
+            self.shards[index] = Mutex::new(JsonlStore::open(&path)?);
+        }
+        Ok(CompactOutcome {
+            kept,
+            duplicates_dropped: disk_lines - kept,
+            rerouted,
+        })
+    }
+}
+
+impl StoreBase for ShardedStore {
+    type Error = ShardError;
+
+    fn contains(&self, key: u64) -> Result<bool, ShardError> {
+        Ok(self.shard(key).contains(key)?)
+    }
+
+    fn len(&self) -> Result<usize, ShardError> {
+        Ok(self.shard_sizes()?.iter().sum())
+    }
+}
+
+impl ResultStore for ShardedStore {
+    fn get(&self, key: u64, canonical: &str) -> Result<Option<PointRecord>, ShardError> {
+        self.get_record(key, canonical)
+    }
+
+    fn put(&mut self, record: &PointRecord) -> Result<bool, ShardError> {
+        self.put_record(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srra_explore::fnv1a_64;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "srra-shard-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record_for(canonical: &str) -> PointRecord {
+        PointRecord {
+            key: fnv1a_64(canonical.as_bytes()),
+            canonical: canonical.to_owned(),
+            kernel: "fir".to_owned(),
+            algorithm: "CPA-RA".to_owned(),
+            version: "v3".to_owned(),
+            budget: 32,
+            ram_latency: 2,
+            device: "XCV1000-BG560".to_owned(),
+            feasible: true,
+            fits: true,
+            registers_used: 17,
+            total_cycles: 4242,
+            compute_cycles: 4000,
+            memory_cycles: 200,
+            transfer_cycles: 42,
+            clock_period_ns: 9.5,
+            execution_time_us: 40.299,
+            slices: 311,
+            block_rams: 2,
+            distribution: "a:16 b:1".to_owned(),
+        }
+    }
+
+    #[test]
+    fn records_route_by_key_modulo_shard_count() {
+        let dir = scratch_dir("route");
+        let store = ShardedStore::open(&dir, 4).unwrap();
+        let mut per_shard = vec![0usize; 4];
+        for i in 0..32 {
+            let record = record_for(&format!("kernel=fir;algo=CPA-RA;budget={i}"));
+            assert!(store.put_record(&record).unwrap());
+            per_shard[(record.key % 4) as usize] += 1;
+            assert_eq!(
+                store.get_record(record.key, &record.canonical).unwrap(),
+                Some(record)
+            );
+        }
+        assert_eq!(store.shard_sizes().unwrap(), per_shard);
+        assert_eq!(store.len().unwrap(), 32);
+        drop(store);
+
+        // Reopen: contents persist, routing unchanged.
+        let store = ShardedStore::open(&dir, 4).unwrap();
+        assert_eq!(store.len().unwrap(), 32);
+        assert_eq!(store.shard_sizes().unwrap(), per_shard);
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lock_file_guards_against_concurrent_openers() {
+        let dir = scratch_dir("lock");
+        let store = ShardedStore::open(&dir, 2).unwrap();
+        match ShardedStore::open(&dir, 2) {
+            Err(ShardError::Locked(path)) => assert!(path.ends_with("LOCK")),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(store);
+        // The lock is released on drop, so a fresh open succeeds.
+        let again = ShardedStore::open(&dir, 2).unwrap();
+        drop(again);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_rejected() {
+        let dir = scratch_dir("count");
+        drop(ShardedStore::open(&dir, 4).unwrap());
+        match ShardedStore::open(&dir, 8) {
+            Err(ShardError::ShardCount { found, requested }) => {
+                assert_eq!((found, requested), (4, 8));
+            }
+            other => panic!("expected ShardCount, got {other:?}"),
+        }
+        assert!(matches!(
+            ShardedStore::open(&dir, 0),
+            Err(ShardError::EmptyShardCount)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_folds_a_legacy_single_file_cache_into_the_shards() {
+        let dir = scratch_dir("merge");
+        std::fs::create_dir_all(&dir).unwrap();
+        let legacy_path = dir.join("legacy.jsonl");
+        let records: Vec<PointRecord> = (0..10)
+            .map(|i| record_for(&format!("kernel=mat;algo=FR-RA;budget={i}")))
+            .collect();
+        {
+            let mut legacy = JsonlStore::open(&legacy_path).unwrap();
+            for record in &records {
+                legacy.put(record).unwrap();
+            }
+        }
+        let store = ShardedStore::open(&dir, 3).unwrap();
+        // Pre-seed two of the records so the merge reports duplicates.
+        store.put_record(&records[0]).unwrap();
+        store.put_record(&records[5]).unwrap();
+        let outcome = store.merge_file(&legacy_path).unwrap();
+        assert_eq!(
+            outcome,
+            MergeOutcome {
+                merged: 8,
+                duplicates: 2
+            }
+        );
+        assert_eq!(store.len().unwrap(), 10);
+        for record in &records {
+            assert_eq!(
+                store.get_record(record.key, &record.canonical).unwrap(),
+                Some(record.clone())
+            );
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_drops_duplicate_lines_and_reroutes_misplaced_records() {
+        let dir = scratch_dir("compact");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = record_for("kernel=fir;algo=CPA-RA;budget=1");
+        let b = record_for("kernel=fir;algo=CPA-RA;budget=2");
+        // Hand-build a dirty directory: record `a` duplicated in its own
+        // shard file, record `b` sitting in the wrong shard.
+        let route = |r: &PointRecord| (r.key % 2) as usize;
+        let wrong = 1 - route(&b);
+        let mut shard_lines = [String::new(), String::new()];
+        shard_lines[route(&a)].push_str(&format!("{}\n{}\n", a.to_json_line(), a.to_json_line()));
+        shard_lines[wrong].push_str(&format!("{}\n", b.to_json_line()));
+        std::fs::write(dir.join(shard_file_name(0)), &shard_lines[0]).unwrap();
+        std::fs::write(dir.join(shard_file_name(1)), &shard_lines[1]).unwrap();
+
+        let mut store = ShardedStore::open(&dir, 2).unwrap();
+        // Before compaction lookups go through routing only, so the record
+        // sitting in the wrong shard is invisible...
+        assert_eq!(
+            store.get_record(a.key, &a.canonical).unwrap(),
+            Some(a.clone())
+        );
+        assert_eq!(store.get_record(b.key, &b.canonical).unwrap(), None);
+
+        let outcome = store.compact().unwrap();
+        assert_eq!(
+            outcome,
+            CompactOutcome {
+                kept: 2,
+                duplicates_dropped: 1,
+                rerouted: 1
+            }
+        );
+        // After compaction both records resolve through routing.
+        assert_eq!(
+            store.get_record(a.key, &a.canonical).unwrap(),
+            Some(a.clone())
+        );
+        assert_eq!(
+            store.get_record(b.key, &b.canonical).unwrap(),
+            Some(b.clone())
+        );
+        assert_eq!(store.len().unwrap(), 2);
+        // And the files are clean: total lines equal total records.
+        let mut lines = 0;
+        for index in 0..2 {
+            lines += std::fs::read_to_string(dir.join(shard_file_name(index)))
+                .unwrap()
+                .lines()
+                .count();
+        }
+        assert_eq!(lines, 2);
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_store_drives_the_explorer_unchanged() {
+        use srra_explore::{DesignSpace, Explorer};
+        use srra_ir::examples::paper_example;
+
+        let dir = scratch_dir("explorer");
+        let space = DesignSpace::new()
+            .with_kernel(paper_example())
+            .with_budgets(&[16, 64]);
+        let cold = {
+            let mut store = ShardedStore::open(&dir, 4).unwrap();
+            Explorer::new(2).explore(&space, &mut store).unwrap()
+        };
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.evaluated, space.len());
+        let warm = {
+            let mut store = ShardedStore::open(&dir, 4).unwrap();
+            Explorer::new(2).explore(&space, &mut store).unwrap()
+        };
+        assert_eq!(warm.cache_hits, space.len());
+        assert_eq!(warm.evaluated, 0);
+        assert_eq!(warm.records, cold.records);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,87 @@
+//! Query-serving example: start the sharded result server in-process, fan a
+//! batch of design-point queries at it from concurrent client threads, and
+//! watch the shards fill up.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example serve_query
+//! ```
+//!
+//! The same workload arrives twice: the first pass evaluates every miss
+//! (exactly once, even though four clients race for the same points), the
+//! second pass is answered entirely from the shard files.  In production the
+//! server side of this example is `srra serve --cache-dir <dir>` and the
+//! client side is `srra query --addr <host:port> ...`.
+
+use srra_serve::{Client, QueryPoint, Server, ServerConfig};
+
+fn workload() -> Vec<QueryPoint> {
+    let mut points = Vec::new();
+    for kernel in ["fir", "mat", "pat"] {
+        for algo in ["fr", "cpa"] {
+            for budget in [16, 32, 64] {
+                points.push(QueryPoint::new(kernel, algo, budget));
+            }
+        }
+    }
+    points
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cache_dir = std::env::temp_dir().join("srra-serve-example");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let server = Server::bind(&ServerConfig::ephemeral(&cache_dir))?;
+    let addr = server.local_addr().to_string();
+    println!(
+        "serving the explore cache on {addr} ({})\n",
+        cache_dir.display()
+    );
+    let handle = std::thread::spawn(move || server.run());
+
+    let points = workload();
+    for pass in ["cold", "warm"] {
+        let (hits, evaluated) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let points = points.clone();
+                    scope.spawn(move || {
+                        let reply = Client::new(addr)
+                            .explore(&points)
+                            .expect("explore succeeds");
+                        (reply.hits, reply.evaluated)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .fold((0, 0), |(h, e), (hits, evaluated)| {
+                    (h + hits, e + evaluated)
+                })
+        });
+        println!(
+            "{pass} pass: 4 clients x {} points -> {hits} served from shards, {evaluated} evaluated",
+            points.len()
+        );
+    }
+
+    let client = Client::new(addr);
+    let stats = client.stats()?;
+    println!(
+        "\nserver stats: {} requests, {} hits, {} evaluated; shard records {:?}",
+        stats.requests, stats.hits, stats.evaluated, stats.shard_records
+    );
+    assert_eq!(
+        stats.evaluated as usize,
+        points.len(),
+        "each distinct point is evaluated exactly once across all clients and passes"
+    );
+
+    client.shutdown()?;
+    handle.join().expect("server thread")?;
+    println!("server shut down cleanly");
+    Ok(())
+}

@@ -16,6 +16,8 @@
 //! * [`srra_kernels`] — the six evaluation kernels,
 //! * [`srra_explore`] — parallel design-space exploration, result caching and
 //!   Pareto frontiers,
+//! * [`srra_serve`] — the sharded result store and the TCP query-serving
+//!   front end over the exploration cache,
 //! * [`srra_bench`] — the Table 1 / Figure 2 reproduction harness.
 //!
 //! # Example — evaluate one design point
@@ -60,6 +62,7 @@ pub use srra_fpga;
 pub use srra_ir;
 pub use srra_kernels;
 pub use srra_reuse;
+pub use srra_serve;
 
 /// Commonly used items across the workspace.
 pub mod prelude {
@@ -72,4 +75,5 @@ pub mod prelude {
     pub use srra_fpga::{DeviceModel, HardwareDesign};
     pub use srra_ir::{ArrayRef, Kernel, LoopNest};
     pub use srra_reuse::ReuseAnalysis;
+    pub use srra_serve::{Client, QueryPoint, Server, ServerConfig, ShardedStore};
 }
