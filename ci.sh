@@ -4,7 +4,8 @@
 #   2. lints as errors     (cargo clippy --workspace -- -D warnings)
 #   3. doc warnings as errors (RUSTDOCFLAGS="-D warnings" cargo doc --no-deps)
 #   4. tier-1 verification (cargo build --release && cargo test -q)
-#   5. serve smoke test    (srra serve + srra query against a live socket)
+#   5. serve smoke test    (srra serve + srra query against a live socket,
+#                           incl. one pipelined keep-alive connection)
 #
 # Run from the repository root: ./ci.sh
 set -euo pipefail
@@ -49,14 +50,38 @@ done
   | grep -q '"evaluated":1'
 "$SRRA" query --addr "$ADDR" get fir cpa 32 | grep -q '"found":true'
 "$SRRA" query --addr "$ADDR" stats | grep -q '"records":1'
+# Pipelined keep-alive: several ops written over ONE connection before any
+# reply is read (`query pipe`), replies strictly in request order.
+FIR_CANON='kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560'
+PIPE_OUT="$SMOKE_DIR/pipe.out"
+{
+  echo '{"op":"get","canonical":"'"$FIR_CANON"'"}'
+  echo '{"op":"mget","canonicals":["'"$FIR_CANON"'","kernel=nope"]}'
+  echo '{"op":"mexplore","points":[{"kernel":"mat","algo":"fr","budget":16},{"kernel":"nope","algo":"fr","budget":16}]}'
+  echo '{"op":"stats"}'
+} | "$SRRA" query --addr "$ADDR" pipe > "$PIPE_OUT"
+[ "$(wc -l < "$PIPE_OUT")" -eq 4 ] || { echo "serve smoke: pipe reply count"; exit 1; }
+sed -n '1p' "$PIPE_OUT" | grep -q '"found":true'
+sed -n '2p' "$PIPE_OUT" | grep -q '"got":\[{.*,null\]'
+sed -n '3p' "$PIPE_OUT" | grep -q '"outcomes":\[{"hit":false,.*{"error":"unknown kernel'
+# The new per-op latency counters are present and non-zero for the ops above.
+sed -n '4p' "$PIPE_OUT" | grep -q '"ops":{'
+sed -n '4p' "$PIPE_OUT" | grep -Eq '"get":\{"count":[1-9]'
+sed -n '4p' "$PIPE_OUT" | grep -Eq '"mget":\{"count":[1-9]'
+sed -n '4p' "$PIPE_OUT" | grep -Eq '"mexplore":\{"count":[1-9]'
+sed -n '4p' "$PIPE_OUT" | grep -Eq '"explore":\{"count":[1-9]'
 # Graceful shutdown: ack on the wire, clean exit, summary line, lock released.
 "$SRRA" query --addr "$ADDR" shutdown | grep -q '"shutting_down":true'
 wait "$SERVE_PID"
 SERVE_PID=""
 grep -q "srra-serve stopped" "$SMOKE_DIR/serve.out"
 [ ! -e "$SMOKE_DIR/cache/LOCK" ] || { echo "serve smoke: LOCK left behind"; exit 1; }
-# The evaluated record landed in a shard file.
-cat "$SMOKE_DIR"/cache/shard-*.jsonl | grep -q '"kernel":"fir"' \
+# The evaluated records landed in the shard files.  (grep reads the files
+# itself: a `cat | grep -q` pipeline can trip pipefail when grep exits on
+# the first match while cat is still writing the remaining shards.)
+grep -q '"kernel":"fir"' "$SMOKE_DIR"/cache/shard-*.jsonl \
   || { echo "serve smoke: shards are empty"; exit 1; }
+grep -q '"kernel":"mat"' "$SMOKE_DIR"/cache/shard-*.jsonl \
+  || { echo "serve smoke: mexplore record missing"; exit 1; }
 
 echo "ci.sh: all checks passed"

@@ -1,4 +1,4 @@
-//! Multi-client query-serving benchmark behind `BENCH_3.json`.
+//! Multi-client query-serving benchmark behind `BENCH_3.json` / `BENCH_4.json`.
 //!
 //! Usage:
 //!
@@ -7,22 +7,37 @@
 //! ```
 //!
 //! Starts an in-process `srra-serve` server over a scratch shard directory
-//! and drives it with concurrent clients over real loopback TCP, three
+//! and drives it with concurrent clients over real loopback TCP, seven
 //! phases over the same 240-point grid as BENCH_2:
 //!
-//! 1. **cold explore** — empty shards, every point evaluated on demand
-//!    (exactly once across all racing clients);
-//! 2. **warm explore** — identical workload, answered entirely from shards;
-//! 3. **warm get** — pure canonical-string lookups.
+//! 1. **cold explore** — connection-per-request, empty shards, every point
+//!    evaluated on demand (exactly once across all racing clients);
+//! 2. **warm explore** — connection-per-request, answered entirely from
+//!    shards;
+//! 3. **warm get** — connection-per-request canonical-string lookups (the
+//!    BENCH_3 baseline shape);
+//! 4. **warm get keep-alive** — one persistent connection per client,
+//!    sequential request/response rounds (isolates the connection setup
+//!    cost);
+//! 5. **warm get pipelined** — one persistent connection per client, request
+//!    lines written in windows before reading any reply;
+//! 6. **warm mget** — batched lookups, many canonicals per wire line;
+//! 7. **warm mexplore** — batched explore, many points per wire line.
 //!
-//! Each client issues single-point requests (one connection per request, as
-//! `srra query` does) in a per-client rotation of the grid, so concurrent
-//! clients hammer different shards at any instant.  Reports per-phase
-//! throughput and p50/p99 request latency as JSON on stdout.
+//! Every phase walks the full grid once per client, rotated by client index
+//! so concurrent clients hammer different shards at any instant.  Reports
+//! per-phase throughput (grid points answered per second) and p50/p99
+//! per-point latency as JSON on stdout; for the pipelined/batched phases the
+//! per-point latency is the window/batch round-trip time divided by its size.
 
 use std::time::Instant;
 
-use srra_serve::{Client, QueryPoint, Server, ServerConfig};
+use srra_serve::{
+    Client, Connection, PointOutcome, QueryPoint, Request, Response, Server, ServerConfig,
+};
+
+/// Requests per pipeline window / canonicals per mget / points per mexplore.
+const BATCH: usize = 48;
 
 /// The BENCH_2 grid: 6 kernels x 5 algorithms x 4 budgets x 2 latencies.
 fn grid() -> Vec<QueryPoint> {
@@ -41,38 +56,28 @@ fn grid() -> Vec<QueryPoint> {
     points
 }
 
-/// One phase: every client walks the full grid (rotated by client index so
-/// the instantaneous load spreads over the shards) and records per-request
-/// latencies.  Returns (wall seconds, sorted latencies in microseconds).
-fn run_phase(addr: &str, clients: usize, points: &[QueryPoint], get: bool) -> (f64, Vec<u64>) {
+/// The per-client rotation of the grid: client `index` starts `offset` points
+/// in, so the instantaneous load spreads over the shards.
+fn rotation(points: &[QueryPoint], index: usize, clients: usize) -> Vec<QueryPoint> {
+    let offset = index * points.len() / clients;
+    (0..points.len())
+        .map(|i| points[(i + offset) % points.len()].clone())
+        .collect()
+}
+
+/// Fans `clients` workers out, runs `work` in each (receiving its rotated
+/// grid), and returns (wall seconds, sorted per-point latencies in µs).
+fn fan_out<F>(clients: usize, points: &[QueryPoint], work: F) -> (f64, Vec<u64>)
+where
+    F: Fn(Vec<QueryPoint>) -> Vec<u64> + Sync,
+{
     let started = Instant::now();
     let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let work = &work;
         let handles: Vec<_> = (0..clients)
             .map(|index| {
-                scope.spawn(move || {
-                    let client = Client::new(addr.to_owned());
-                    let offset = index * points.len() / clients;
-                    let mut local = Vec::with_capacity(points.len());
-                    for i in 0..points.len() {
-                        let point = &points[(i + offset) % points.len()];
-                        let sent = Instant::now();
-                        if get {
-                            let canonical =
-                                srra_serve::canonical_for(point).expect("grid resolves");
-                            client
-                                .get(&canonical)
-                                .expect("get succeeds")
-                                .expect("warm store hits");
-                        } else {
-                            let reply = client
-                                .explore(std::slice::from_ref(point))
-                                .expect("explore succeeds");
-                            assert_eq!(reply.records.len(), 1);
-                        }
-                        local.push(sent.elapsed().as_micros() as u64);
-                    }
-                    local
-                })
+                let local = rotation(points, index, clients);
+                scope.spawn(move || work(local))
             })
             .collect();
         handles
@@ -83,6 +88,122 @@ fn run_phase(addr: &str, clients: usize, points: &[QueryPoint], get: bool) -> (f
     let wall = started.elapsed().as_secs_f64();
     latencies.sort_unstable();
     (wall, latencies)
+}
+
+/// Connection-per-request phase (the BENCH_3 baseline shape): one fresh
+/// socket per request, `get` or single-point `explore`.
+fn run_oneshot(addr: &str, clients: usize, points: &[QueryPoint], get: bool) -> (f64, Vec<u64>) {
+    fan_out(clients, points, |local| {
+        let client = Client::new(addr.to_owned());
+        let mut latencies = Vec::with_capacity(local.len());
+        for point in &local {
+            let sent = Instant::now();
+            if get {
+                let canonical = srra_serve::canonical_for(point).expect("grid resolves");
+                client
+                    .get(&canonical)
+                    .expect("get succeeds")
+                    .expect("warm store hits");
+            } else {
+                let reply = client
+                    .explore(std::slice::from_ref(point))
+                    .expect("explore succeeds");
+                assert_eq!(reply.records.len(), 1);
+            }
+            latencies.push(sent.elapsed().as_micros() as u64);
+        }
+        latencies
+    })
+}
+
+/// Keep-alive phase: one persistent connection per client, sequential `get`
+/// round trips — pure request latency with the connection setup amortised
+/// away.
+fn run_keepalive_get(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64, Vec<u64>) {
+    fan_out(clients, points, |local| {
+        let mut connection = Connection::connect(addr).expect("connects");
+        let mut latencies = Vec::with_capacity(local.len());
+        for point in &local {
+            let canonical = srra_serve::canonical_for(point).expect("grid resolves");
+            let sent = Instant::now();
+            connection
+                .get(&canonical)
+                .expect("get succeeds")
+                .expect("warm store hits");
+            latencies.push(sent.elapsed().as_micros() as u64);
+        }
+        latencies
+    })
+}
+
+/// Pipelined phase: windows of [`BATCH`] `get` request lines written before
+/// any reply is read; per-point latency is the window time / window size.
+fn run_pipelined_get(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64, Vec<u64>) {
+    fan_out(clients, points, |local| {
+        let mut connection = Connection::connect(addr).expect("connects");
+        let mut latencies = Vec::with_capacity(local.len());
+        for window in local.chunks(BATCH) {
+            let requests: Vec<Request> = window
+                .iter()
+                .map(|point| Request::Get {
+                    canonical: srra_serve::canonical_for(point).expect("grid resolves"),
+                })
+                .collect();
+            let sent = Instant::now();
+            let responses = connection.pipeline(&requests).expect("pipeline succeeds");
+            let per_point = (sent.elapsed().as_micros() as u64) / window.len() as u64;
+            for response in &responses {
+                assert!(
+                    matches!(response, Response::Found { .. }),
+                    "warm store hits"
+                );
+            }
+            latencies.extend(std::iter::repeat(per_point).take(window.len()));
+        }
+        latencies
+    })
+}
+
+/// Batched-lookup phase: [`BATCH`] canonicals per `mget` line.
+fn run_mget(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64, Vec<u64>) {
+    fan_out(clients, points, |local| {
+        let mut connection = Connection::connect(addr).expect("connects");
+        let mut latencies = Vec::with_capacity(local.len());
+        for window in local.chunks(BATCH) {
+            let canonicals: Vec<String> = window
+                .iter()
+                .map(|point| srra_serve::canonical_for(point).expect("grid resolves"))
+                .collect();
+            let sent = Instant::now();
+            let records = connection.mget(&canonicals).expect("mget succeeds");
+            let per_point = (sent.elapsed().as_micros() as u64) / window.len() as u64;
+            assert!(records.iter().all(Option::is_some), "warm store hits");
+            latencies.extend(std::iter::repeat(per_point).take(window.len()));
+        }
+        latencies
+    })
+}
+
+/// Batched-explore phase: [`BATCH`] points per `mexplore` line.
+fn run_mexplore(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64, Vec<u64>) {
+    fan_out(clients, points, |local| {
+        let mut connection = Connection::connect(addr).expect("connects");
+        let mut latencies = Vec::with_capacity(local.len());
+        for window in local.chunks(BATCH) {
+            let sent = Instant::now();
+            let reply = connection.mexplore(window).expect("mexplore succeeds");
+            let per_point = (sent.elapsed().as_micros() as u64) / window.len() as u64;
+            assert!(
+                reply
+                    .outcomes
+                    .iter()
+                    .all(|outcome| matches!(outcome, PointOutcome::Answered { .. })),
+                "grid resolves"
+            );
+            latencies.extend(std::iter::repeat(per_point).take(window.len()));
+        }
+        latencies
+    })
 }
 
 fn percentile(sorted: &[u64], fraction: f64) -> u64 {
@@ -120,9 +241,21 @@ fn main() {
 
     let points = grid();
     let requests = clients * points.len();
-    let (cold_wall, cold_lat) = run_phase(&addr, clients, &points, false);
-    let (warm_wall, warm_lat) = run_phase(&addr, clients, &points, false);
-    let (get_wall, get_lat) = run_phase(&addr, clients, &points, true);
+    let phases = [
+        ("cold_explore", run_oneshot(&addr, clients, &points, false)),
+        ("warm_explore", run_oneshot(&addr, clients, &points, false)),
+        ("warm_get", run_oneshot(&addr, clients, &points, true)),
+        (
+            "warm_get_keepalive",
+            run_keepalive_get(&addr, clients, &points),
+        ),
+        (
+            "warm_get_pipelined",
+            run_pipelined_get(&addr, clients, &points),
+        ),
+        ("warm_mget", run_mget(&addr, clients, &points)),
+        ("warm_mexplore", run_mexplore(&addr, clients, &points)),
+    ];
 
     let client = Client::new(addr);
     let stats = client.stats().expect("stats");
@@ -131,29 +264,39 @@ fn main() {
         points.len(),
         "every distinct point is evaluated exactly once, in the cold phase"
     );
+    for op in ["get", "explore", "mget", "mexplore"] {
+        let entry = stats.op(op).expect("per-op stats are reported");
+        assert!(entry.count > 0, "op `{op}` was exercised");
+    }
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");
     std::fs::remove_dir_all(&dir).expect("scratch dir removed");
 
     println!("{{");
     println!(
-        "  \"grid_points\": {}, \"clients\": {clients}, \"shards\": 4,",
+        "  \"grid_points\": {}, \"clients\": {clients}, \"shards\": 4, \"batch\": {BATCH},",
         points.len()
     );
     println!("  \"phases\": {{");
-    println!(
-        "{},",
-        phase_json("cold_explore", requests, cold_wall, &cold_lat)
-    );
-    println!(
-        "{},",
-        phase_json("warm_explore", requests, warm_wall, &warm_lat)
-    );
-    println!("{}", phase_json("warm_get", requests, get_wall, &get_lat));
+    for (index, (name, (wall, latencies))) in phases.iter().enumerate() {
+        let comma = if index + 1 < phases.len() { "," } else { "" };
+        println!("{}{comma}", phase_json(name, requests, *wall, latencies));
+    }
     println!("  }},");
     println!(
-        "  \"server_totals\": {{\"requests\":{},\"hits\":{},\"evaluated\":{},\"shard_records\":{:?}}}",
+        "  \"server_totals\": {{\"requests\":{},\"hits\":{},\"evaluated\":{},\"shard_records\":{:?},",
         stats.requests, stats.hits, stats.evaluated, stats.shard_records
     );
+    let mut ops = String::new();
+    for (index, entry) in stats.ops.iter().enumerate() {
+        if index > 0 {
+            ops.push(',');
+        }
+        ops.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{}}}",
+            entry.op, entry.count, entry.p50_us, entry.p99_us
+        ));
+    }
+    println!("    \"ops\":{{{ops}}}}}");
     println!("}}");
 }

@@ -33,7 +33,7 @@ use srra_explore::{
 use srra_fpga::DeviceModel;
 use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
-use srra_serve::{Client, QueryPoint, Request, Server, ServerConfig, ShardedStore};
+use srra_serve::{Connection, QueryPoint, Request, Server, ServerConfig, ShardedStore};
 
 /// Usage text printed for `srra help` and on argument errors.
 ///
@@ -72,11 +72,14 @@ pub fn usage() -> &'static str {
     --addr    <host:port>        bind address (default 127.0.0.1:0 = ephemeral port)\n\
     --shards  <n>                shard files (default 4)\n\
     --workers <n>                serving threads (default: all CPUs)\n\
-  query --addr <host:port> <op>  one request against a running server; prints\n\
-                                 the raw JSON response line (see docs/serving.md)\n\
+  query --addr <host:port> <op>  queries against a running server; prints\n\
+                                 the raw JSON response line(s) (see docs/serving.md)\n\
     get <kernel> <algo> <N> [--latency <n>] [--device <d>]\n\
-    explore [axis flags as for explore]\n\
+    explore [axis flags as for explore]     (--batch uses one mexplore line)\n\
     stats | shutdown\n\
+    pipe                         read raw request lines from stdin, pipeline\n\
+                                 them over ONE keep-alive connection, print\n\
+                                 the reply lines in request order\n\
   help                           show this text"
         )
     })
@@ -607,6 +610,11 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
             )))
         }
     };
+    if let [op] = rest {
+        if op == "pipe" {
+            return cmd_query_pipe(&addr, std::io::stdin().lock());
+        }
+    }
     let request = match rest {
         [op, kernel, algo, budget, opts @ ..] if op == "get" => {
             let mut point = QueryPoint::new(kernel.clone(), algo.clone(), 0);
@@ -634,23 +642,117 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
             let canonical = srra_serve::canonical_for(&point).map_err(CliError)?;
             Request::Get { canonical }
         }
-        [op, rest @ ..] if op == "explore" => Request::Explore {
-            points: parse_query_points(rest)?,
-        },
+        [op, rest @ ..] if op == "explore" => {
+            // `--batch` switches to the batched `mexplore` op: same points,
+            // one line each way, per-point outcomes instead of all-or-nothing.
+            let batch = rest.iter().any(|flag| flag == "--batch");
+            let axes: Vec<String> = rest.iter().filter(|f| *f != "--batch").cloned().collect();
+            let points = parse_query_points(&axes)?;
+            if batch {
+                Request::MultiExplore { points }
+            } else {
+                Request::Explore { points }
+            }
+        }
         [op] if op == "stats" => Request::Stats,
         [op] if op == "shutdown" => Request::Shutdown,
         _ => {
             return Err(CliError(format!(
-                "query expects get/explore/stats/shutdown, got `{}`\n{}",
+                "query expects get/explore/stats/shutdown/pipe, got `{}`\n{}",
                 rest.join(" "),
                 usage()
             )))
         }
     };
-    let response = Client::new(addr)
-        .roundtrip(&request)
+    let response = Connection::connect(&addr)
+        .and_then(|mut connection| connection.roundtrip(&request))
         .map_err(|err| CliError(format!("query: {err}")))?;
     Ok(response.render())
+}
+
+/// Pipelined requests in flight per window of `srra query pipe`, bounded by
+/// line count *and* request bytes so a window cannot fill both sockets'
+/// buffers while neither side reads (the classic pipelining deadlock);
+/// within a window all request lines go out before any reply is read.  The
+/// byte bound keeps even reply-heavy windows (an explore line's reply is an
+/// order of magnitude larger than its request) well inside default socket
+/// buffer sizes.
+const PIPE_WINDOW: usize = 256;
+
+/// Request bytes per pipelined window of `srra query pipe`.
+const PIPE_WINDOW_BYTES: usize = 8 * 1024;
+
+/// `srra query ... pipe`: reads raw request lines from `input`, validates
+/// them, pipelines them over one keep-alive connection in windows of
+/// [`PIPE_WINDOW`] (each window fully written *before any of its replies are
+/// read*), and returns the reply lines in request order.
+///
+/// Windows are dispatched *while stdin is still being read*, so a slow or
+/// endless producer sees its earlier requests answered and the in-memory
+/// request backlog never exceeds one window.  (The reply text itself is
+/// accumulated — the CLI contract returns one string — so output stays
+/// proportional to the replies.)
+fn cmd_query_pipe(addr: &str, input: impl std::io::BufRead) -> Result<String, CliError> {
+    let mut connection =
+        Connection::connect(addr).map_err(|err| CliError(format!("query: {err}")))?;
+    let mut window: Vec<Request> = Vec::with_capacity(PIPE_WINDOW);
+    let mut out = String::new();
+    let mut flush_window = |window: &mut Vec<Request>, out: &mut String| -> Result<(), CliError> {
+        if window.is_empty() {
+            return Ok(());
+        }
+        let responses = connection
+            .pipeline(window)
+            .map_err(|err| CliError(format!("query: {err}")))?;
+        window.clear();
+        for response in &responses {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            response.render_into(out);
+        }
+        Ok(())
+    };
+    let mut any = false;
+    let mut window_bytes = 0usize;
+    for (number, line) in input.lines().enumerate() {
+        let line = line.map_err(|err| CliError(format!("query pipe: stdin: {err}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&line) {
+            Ok(request) => request,
+            Err(err) => {
+                // Earlier windows already executed server-side: surface their
+                // replies before failing rather than discarding served work.
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+                return Err(CliError(format!(
+                    "query pipe: line {}: {err}{}",
+                    number + 1,
+                    if out.is_empty() {
+                        ""
+                    } else {
+                        " (replies to the already-dispatched requests are printed above; \
+                         the remaining lines were not sent)"
+                    }
+                )));
+            }
+        };
+        any = true;
+        window.push(request);
+        window_bytes += line.len();
+        if window.len() == PIPE_WINDOW || window_bytes >= PIPE_WINDOW_BYTES {
+            flush_window(&mut window, &mut out)?;
+            window_bytes = 0;
+        }
+    }
+    if !any {
+        return Err(CliError("query pipe: no request lines on stdin".into()));
+    }
+    flush_window(&mut window, &mut out)?;
+    Ok(out)
 }
 
 fn cmd_dot(name: &str) -> Result<String, CliError> {
@@ -931,6 +1033,59 @@ mod tests {
         assert!(run(&args(&["query", "get", "fir", "cpa", "32"])).is_err());
         assert!(query(&["get", "fir", "cpa", "many"]).is_err());
         assert!(query(&["frobnicate"]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn query_pipe_and_batch_drive_one_keepalive_connection() {
+        let dir = std::env::temp_dir().join(format!("srra-cli-pipe-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            cache_dir: dir.join("cache"),
+            shards: 2,
+            workers: 2,
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        // `explore --batch` switches to one mexplore line with per-point
+        // outcomes.
+        let batched = run(&args(&[
+            "query", "--addr", &addr, "explore", "--kernel", "fir", "--algos", "cpa", "--batch",
+        ]))
+        .unwrap();
+        assert!(
+            batched.contains("\"outcomes\":[{\"hit\":false"),
+            "{batched}"
+        );
+
+        // `pipe`: several ops pipelined over ONE connection, replies in
+        // request order, one line each.
+        let input = concat!(
+            "{\"op\":\"explore\",\"points\":[{\"kernel\":\"fir\",\"algo\":\"cpa\",\"budget\":32}]}\n",
+            "\n",
+            "{\"op\":\"mget\",\"canonicals\":[\"kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560\",\"nope\"]}\n",
+            "{\"op\":\"stats\"}\n",
+        );
+        let out = cmd_query_pipe(&addr, input.as_bytes()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(lines[0].starts_with("{\"ok\":true,\"records\":["), "{out}");
+        assert!(
+            lines[1].starts_with("{\"ok\":true,\"got\":[{") && lines[1].ends_with(",null]}"),
+            "{out}"
+        );
+        assert!(lines[2].contains("\"ops\":{"), "{out}");
+
+        // Malformed or empty stdin fails client-side, before any bytes move.
+        assert!(cmd_query_pipe(&addr, "not json\n".as_bytes()).is_err());
+        assert!(cmd_query_pipe(&addr, "".as_bytes()).is_err());
+
+        let down = run(&args(&["query", "--addr", &addr, "shutdown"])).unwrap();
+        assert!(down.contains("shutting_down"));
+        handle.join().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

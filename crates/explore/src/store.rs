@@ -89,6 +89,14 @@ impl PointRecord {
     /// shim) and fixed-order, so identical records encode to identical bytes.
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(256);
+        self.write_json_line(&mut out);
+        out
+    }
+
+    /// Appends the record's JSON line (no trailing newline) to `out` —
+    /// the allocation-free twin of [`PointRecord::to_json_line`] for callers
+    /// embedding records into a reused buffer.
+    pub fn write_json_line(&self, out: &mut String) {
         out.push('{');
         let _ = write!(out, "\"key\":\"{:#018x}\"", self.key);
         for (name, value) in [
@@ -98,13 +106,13 @@ impl PointRecord {
             ("version", &self.version),
         ] {
             let _ = write!(out, ",\"{name}\":\"");
-            escape_json(&mut out, value);
+            escape_json(out, value);
             out.push('"');
         }
         let _ = write!(out, ",\"budget\":{}", self.budget);
         let _ = write!(out, ",\"ram_latency\":{}", self.ram_latency);
         let _ = write!(out, ",\"device\":\"");
-        escape_json(&mut out, &self.device);
+        escape_json(out, &self.device);
         out.push('"');
         let _ = write!(out, ",\"feasible\":{}", self.feasible);
         let _ = write!(out, ",\"fits\":{}", self.fits);
@@ -120,10 +128,9 @@ impl PointRecord {
         let _ = write!(out, ",\"slices\":{}", self.slices);
         let _ = write!(out, ",\"block_rams\":{}", self.block_rams);
         let _ = write!(out, ",\"distribution\":\"");
-        escape_json(&mut out, &self.distribution);
+        escape_json(out, &self.distribution);
         out.push('"');
         out.push('}');
-        out
     }
 
     /// Decodes a record from one JSON line produced by
@@ -571,9 +578,9 @@ impl ResultStore for JsonlStore {
         if index_get(&self.index, record.key, &record.canonical).is_some() {
             return Ok(false);
         }
-        let line = record.to_json_line();
+        let mut line = record.to_json_line();
+        line.push('\n');
         self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         index_insert(&mut self.index, record);
         self.count += 1;

@@ -1,12 +1,23 @@
-//! A small blocking client for the serve protocol, used by `srra query`, the
+//! Blocking clients for the serve protocol, used by `srra query`, the
 //! integration tests and the serving benchmark.
+//!
+//! [`Connection`] is the hot-path client: it keeps one `TcpStream` (with
+//! `TCP_NODELAY`) alive across any number of requests, renders each request
+//! plus its trailing `\n` into a reused scratch buffer and sends it with a
+//! single `write_all`, and supports *pipelining* — write N request lines
+//! back-to-back, then read the N replies in order.  [`Client`] is the
+//! connection-per-request convenience wrapper kept for one-shot callers: each
+//! call opens a fresh [`Connection`], performs one round trip and drops it.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use srra_explore::PointRecord;
 
-use crate::protocol::{QueryPoint, Request, Response, ServerStats};
+use crate::protocol::{
+    render_get_request, render_mget_request, render_points_request, PointOutcome, QueryPoint,
+    Request, Response, ServerStats,
+};
 
 /// Errors of the query client.
 #[derive(Debug)]
@@ -48,7 +59,208 @@ pub struct ExploreReply {
     pub evaluated: u64,
 }
 
+/// The per-point outcomes and cache statistics of one `mexplore` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiExploreReply {
+    /// One outcome per requested point, in request order.
+    pub outcomes: Vec<PointOutcome>,
+    /// Points answered from the shards.
+    pub hits: u64,
+    /// Points evaluated on demand.
+    pub evaluated: u64,
+}
+
+/// A persistent keep-alive connection to one server.
+///
+/// One `TcpStream` carries any number of request/response pairs; the server
+/// answers in strict request order.  All methods take `&mut self` — a
+/// connection is a sequential conversation, callers wanting parallelism open
+/// several connections.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Scratch buffer for rendering outgoing request lines.
+    scratch: String,
+    /// Scratch buffer for incoming response lines.
+    line: String,
+}
+
+impl Connection {
+    /// Connects to the server at `addr` (`host:port`) and disables Nagle's
+    /// algorithm, so single-line requests leave immediately.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures and unresolvable addresses.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let mut addrs = addr.to_socket_addrs()?;
+        let addr = addrs
+            .next()
+            .ok_or_else(|| ClientError::Protocol(format!("unresolvable address `{addr}`")))?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            scratch: String::with_capacity(256),
+            line: String::with_capacity(256),
+        })
+    }
+
+    /// Writes one request line (trailing `\n` included) with a single
+    /// `write_all`, without waiting for the reply.
+    ///
+    /// Pair each `send` with a later [`receive`](Connection::receive): the
+    /// server replies in request order.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        self.scratch.clear();
+        request.render_into(&mut self.scratch);
+        self.send_scratch_line()
+    }
+
+    /// Terminates and writes the request line sitting in `scratch` with one
+    /// `write_all`.
+    fn send_scratch_line(&mut self) -> Result<(), ClientError> {
+        self.scratch.push('\n');
+        self.writer.write_all(self.scratch.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and decodes the next response line.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures, a connection closed before the reply, and
+    /// malformed response lines.
+    pub fn receive(&mut self) -> Result<Response, ClientError> {
+        self.line.clear();
+        self.reader.read_line(&mut self.line)?;
+        if self.line.is_empty() {
+            return Err(ClientError::Protocol(
+                "server closed the connection without answering".to_owned(),
+            ));
+        }
+        Response::parse(self.line.trim_end()).map_err(ClientError::Protocol)
+    }
+
+    /// Sends one request line and reads its response line.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures and malformed responses.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.receive()
+    }
+
+    /// Pipelines a batch: renders *all* request lines into one buffer, sends
+    /// them with a single `write_all`, then reads the replies in order.
+    ///
+    /// The caller bounds the batch: both peers' socket buffers must absorb
+    /// the whole request window plus the replies produced while the client
+    /// is still writing, so keep batches to at most a few hundred lines
+    /// (the in-tree callers use 48–256) and loop for larger workloads.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures and malformed responses.  An [`Response::Error`]
+    /// reply is returned in place, not promoted to an `Err` — pipelined
+    /// batches are position-addressed.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        self.scratch.clear();
+        for request in requests {
+            request.render_into(&mut self.scratch);
+            self.scratch.push('\n');
+        }
+        self.writer.write_all(self.scratch.as_bytes())?;
+        (0..requests.len()).map(|_| self.receive()).collect()
+    }
+
+    /// Looks a record up by canonical string; `None` is a miss.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn get(&mut self, canonical: &str) -> Result<Option<PointRecord>, ClientError> {
+        // Rendered from the borrowed canonical — no owned Request, no clone.
+        self.scratch.clear();
+        render_get_request(&mut self.scratch, canonical);
+        self.send_scratch_line()?;
+        expect_get(self.receive()?)
+    }
+
+    /// Looks a batch of canonical strings up in one request/reply pair.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn mget(&mut self, canonicals: &[String]) -> Result<Vec<Option<PointRecord>>, ClientError> {
+        self.scratch.clear();
+        render_mget_request(&mut self.scratch, canonicals);
+        self.send_scratch_line()?;
+        expect_mget(self.receive()?)
+    }
+
+    /// Answers a batch of design points (hits from the shards, misses
+    /// evaluated server-side).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn explore(&mut self, points: &[QueryPoint]) -> Result<ExploreReply, ClientError> {
+        self.scratch.clear();
+        render_points_request(&mut self.scratch, "explore", points);
+        self.send_scratch_line()?;
+        expect_explore(self.receive()?)
+    }
+
+    /// Answers a batch of design points with per-point outcomes: a point that
+    /// fails to resolve reports its error in place instead of failing the
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn mexplore(&mut self, points: &[QueryPoint]) -> Result<MultiExploreReply, ClientError> {
+        self.scratch.clear();
+        render_points_request(&mut self.scratch, "mexplore", points);
+        self.send_scratch_line()?;
+        expect_mexplore(self.receive()?)
+    }
+
+    /// Fetches the server statistics.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        let response = self.roundtrip(&Request::Stats)?;
+        expect_stats(response)
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let response = self.roundtrip(&Request::Shutdown)?;
+        expect_shutdown(response)
+    }
+}
+
 /// A connection-per-request client addressing one server.
+///
+/// Every method opens a fresh [`Connection`] (so it inherits the single
+/// `write_all` framing and `TCP_NODELAY`), performs one round trip and drops
+/// the socket.  Use [`Client::connect`] — or [`Connection::connect`] directly
+/// — to keep a connection alive across requests.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
@@ -65,28 +277,23 @@ impl Client {
         &self.addr
     }
 
-    /// Sends one request line and reads one response line.
+    /// Opens a persistent keep-alive [`Connection`] to this client's server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures and unresolvable addresses.
+    pub fn connect(&self) -> Result<Connection, ClientError> {
+        Connection::connect(&self.addr)
+    }
+
+    /// Sends one request line and reads one response line over a fresh
+    /// connection.
     ///
     /// # Errors
     ///
     /// Connection failures and malformed responses.
     pub fn roundtrip(&self, request: &Request) -> Result<Response, ClientError> {
-        let mut addrs = self.addr.to_socket_addrs()?;
-        let addr = addrs.next().ok_or_else(|| {
-            ClientError::Protocol(format!("unresolvable address `{}`", self.addr))
-        })?;
-        let mut stream = TcpStream::connect(addr)?;
-        stream.write_all(request.render().as_bytes())?;
-        stream.write_all(b"\n")?;
-        stream.flush()?;
-        let mut line = String::new();
-        BufReader::new(stream).read_line(&mut line)?;
-        if line.is_empty() {
-            return Err(ClientError::Protocol(
-                "server closed the connection without answering".to_owned(),
-            ));
-        }
-        Response::parse(line.trim_end()).map_err(ClientError::Protocol)
+        self.connect()?.roundtrip(request)
     }
 
     /// Looks a record up by canonical string; `None` is a miss.
@@ -95,16 +302,16 @@ impl Client {
     ///
     /// Connection failures, malformed responses and server-side errors.
     pub fn get(&self, canonical: &str) -> Result<Option<PointRecord>, ClientError> {
-        match self.roundtrip(&Request::Get {
-            canonical: canonical.to_owned(),
-        })? {
-            Response::Found { record } => Ok(Some(record)),
-            Response::NotFound => Ok(None),
-            Response::Error { message } => Err(ClientError::Server(message)),
-            other => Err(ClientError::Protocol(format!(
-                "unexpected response to get: {other:?}"
-            ))),
-        }
+        self.connect()?.get(canonical)
+    }
+
+    /// Looks a batch of canonical strings up in one request/reply pair.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn mget(&self, canonicals: &[String]) -> Result<Vec<Option<PointRecord>>, ClientError> {
+        self.connect()?.mget(canonicals)
     }
 
     /// Answers a batch of design points (hits from the shards, misses
@@ -114,23 +321,16 @@ impl Client {
     ///
     /// Connection failures, malformed responses and server-side errors.
     pub fn explore(&self, points: &[QueryPoint]) -> Result<ExploreReply, ClientError> {
-        match self.roundtrip(&Request::Explore {
-            points: points.to_vec(),
-        })? {
-            Response::Explored {
-                records,
-                hits,
-                evaluated,
-            } => Ok(ExploreReply {
-                records,
-                hits,
-                evaluated,
-            }),
-            Response::Error { message } => Err(ClientError::Server(message)),
-            other => Err(ClientError::Protocol(format!(
-                "unexpected response to explore: {other:?}"
-            ))),
-        }
+        self.connect()?.explore(points)
+    }
+
+    /// Answers a batch of design points with per-point outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn mexplore(&self, points: &[QueryPoint]) -> Result<MultiExploreReply, ClientError> {
+        self.connect()?.mexplore(points)
     }
 
     /// Fetches the server statistics.
@@ -139,13 +339,7 @@ impl Client {
     ///
     /// Connection failures, malformed responses and server-side errors.
     pub fn stats(&self) -> Result<ServerStats, ClientError> {
-        match self.roundtrip(&Request::Stats)? {
-            Response::Stats(stats) => Ok(stats),
-            Response::Error { message } => Err(ClientError::Server(message)),
-            other => Err(ClientError::Protocol(format!(
-                "unexpected response to stats: {other:?}"
-            ))),
-        }
+        self.connect()?.stats()
     }
 
     /// Asks the server to shut down gracefully.
@@ -154,12 +348,89 @@ impl Client {
     ///
     /// Connection failures, malformed responses and server-side errors.
     pub fn shutdown(&self) -> Result<(), ClientError> {
-        match self.roundtrip(&Request::Shutdown)? {
-            Response::ShuttingDown => Ok(()),
-            Response::Error { message } => Err(ClientError::Server(message)),
-            other => Err(ClientError::Protocol(format!(
-                "unexpected response to shutdown: {other:?}"
-            ))),
-        }
+        self.connect()?.shutdown()
+    }
+}
+
+/// Narrows a response to the `get` reply shapes.
+fn expect_get(response: Response) -> Result<Option<PointRecord>, ClientError> {
+    match response {
+        Response::Found { record } => Ok(Some(record)),
+        Response::NotFound => Ok(None),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to get: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the `mget` reply shape.
+fn expect_mget(response: Response) -> Result<Vec<Option<PointRecord>>, ClientError> {
+    match response {
+        Response::MultiGot { records } => Ok(records),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to mget: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the `explore` reply shape.
+fn expect_explore(response: Response) -> Result<ExploreReply, ClientError> {
+    match response {
+        Response::Explored {
+            records,
+            hits,
+            evaluated,
+        } => Ok(ExploreReply {
+            records,
+            hits,
+            evaluated,
+        }),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to explore: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the `mexplore` reply shape.
+fn expect_mexplore(response: Response) -> Result<MultiExploreReply, ClientError> {
+    match response {
+        Response::MultiExplored {
+            outcomes,
+            hits,
+            evaluated,
+        } => Ok(MultiExploreReply {
+            outcomes,
+            hits,
+            evaluated,
+        }),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to mexplore: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the `stats` reply shape.
+fn expect_stats(response: Response) -> Result<ServerStats, ClientError> {
+    match response {
+        Response::Stats(stats) => Ok(stats),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to stats: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the `shutdown` acknowledgement.
+fn expect_shutdown(response: Response) -> Result<(), ClientError> {
+    match response {
+        Response::ShuttingDown => Ok(()),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to shutdown: {other:?}"
+        ))),
     }
 }

@@ -55,7 +55,9 @@ impl JsonValue {
         out
     }
 
-    fn render_into(&self, out: &mut String) {
+    /// Renders the value as compact JSON into an existing buffer, so hot
+    /// paths can reuse one allocation across many renders.
+    pub fn render_into(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(true) => out.push_str("true"),
@@ -141,7 +143,11 @@ impl JsonValue {
 }
 
 /// Writes `text` as a quoted, escaped JSON string.
-fn render_string(out: &mut String, text: &str) {
+///
+/// Public so the protocol layer can render request/response lines directly
+/// into a reused buffer without building a [`JsonValue`] tree first; the
+/// escaping matches [`JsonValue::render`] byte for byte.
+pub fn render_string(out: &mut String, text: &str) {
     out.push('"');
     for ch in text.chars() {
         match ch {

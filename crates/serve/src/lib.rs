@@ -6,9 +6,10 @@
 //! scales that substrate in two layers:
 //!
 //! 1. [`ShardedStore`] — the cache split over N JSONL shard files (records
-//!    routed by `key % N`), each shard behind its own mutex so concurrent
-//!    threads touch disjoint shards without contention, plus a lock file
-//!    guarding the directory against concurrent processes.
+//!    routed by `key % N`), each shard behind its own read/write lock so any
+//!    number of concurrent warm lookups proceed in parallel against the
+//!    in-memory index (appends briefly exclude their own shard only), plus a
+//!    lock file guarding the directory against concurrent processes.
 //!    [`ShardedStore::merge_file`] folds a legacy single-file cache into the
 //!    shards and [`ShardedStore::compact`] deduplicates and re-routes dirty
 //!    shards, retiring the old single-writer caveat.
@@ -18,11 +19,14 @@
 //!    answered from the shards, misses evaluated through the
 //!    [`srra_explore::evaluate_point`] seam exactly once — concurrent
 //!    requests for the same missing point block on an in-flight table rather
-//!    than re-evaluating), `stats`, and graceful `shutdown`.
+//!    than re-evaluating), batched `mget` / `mexplore` (many lookups or
+//!    points per wire line), `stats` (with per-op latency quantiles), and
+//!    graceful `shutdown`.
 //!
 //! The wire protocol is specified in `docs/serving.md`; [`Request`] /
 //! [`Response`] are its single encode/decode implementation, shared by the
-//! server and the [`Client`].
+//! server and the clients.  [`Connection`] is the keep-alive, pipelining
+//! client used on hot paths; [`Client`] is the one-shot wrapper around it.
 //!
 //! # Quickstart
 //!
@@ -56,8 +60,8 @@ mod protocol;
 mod server;
 mod shard;
 
-pub use client::{Client, ClientError, ExploreReply};
+pub use client::{Client, ClientError, Connection, ExploreReply, MultiExploreReply};
 pub use json::JsonValue;
-pub use protocol::{QueryPoint, Request, Response, ServerStats};
+pub use protocol::{OpStats, PointOutcome, QueryPoint, Request, Response, ServerStats};
 pub use server::{canonical_for, device_by_name, ServeError, Server, ServerConfig, ServerReport};
 pub use shard::{CompactOutcome, MergeOutcome, ShardError, ShardedStore};

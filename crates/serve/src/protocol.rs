@@ -3,13 +3,26 @@
 //!
 //! Every request and every response is exactly one JSON object on one line
 //! (`\n`-terminated).  A connection may carry any number of request/response
-//! pairs in order.  The full specification lives in `docs/serving.md`; this
-//! module is the single encode/decode implementation used by both the server
-//! and the client, so the two cannot drift apart.
+//! pairs in order, and clients may *pipeline*: write several request lines
+//! before reading any replies — the server answers strictly in request order.
+//! The batched `mget` / `mexplore` ops amortise framing and syscalls further
+//! by answering many lookups or points with a single line in each direction.
+//! The full specification lives in `docs/serving.md`; this module is the
+//! single encode/decode implementation used by both the server and the
+//! client, so the two cannot drift apart.
+//!
+//! All render methods come in a pair: `render` (fresh `String`) and
+//! `render_into` (append to a caller-owned buffer), so the server and the
+//! keep-alive client can reuse one scratch allocation across requests.
+//! Embedded [`PointRecord`]s are written straight into the output buffer as
+//! their raw JSONL lines (via [`PointRecord::write_json_line`]) — no
+//! intermediate [`JsonValue`] tree and no per-record temporaries — so the
+//! hot `get`/`explore` reply path allocates nothing beyond the record
+//! lookup itself and the buffer's own growth.
 
 use srra_explore::PointRecord;
 
-use crate::json::JsonValue;
+use crate::json::{render_string, JsonValue};
 
 /// One design point named by a query (the request-side mirror of
 /// [`srra_explore::DesignPoint`], with everything by name).
@@ -42,20 +55,18 @@ impl QueryPoint {
         }
     }
 
-    fn to_value(&self) -> JsonValue {
-        JsonValue::Object(vec![
-            ("kernel".to_owned(), JsonValue::Text(self.kernel.clone())),
-            ("algo".to_owned(), JsonValue::Text(self.algorithm.clone())),
-            (
-                "budget".to_owned(),
-                JsonValue::Number(self.budget.to_string()),
-            ),
-            (
-                "latency".to_owned(),
-                JsonValue::Number(self.ram_latency.to_string()),
-            ),
-            ("device".to_owned(), JsonValue::Text(self.device.clone())),
-        ])
+    fn render_into(&self, out: &mut String) {
+        out.push_str("{\"kernel\":");
+        render_string(out, &self.kernel);
+        out.push_str(",\"algo\":");
+        render_string(out, &self.algorithm);
+        out.push_str(",\"budget\":");
+        out.push_str(&self.budget.to_string());
+        out.push_str(",\"latency\":");
+        out.push_str(&self.ram_latency.to_string());
+        out.push_str(",\"device\":");
+        render_string(out, &self.device);
+        out.push('}');
     }
 
     fn from_value(value: &JsonValue) -> Result<Self, String> {
@@ -91,6 +102,62 @@ impl QueryPoint {
     }
 }
 
+/// Renders a `[...]` of query points.
+fn render_points(out: &mut String, points: &[QueryPoint]) {
+    out.push('[');
+    for (index, point) in points.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        point.render_into(out);
+    }
+    out.push(']');
+}
+
+/// Renders a `get` request line from borrowed data (no trailing newline) —
+/// the hot-path twin of [`Request::render_into`] that needs no owned
+/// [`Request`].
+pub(crate) fn render_get_request(out: &mut String, canonical: &str) {
+    out.push_str("{\"op\":\"get\",\"canonical\":");
+    render_string(out, canonical);
+    out.push('}');
+}
+
+/// Renders an `mget` request line from borrowed canonicals (no trailing
+/// newline).
+pub(crate) fn render_mget_request(out: &mut String, canonicals: &[String]) {
+    out.push_str("{\"op\":\"mget\",\"canonicals\":[");
+    for (index, canonical) in canonicals.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        render_string(out, canonical);
+    }
+    out.push_str("]}");
+}
+
+/// Renders an `explore`-shaped request line (`op` is `explore` or
+/// `mexplore`) from borrowed points (no trailing newline).
+pub(crate) fn render_points_request(out: &mut String, op: &str, points: &[QueryPoint]) {
+    out.push_str("{\"op\":\"");
+    out.push_str(op);
+    out.push_str("\",\"points\":");
+    render_points(out, points);
+    out.push('}');
+}
+
+/// Parses the non-empty `points` array shared by `explore` and `mexplore`.
+fn parse_points(value: &JsonValue, op: &str) -> Result<Vec<QueryPoint>, String> {
+    let items = value
+        .get("points")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("`{op}` needs a `points` array"))?;
+    if items.is_empty() {
+        return Err(format!("`{op}` needs at least one point"));
+    }
+    items.iter().map(QueryPoint::from_value).collect()
+}
+
 /// One request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -99,9 +166,21 @@ pub enum Request {
         /// The canonical string (see `srra_explore::DesignPoint::canonical`).
         canonical: String,
     },
+    /// Batched lookups: one line carrying many canonical strings, answered by
+    /// one line of record-or-null results in request order.  Never evaluates.
+    MultiGet {
+        /// The canonical strings to look up, in reply order.
+        canonicals: Vec<String>,
+    },
     /// Answer a batch of design points: cache hits from the shards, misses
     /// evaluated on demand and written back.
     Explore {
+        /// The points to answer, in request order.
+        points: Vec<QueryPoint>,
+    },
+    /// Batched explore with *per-point* outcomes: points that fail to resolve
+    /// answer with a per-point error instead of failing the whole batch.
+    MultiExplore {
         /// The points to answer, in request order.
         points: Vec<QueryPoint>,
     },
@@ -115,22 +194,21 @@ pub enum Request {
 impl Request {
     /// Encodes the request as one JSON line (no trailing newline).
     pub fn render(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Encodes the request into `out` (no trailing newline), reusing the
+    /// buffer's allocation.
+    pub fn render_into(&self, out: &mut String) {
         match self {
-            Request::Get { canonical } => JsonValue::Object(vec![
-                ("op".to_owned(), JsonValue::Text("get".to_owned())),
-                ("canonical".to_owned(), JsonValue::Text(canonical.clone())),
-            ])
-            .render(),
-            Request::Explore { points } => JsonValue::Object(vec![
-                ("op".to_owned(), JsonValue::Text("explore".to_owned())),
-                (
-                    "points".to_owned(),
-                    JsonValue::Array(points.iter().map(QueryPoint::to_value).collect()),
-                ),
-            ])
-            .render(),
-            Request::Stats => r#"{"op":"stats"}"#.to_owned(),
-            Request::Shutdown => r#"{"op":"shutdown"}"#.to_owned(),
+            Request::Get { canonical } => render_get_request(out, canonical),
+            Request::MultiGet { canonicals } => render_mget_request(out, canonicals),
+            Request::Explore { points } => render_points_request(out, "explore", points),
+            Request::MultiExplore { points } => render_points_request(out, "mexplore", points),
+            Request::Stats => out.push_str(r#"{"op":"stats"}"#),
+            Request::Shutdown => out.push_str(r#"{"op":"shutdown"}"#),
         }
     }
 
@@ -141,6 +219,18 @@ impl Request {
     /// Returns a user-facing description of the first problem (malformed JSON,
     /// unknown op, missing fields).
     pub fn parse(line: &str) -> Result<Self, String> {
+        // Fast path for the hot `get` line exactly as [`Request::render`]
+        // frames it.  A canonical containing quotes or escapes falls back to
+        // the general parser below.
+        if let Some(rest) = line.strip_prefix("{\"op\":\"get\",\"canonical\":\"") {
+            if let Some(text) = rest.strip_suffix("\"}") {
+                if !text.contains('\\') && !text.contains('"') {
+                    return Ok(Request::Get {
+                        canonical: text.to_owned(),
+                    });
+                }
+            }
+        }
         let value = JsonValue::parse(line)?;
         let op = value
             .get("op")
@@ -154,25 +244,50 @@ impl Request {
                     .ok_or("`get` needs a string `canonical` field")?
                     .to_owned(),
             }),
-            "explore" => {
+            "mget" => {
                 let items = value
-                    .get("points")
+                    .get("canonicals")
                     .and_then(JsonValue::as_array)
-                    .ok_or("`explore` needs a `points` array")?;
+                    .ok_or("`mget` needs a `canonicals` array")?;
                 if items.is_empty() {
-                    return Err("`explore` needs at least one point".to_owned());
+                    return Err("`mget` needs at least one canonical".to_owned());
                 }
-                let points = items
+                let canonicals = items
                     .iter()
-                    .map(QueryPoint::from_value)
+                    .map(|item| {
+                        item.as_str()
+                            .map(str::to_owned)
+                            .ok_or("`canonicals` entries must be strings".to_owned())
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Request::Explore { points })
+                Ok(Request::MultiGet { canonicals })
             }
+            "explore" => Ok(Request::Explore {
+                points: parse_points(&value, "explore")?,
+            }),
+            "mexplore" => Ok(Request::MultiExplore {
+                points: parse_points(&value, "mexplore")?,
+            }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         }
     }
+}
+
+/// Request count and latency quantiles of one op, as reported by `stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpStats {
+    /// Op name (`get`, `mget`, `explore`, `mexplore`, `stats`, `shutdown`,
+    /// or `invalid` for unparseable request lines).
+    pub op: String,
+    /// Requests of this op handled so far.
+    pub count: u64,
+    /// Median service time in microseconds (bucket upper bound; 0 when the
+    /// op was never requested).
+    pub p50_us: u64,
+    /// 99th-percentile service time in microseconds (bucket upper bound).
+    pub p99_us: u64,
 }
 
 /// Server statistics reported by [`Request::Stats`].
@@ -192,12 +307,21 @@ pub struct ServerStats {
     pub evaluated: u64,
     /// Record count per shard, in shard order.
     pub shard_records: Vec<usize>,
+    /// Per-op request counts and service-time quantiles, in the server's
+    /// fixed op order.  Empty when talking to a server that predates the
+    /// field.
+    pub ops: Vec<OpStats>,
 }
 
 impl ServerStats {
     /// Total records across all shards.
     pub fn records(&self) -> usize {
         self.shard_records.iter().sum()
+    }
+
+    /// The stats entry for `op`, if the server reported one.
+    pub fn op(&self, op: &str) -> Option<&OpStats> {
+        self.ops.iter().find(|entry| entry.op == op)
     }
 
     fn to_value(&self) -> JsonValue {
@@ -236,6 +360,33 @@ impl ServerStats {
                         .collect(),
                 ),
             ),
+            (
+                "ops".to_owned(),
+                JsonValue::Object(
+                    self.ops
+                        .iter()
+                        .map(|entry| {
+                            (
+                                entry.op.clone(),
+                                JsonValue::Object(vec![
+                                    (
+                                        "count".to_owned(),
+                                        JsonValue::Number(entry.count.to_string()),
+                                    ),
+                                    (
+                                        "p50_us".to_owned(),
+                                        JsonValue::Number(entry.p50_us.to_string()),
+                                    ),
+                                    (
+                                        "p99_us".to_owned(),
+                                        JsonValue::Number(entry.p99_us.to_string()),
+                                    ),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -254,6 +405,25 @@ impl ServerStats {
             .map(|v| v.as_u64().map(|n| n as usize))
             .collect::<Option<Vec<_>>>()
             .ok_or("`shards` entries must be numbers")?;
+        // Absent on pre-batching servers: default to empty rather than erroring,
+        // so a new client can still read an old server's stats.
+        let mut ops = Vec::new();
+        if let Some(JsonValue::Object(entries)) = value.get("ops") {
+            for (op, entry) in entries {
+                let field = |name: &str| -> Result<u64, String> {
+                    entry
+                        .get(name)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("op stats need a numeric `{name}` field"))
+                };
+                ops.push(OpStats {
+                    op: op.clone(),
+                    count: field("count")?,
+                    p50_us: field("p50_us")?,
+                    p99_us: field("p99_us")?,
+                });
+            }
+        }
         Ok(Self {
             uptime_ms: num("uptime_ms")?,
             connections: num("connections")?,
@@ -262,8 +432,37 @@ impl ServerStats {
             misses: num("misses")?,
             evaluated: num("evaluated")?,
             shard_records,
+            ops,
         })
     }
+}
+
+/// The per-point result of one `mexplore` entry.
+//
+// `Answered` dwarfs `Failed`, but outcomes overwhelmingly ARE answers on the
+// hot path — boxing the record would buy smaller error variants at the price
+// of one extra allocation per served record.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// The point resolved; `hit` is `true` when the shards already held the
+    /// record before this request arrived.  `hit == false` means the point
+    /// was evaluated on this request's account — by this request itself *or
+    /// by a concurrent one it waited on* (matching the `evaluated` counter
+    /// of [`Response::Explored`]).
+    Answered {
+        /// The stored or freshly evaluated record.
+        record: PointRecord,
+        /// Whether the shards already held the record when the request
+        /// arrived.
+        hit: bool,
+    },
+    /// The point failed to resolve (unknown kernel/algorithm/device or a
+    /// store error); the rest of the batch is unaffected.
+    Failed {
+        /// A user-facing description of the problem.
+        error: String,
+    },
 }
 
 /// One response line.
@@ -276,10 +475,24 @@ pub enum Response {
     },
     /// `get` miss.
     NotFound,
+    /// `mget` answer: one record-or-null per requested canonical, in order.
+    MultiGot {
+        /// `Some(record)` for hits, `None` for misses, in request order.
+        records: Vec<Option<PointRecord>>,
+    },
     /// `explore` answer.
     Explored {
         /// One record per requested point, in request order.
         records: Vec<PointRecord>,
+        /// Points answered from the shards.
+        hits: u64,
+        /// Points evaluated on demand (by this request or one it waited on).
+        evaluated: u64,
+    },
+    /// `mexplore` answer: per-point outcomes, in request order.
+    MultiExplored {
+        /// One outcome per requested point.
+        outcomes: Vec<PointOutcome>,
         /// Points answered from the shards.
         hits: u64,
         /// Points evaluated on demand (by this request or one it waited on).
@@ -296,11 +509,6 @@ pub enum Response {
     },
 }
 
-/// Embeds a [`PointRecord`] as a raw JSON object (its JSONL line).
-fn record_value(record: &PointRecord) -> JsonValue {
-    JsonValue::parse(&record.to_json_line()).expect("PointRecord lines are valid JSON")
-}
-
 /// Decodes a [`PointRecord`] from a parsed JSON object by re-rendering it as
 /// a JSONL line.  Numbers keep their raw source text, so the round trip is
 /// bit-exact for the f64 fields.
@@ -311,42 +519,98 @@ fn record_from_value(value: &JsonValue) -> Result<PointRecord, String> {
 impl Response {
     /// Encodes the response as one JSON line (no trailing newline).
     pub fn render(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Encodes the response into `out` (no trailing newline), reusing the
+    /// buffer's allocation.  Embedded records are appended as their raw JSONL
+    /// lines (byte-identical to the shard files), so the hot reply paths do
+    /// not build an intermediate JSON tree.
+    pub fn render_into(&self, out: &mut String) {
         match self {
-            Response::Found { record } => JsonValue::Object(vec![
-                ("ok".to_owned(), JsonValue::Bool(true)),
-                ("found".to_owned(), JsonValue::Bool(true)),
-                ("record".to_owned(), record_value(record)),
-            ])
-            .render(),
-            Response::NotFound => r#"{"ok":true,"found":false}"#.to_owned(),
+            Response::Found { record } => {
+                out.push_str("{\"ok\":true,\"found\":true,\"record\":");
+                record.write_json_line(out);
+                out.push('}');
+            }
+            Response::NotFound => out.push_str(r#"{"ok":true,"found":false}"#),
+            Response::MultiGot { records } => {
+                out.push_str("{\"ok\":true,\"got\":[");
+                for (index, record) in records.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    match record {
+                        Some(record) => record.write_json_line(out),
+                        None => out.push_str("null"),
+                    }
+                }
+                out.push_str("]}");
+            }
             Response::Explored {
                 records,
                 hits,
                 evaluated,
-            } => JsonValue::Object(vec![
-                ("ok".to_owned(), JsonValue::Bool(true)),
-                (
-                    "records".to_owned(),
-                    JsonValue::Array(records.iter().map(record_value).collect()),
-                ),
-                ("hits".to_owned(), JsonValue::Number(hits.to_string())),
-                (
-                    "evaluated".to_owned(),
-                    JsonValue::Number(evaluated.to_string()),
-                ),
-            ])
-            .render(),
-            Response::Stats(stats) => JsonValue::Object(vec![
-                ("ok".to_owned(), JsonValue::Bool(true)),
-                ("stats".to_owned(), stats.to_value()),
-            ])
-            .render(),
-            Response::ShuttingDown => r#"{"ok":true,"shutting_down":true}"#.to_owned(),
-            Response::Error { message } => JsonValue::Object(vec![
-                ("ok".to_owned(), JsonValue::Bool(false)),
-                ("error".to_owned(), JsonValue::Text(message.clone())),
-            ])
-            .render(),
+            } => {
+                out.push_str("{\"ok\":true,\"records\":[");
+                for (index, record) in records.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    record.write_json_line(out);
+                }
+                out.push_str("],\"hits\":");
+                out.push_str(&hits.to_string());
+                out.push_str(",\"evaluated\":");
+                out.push_str(&evaluated.to_string());
+                out.push('}');
+            }
+            Response::MultiExplored {
+                outcomes,
+                hits,
+                evaluated,
+            } => {
+                out.push_str("{\"ok\":true,\"outcomes\":[");
+                for (index, outcome) in outcomes.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    match outcome {
+                        PointOutcome::Answered { record, hit } => {
+                            out.push_str(if *hit {
+                                "{\"hit\":true,\"record\":"
+                            } else {
+                                "{\"hit\":false,\"record\":"
+                            });
+                            record.write_json_line(out);
+                            out.push('}');
+                        }
+                        PointOutcome::Failed { error } => {
+                            out.push_str("{\"error\":");
+                            render_string(out, error);
+                            out.push('}');
+                        }
+                    }
+                }
+                out.push_str("],\"hits\":");
+                out.push_str(&hits.to_string());
+                out.push_str(",\"evaluated\":");
+                out.push_str(&evaluated.to_string());
+                out.push('}');
+            }
+            Response::Stats(stats) => {
+                out.push_str("{\"ok\":true,\"stats\":");
+                stats.to_value().render_into(out);
+                out.push('}');
+            }
+            Response::ShuttingDown => out.push_str(r#"{"ok":true,"shutting_down":true}"#),
+            Response::Error { message } => {
+                out.push_str("{\"ok\":false,\"error\":");
+                render_string(out, message);
+                out.push('}');
+            }
         }
     }
 
@@ -357,6 +621,17 @@ impl Response {
     /// Returns a description of the first problem (malformed JSON or an
     /// unrecognised shape).
     pub fn parse(line: &str) -> Result<Self, String> {
+        // Fast path for the hot `get` hit reply exactly as
+        // [`Response::render`] frames it: one flat parse of the embedded
+        // record instead of a JSON tree plus a re-render plus a second
+        // parse.  Any other framing falls back to the general parser below.
+        if let Some(rest) = line.strip_prefix("{\"ok\":true,\"found\":true,\"record\":") {
+            if let Some(record_text) = rest.strip_suffix('}') {
+                if let Ok(record) = PointRecord::from_json_line(record_text) {
+                    return Ok(Response::Found { record });
+                }
+            }
+        }
         let value = JsonValue::parse(line)?;
         let ok = value
             .get("ok")
@@ -384,19 +659,48 @@ impl Response {
                 Ok(Response::NotFound)
             };
         }
+        if let Some(items) = value.get("got").and_then(JsonValue::as_array) {
+            let records = items
+                .iter()
+                .map(|item| match item {
+                    JsonValue::Null => Ok(None),
+                    other => record_from_value(other).map(Some),
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            return Ok(Response::MultiGot { records });
+        }
+        if let Some(items) = value.get("outcomes").and_then(JsonValue::as_array) {
+            let outcomes = items
+                .iter()
+                .map(|item| {
+                    if let Some(error) = item.get("error").and_then(JsonValue::as_str) {
+                        return Ok(PointOutcome::Failed {
+                            error: error.to_owned(),
+                        });
+                    }
+                    let hit = item
+                        .get("hit")
+                        .and_then(JsonValue::as_bool)
+                        .ok_or("outcome needs a boolean `hit` field")?;
+                    let record = record_from_value(
+                        item.get("record").ok_or("outcome lacks a `record` field")?,
+                    )?;
+                    Ok(PointOutcome::Answered { record, hit })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let (hits, evaluated) = parse_hits_evaluated(&value, "mexplore")?;
+            return Ok(Response::MultiExplored {
+                outcomes,
+                hits,
+                evaluated,
+            });
+        }
         if let Some(items) = value.get("records").and_then(JsonValue::as_array) {
             let records = items
                 .iter()
                 .map(record_from_value)
                 .collect::<Result<Vec<_>, _>>()?;
-            let hits = value
-                .get("hits")
-                .and_then(JsonValue::as_u64)
-                .ok_or("`explore` response lacks `hits`")?;
-            let evaluated = value
-                .get("evaluated")
-                .and_then(JsonValue::as_u64)
-                .ok_or("`explore` response lacks `evaluated`")?;
+            let (hits, evaluated) = parse_hits_evaluated(&value, "explore")?;
             return Ok(Response::Explored {
                 records,
                 hits,
@@ -411,6 +715,19 @@ impl Response {
         }
         Err("unrecognised response shape".to_owned())
     }
+}
+
+/// Parses the `hits`/`evaluated` totals shared by the explore-shaped replies.
+fn parse_hits_evaluated(value: &JsonValue, op: &str) -> Result<(u64, u64), String> {
+    let hits = value
+        .get("hits")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("`{op}` response lacks `hits`"))?;
+    let evaluated = value
+        .get("evaluated")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("`{op}` response lacks `evaluated`"))?;
+    Ok((hits, evaluated))
 }
 
 #[cfg(test)]
@@ -442,12 +759,44 @@ mod tests {
         }
     }
 
+    fn sample_stats() -> ServerStats {
+        ServerStats {
+            uptime_ms: 1234,
+            connections: 5,
+            requests: 17,
+            hits: 10,
+            misses: 7,
+            evaluated: 7,
+            shard_records: vec![3, 0, 4, 1],
+            ops: vec![
+                OpStats {
+                    op: "get".to_owned(),
+                    count: 9,
+                    p50_us: 63,
+                    p99_us: 255,
+                },
+                OpStats {
+                    op: "explore".to_owned(),
+                    count: 8,
+                    p50_us: 127,
+                    p99_us: 1023,
+                },
+            ],
+        }
+    }
+
     #[test]
     fn requests_round_trip() {
         let requests = [
             Request::Get {
                 canonical: "kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560"
                     .to_owned(),
+            },
+            Request::MultiGet {
+                canonicals: vec![
+                    "kernel=fir;algo=CPA-RA;budget=32".to_owned(),
+                    "x".to_owned(),
+                ],
             },
             Request::Explore {
                 points: vec![
@@ -461,6 +810,9 @@ mod tests {
                     },
                 ],
             },
+            Request::MultiExplore {
+                points: vec![QueryPoint::new("mat", "fr", 16)],
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -468,6 +820,10 @@ mod tests {
             let line = request.render();
             assert!(!line.contains('\n'), "one line per request");
             assert_eq!(Request::parse(&line).unwrap(), request, "line: {line}");
+            // `render_into` appends exactly the same bytes.
+            let mut buffer = String::from("prefix");
+            request.render_into(&mut buffer);
+            assert_eq!(buffer, format!("prefix{line}"));
         }
     }
 
@@ -492,20 +848,29 @@ mod tests {
                 record: record.clone(),
             },
             Response::NotFound,
+            Response::MultiGot {
+                records: vec![Some(record.clone()), None, Some(record.clone())],
+            },
             Response::Explored {
-                records: vec![record.clone(), record],
+                records: vec![record.clone(), record.clone()],
                 hits: 1,
                 evaluated: 1,
             },
-            Response::Stats(ServerStats {
-                uptime_ms: 1234,
-                connections: 5,
-                requests: 17,
-                hits: 10,
-                misses: 7,
-                evaluated: 7,
-                shard_records: vec![3, 0, 4, 1],
-            }),
+            Response::MultiExplored {
+                outcomes: vec![
+                    PointOutcome::Answered {
+                        record: record.clone(),
+                        hit: true,
+                    },
+                    PointOutcome::Failed {
+                        error: "unknown kernel `nope`".to_owned(),
+                    },
+                    PointOutcome::Answered { record, hit: false },
+                ],
+                hits: 1,
+                evaluated: 1,
+            },
+            Response::Stats(sample_stats()),
             Response::ShuttingDown,
             Response::Error {
                 message: "unknown kernel `nope`".to_owned(),
@@ -515,22 +880,32 @@ mod tests {
             let line = response.render();
             assert!(!line.contains('\n'), "one line per response");
             assert_eq!(Response::parse(&line).unwrap(), response, "line: {line}");
+            let mut buffer = String::from("prefix");
+            response.render_into(&mut buffer);
+            assert_eq!(buffer, format!("prefix{line}"));
         }
     }
 
     #[test]
-    fn stats_totals_sum_the_shards() {
-        let stats = ServerStats {
-            uptime_ms: 1,
-            connections: 1,
-            requests: 1,
-            hits: 0,
-            misses: 0,
-            evaluated: 0,
-            shard_records: vec![2, 3, 5],
+    fn stats_totals_sum_the_shards_and_carry_op_latencies() {
+        let stats = sample_stats();
+        assert_eq!(stats.records(), 8);
+        let rendered = stats.to_value().render();
+        assert!(rendered.contains("\"records\":8"));
+        assert!(rendered.contains("\"ops\":{\"get\":{\"count\":9,\"p50_us\":63,\"p99_us\":255}"));
+        assert_eq!(stats.op("get").unwrap().count, 9);
+        assert_eq!(stats.op("frobnicate"), None);
+    }
+
+    #[test]
+    fn stats_without_ops_still_parse() {
+        // A reply from a server that predates per-op latency accounting.
+        let line = r#"{"ok":true,"stats":{"uptime_ms":1,"connections":2,"requests":3,"hits":1,"misses":2,"evaluated":2,"records":3,"shards":[1,2]}}"#;
+        let Response::Stats(stats) = Response::parse(line).unwrap() else {
+            panic!("expected stats");
         };
-        assert_eq!(stats.records(), 10);
-        assert!(stats.to_value().render().contains("\"records\":10"));
+        assert_eq!(stats.shard_records, vec![1, 2]);
+        assert!(stats.ops.is_empty());
     }
 
     #[test]
@@ -543,6 +918,12 @@ mod tests {
             r#"{"op":"get"}"#,
             r#"{"op":"explore","points":[]}"#,
             r#"{"op":"explore","points":[{"kernel":"fir"}]}"#,
+            r#"{"op":"mget"}"#,
+            r#"{"op":"mget","canonicals":[]}"#,
+            r#"{"op":"mget","canonicals":[42]}"#,
+            r#"{"op":"mexplore"}"#,
+            r#"{"op":"mexplore","points":[]}"#,
+            r#"{"op":"mexplore","points":[{"algo":"cpa","budget":32}]}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "accepted `{bad}`");
         }

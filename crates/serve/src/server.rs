@@ -7,8 +7,15 @@
 //! * the accept loop hands sockets to a fixed pool of worker threads over an
 //!   `mpsc` channel (receiver shared behind a mutex);
 //! * every worker answers requests against one shared [`ShardedStore`] —
-//!   shard-level mutexes give reads and writes of different shards full
-//!   parallelism;
+//!   shard-level read/write locks let any number of warm lookups proceed in
+//!   parallel (even on the same shard) while appends briefly exclude their
+//!   own shard only;
+//! * each connection reuses one request-line buffer and one response buffer
+//!   across its whole lifetime, renders every reply (`\n` included) with a
+//!   single `write_all`, and defers the flush while another complete
+//!   pipelined request is already sitting in the read buffer — so a client
+//!   that writes N requests before reading gets its N replies in large
+//!   batches instead of N round-trips;
 //! * an in-flight table (mutex + condvar) guarantees each cache miss is
 //!   evaluated *exactly once* even when many clients request the same point
 //!   concurrently: the first claimant evaluates, everyone else blocks until
@@ -23,7 +30,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use srra_core::{AllocatorRegistry, CompiledKernel};
 use srra_explore::{evaluate_point, DesignPoint, PointRecord};
@@ -31,7 +38,7 @@ use srra_fpga::DeviceModel;
 use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
 
-use crate::protocol::{QueryPoint, Request, Response, ServerStats};
+use crate::protocol::{OpStats, PointOutcome, QueryPoint, Request, Response, ServerStats};
 use crate::shard::{ShardError, ShardedStore};
 
 /// Errors starting or running a [`Server`].
@@ -135,6 +142,74 @@ impl Inflight {
     }
 }
 
+/// The protocol ops the server accounts for, in the fixed `stats` reporting
+/// order.  `Invalid` covers request lines that failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Get,
+    MultiGet,
+    Explore,
+    MultiExplore,
+    Stats,
+    Shutdown,
+    Invalid,
+}
+
+/// Wire names of the ops, indexed by `Op as usize`.
+const OP_NAMES: [&str; 7] = [
+    "get", "mget", "explore", "mexplore", "stats", "shutdown", "invalid",
+];
+
+/// Latency buckets: bucket `i` (i ≥ 1) covers `[2^(i-1), 2^i)` microseconds,
+/// bucket 0 holds sub-microsecond requests.  26 buckets reach ~33 s, far
+/// beyond any real service time; slower requests clamp into the last bucket.
+const LATENCY_BUCKETS: usize = 26;
+
+/// A fixed-bucket, lock-free latency histogram (power-of-two microseconds).
+#[derive(Debug, Default)]
+struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Histogram {
+    fn record(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let index = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The value (bucket upper bound in µs) below which `fraction` of the
+    /// recorded samples fall; 0 when nothing was recorded.
+    fn quantile(&self, fraction: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|bucket| bucket.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * fraction).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (index, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                // Upper bound of bucket i: 2^i - 1 µs (bucket 0 → 0 µs).
+                return (1u64 << index) - 1;
+            }
+        }
+        (1u64 << (LATENCY_BUCKETS - 1)) - 1
+    }
+}
+
+/// Count + latency histogram of one op.
+#[derive(Debug, Default)]
+struct OpCounter {
+    count: AtomicU64,
+    latency: Histogram,
+}
+
 /// Monotonic counters exposed through `stats`.
 #[derive(Debug, Default)]
 struct Counters {
@@ -143,6 +218,31 @@ struct Counters {
     hits: AtomicU64,
     misses: AtomicU64,
     evaluated: AtomicU64,
+    /// Per-op accounting, indexed by `Op as usize`.
+    ops: [OpCounter; OP_NAMES.len()],
+}
+
+impl Counters {
+    /// Records one handled request of `op` that took `elapsed` to serve.
+    fn record_op(&self, op: Op, elapsed: Duration) {
+        let counter = &self.ops[op as usize];
+        counter.count.fetch_add(1, Ordering::Relaxed);
+        counter.latency.record(elapsed);
+    }
+
+    /// The per-op stats in fixed reporting order.
+    fn op_stats(&self) -> Vec<OpStats> {
+        OP_NAMES
+            .iter()
+            .zip(&self.ops)
+            .map(|(name, counter)| OpStats {
+                op: (*name).to_owned(),
+                count: counter.count.load(Ordering::Relaxed),
+                p50_us: counter.latency.quantile(0.50),
+                p99_us: counter.latency.quantile(0.99),
+            })
+            .collect()
+    }
 }
 
 /// Shared state of a running server.
@@ -333,28 +433,54 @@ fn snapshot_stats(state: &ServerState) -> Result<ServerStats, ServeError> {
         misses: state.counters.misses.load(Ordering::Relaxed),
         evaluated: state.counters.evaluated.load(Ordering::Relaxed),
         shard_records: state.store.shard_sizes()?,
+        ops: state.counters.op_stats(),
     })
 }
 
-/// Serves one connection: any number of request lines, one response line each.
+/// Serves one connection: any number of request lines, one response line each,
+/// in strict request order.
+///
+/// The loop owns two scratch buffers for its whole lifetime — the request
+/// line and the rendered response — so a keep-alive connection stops
+/// allocating once the buffers have grown to the workload's line sizes.  Each
+/// response (trailing `\n` included) goes out with one `write_all`; the
+/// `BufWriter` flush is skipped while the read buffer already holds another
+/// complete request line, which batches pipelined replies into large writes.
 fn serve_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAddr) {
+    // Replies are latency-sensitive single lines: never let Nagle hold them.
+    let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let mut writer = std::io::BufWriter::new(write_half);
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else {
-            return; // Peer vanished mid-line.
-        };
-        if line.trim().is_empty() {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::with_capacity(256);
+    let mut rendered = String::with_capacity(256);
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // Clean EOF.
+            Ok(_) => {}
+            Err(_) => return, // Peer vanished mid-line.
+        }
+        // Strip the line terminator (read_line keeps it): the codec's
+        // fast paths match the exact rendered framing, terminator excluded.
+        let request_line = line.trim_end_matches(['\n', '\r']);
+        if request_line.trim().is_empty() {
             continue;
         }
+        let started = Instant::now();
         state.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, shutdown) = match Request::parse(&line) {
-            Err(message) => (Response::Error { message }, false),
-            Ok(Request::Get { canonical }) => (handle_get(state, &canonical), false),
-            Ok(Request::Explore { points }) => (handle_explore(state, &points), false),
+        let (response, op, shutdown) = match Request::parse(request_line) {
+            Err(message) => (Response::Error { message }, Op::Invalid, false),
+            Ok(Request::Get { canonical }) => (handle_get(state, &canonical), Op::Get, false),
+            Ok(Request::MultiGet { canonicals }) => {
+                (handle_mget(state, &canonicals), Op::MultiGet, false)
+            }
+            Ok(Request::Explore { points }) => (handle_explore(state, &points), Op::Explore, false),
+            Ok(Request::MultiExplore { points }) => {
+                (handle_mexplore(state, &points), Op::MultiExplore, false)
+            }
             Ok(Request::Stats) => (
                 match snapshot_stats(state) {
                     Ok(stats) => Response::Stats(stats),
@@ -362,15 +488,36 @@ fn serve_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAd
                         message: err.to_string(),
                     },
                 },
+                Op::Stats,
                 false,
             ),
-            Ok(Request::Shutdown) => (Response::ShuttingDown, true),
+            Ok(Request::Shutdown) => (Response::ShuttingDown, Op::Shutdown, true),
         };
-        let sent = writer
-            .write_all(response.render().as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush());
+        rendered.clear();
+        response.render_into(&mut rendered);
+        rendered.push('\n');
+        let mut sent = writer.write_all(rendered.as_bytes());
+        // Defer the flush only while the read buffer still holds a complete
+        // *non-blank* request line — one guaranteed to produce another
+        // response before this worker can block on the socket again, so the
+        // reply bytes ride along with that response's flush.  A buffered
+        // blank line alone produces no response (it is skipped above), so
+        // deferring on it would strand this reply in the BufWriter.
+        let buffered = reader.buffer();
+        let another_request_buffered = buffered
+            .iter()
+            .rposition(|&byte| byte == b'\n')
+            .is_some_and(|last| {
+                buffered[..last]
+                    .iter()
+                    .any(|byte| !byte.is_ascii_whitespace())
+            });
+        if sent.is_ok() && !another_request_buffered {
+            sent = writer.flush();
+        }
+        state.counters.record_op(op, started.elapsed());
         if shutdown {
+            let _ = writer.flush();
             state.shutdown.store(true, Ordering::SeqCst);
             // Poke the accept loop awake; it re-checks the flag and exits.
             let _ = TcpStream::connect(local_addr);
@@ -397,6 +544,60 @@ fn handle_get(state: &ServerState, canonical: &str) -> Response {
         Err(err) => Response::Error {
             message: err.to_string(),
         },
+    }
+}
+
+/// Answers an `mget` batch: one pure lookup per canonical, misses answered
+/// as nulls, all in one reply line.
+fn handle_mget(state: &ServerState, canonicals: &[String]) -> Response {
+    let mut records = Vec::with_capacity(canonicals.len());
+    for canonical in canonicals {
+        let key = srra_explore::fnv1a_64(canonical.as_bytes());
+        match state.store.get_record(key, canonical) {
+            Ok(Some(record)) => {
+                state.counters.hits.fetch_add(1, Ordering::Relaxed);
+                records.push(Some(record));
+            }
+            Ok(None) => {
+                state.counters.misses.fetch_add(1, Ordering::Relaxed);
+                records.push(None);
+            }
+            Err(err) => {
+                return Response::Error {
+                    message: err.to_string(),
+                }
+            }
+        }
+    }
+    Response::MultiGot { records }
+}
+
+/// Answers an `mexplore` batch: like `explore`, but a point that fails to
+/// resolve yields a per-point error instead of failing the whole batch.
+fn handle_mexplore(state: &ServerState, points: &[QueryPoint]) -> Response {
+    let mut outcomes = Vec::with_capacity(points.len());
+    let mut hits = 0;
+    let mut evaluated = 0;
+    for point in points {
+        match answer_point(state, point) {
+            Ok((record, was_hit)) => {
+                if was_hit {
+                    hits += 1;
+                } else {
+                    evaluated += 1;
+                }
+                outcomes.push(PointOutcome::Answered {
+                    record,
+                    hit: was_hit,
+                });
+            }
+            Err(error) => outcomes.push(PointOutcome::Failed { error }),
+        }
+    }
+    Response::MultiExplored {
+        outcomes,
+        hits,
+        evaluated,
     }
 }
 

@@ -1,9 +1,13 @@
 //! [`ShardedStore`]: a result store split across N JSONL shard files.
 //!
 //! Records are routed to shard `key % N`.  Each shard is an independent
-//! [`JsonlStore`] behind its own mutex, so concurrent threads read and write
-//! disjoint shards without contention, and a lock file in the cache directory
-//! keeps concurrent *processes* from interleaving appends.  [`merge_file`]
+//! [`JsonlStore`] behind its own **read/write lock**: lookups hit the shard's
+//! in-memory key→records index under a shared read guard, so any number of
+//! concurrent warm `get`s proceed in parallel without touching the filesystem
+//! and without contending with each other; appends take the exclusive write
+//! guard and tee the record to the shard's JSONL file.  A lock file in the
+//! cache directory keeps concurrent *processes* from interleaving appends.
+//! [`merge_file`]
 //! folds a legacy single-file cache into the shards and [`compact`] rewrites
 //! shards in place, dropping duplicate lines and re-routing records that sit
 //! in the wrong shard — together these retire the old "`JsonlStore` is
@@ -15,7 +19,7 @@
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use srra_explore::{JsonlError, JsonlStore, PointRecord, ResultStore, StoreBase};
 
@@ -130,13 +134,15 @@ pub struct CompactOutcome {
 /// A [`ResultStore`] sharded over `N` JSONL files under one cache directory.
 ///
 /// Routing is `key % N`.  All read/write methods take `&self` (each shard sits
-/// behind its own mutex), so one `ShardedStore` can be shared across server
-/// worker threads; the [`ResultStore`] impl forwards to them so the store also
-/// drops into [`srra_explore::Explorer::explore`] unchanged.
+/// behind its own `RwLock`), so one `ShardedStore` can be shared across server
+/// worker threads: reads of the same shard run concurrently against the
+/// in-memory index, and only appends serialise against other users of that
+/// shard.  The [`ResultStore`] impl forwards to the same methods, so the store
+/// also drops into [`srra_explore::Explorer::explore`] unchanged.
 #[derive(Debug)]
 pub struct ShardedStore {
     dir: PathBuf,
-    shards: Vec<Mutex<JsonlStore>>,
+    shards: Vec<RwLock<JsonlStore>>,
     _lock: DirLock,
 }
 
@@ -171,7 +177,7 @@ impl ShardedStore {
         let mut shards = Vec::with_capacity(shard_count);
         for index in 0..shard_count {
             let store = JsonlStore::open(dir.join(shard_file_name(index)))?;
-            shards.push(Mutex::new(store));
+            shards.push(RwLock::new(store));
         }
         Ok(Self {
             dir,
@@ -209,30 +215,47 @@ impl ShardedStore {
         (key % self.shards.len() as u64) as usize
     }
 
-    fn shard(&self, key: u64) -> std::sync::MutexGuard<'_, JsonlStore> {
+    /// Shared read guard on the shard `key` routes to: concurrent with other
+    /// readers of the same shard, excluded only by an in-flight append.
+    fn shard_read(&self, key: u64) -> RwLockReadGuard<'_, JsonlStore> {
         self.shards[self.route(key)]
-            .lock()
+            .read()
+            .expect("no shard user panics while holding the lock")
+    }
+
+    /// Exclusive write guard on the shard `key` routes to.
+    fn shard_write(&self, key: u64) -> RwLockWriteGuard<'_, JsonlStore> {
+        self.shards[self.route(key)]
+            .write()
             .expect("no shard user panics while holding the lock")
     }
 
     /// Looks up the record for `key`, verifying `canonical` (shared-reference
     /// twin of [`ResultStore::get`], usable across threads).
     ///
+    /// Served entirely from the shard's in-memory index under a read lock —
+    /// warm lookups never touch the filesystem and never contend with other
+    /// readers.
+    ///
     /// # Errors
     ///
     /// Propagates shard I/O errors.
     pub fn get_record(&self, key: u64, canonical: &str) -> Result<Option<PointRecord>, ShardError> {
-        Ok(self.shard(key).get(key, canonical)?)
+        Ok(self.shard_read(key).get(key, canonical)?)
     }
 
     /// Inserts a record into its shard (shared-reference twin of
     /// [`ResultStore::put`]); returns whether the record was fresh.
     ///
+    /// Takes the shard's write lock: the in-memory index and the JSONL file
+    /// are updated together, so a reader sees either the old state or the new
+    /// record, never a torn one.
+    ///
     /// # Errors
     ///
     /// Propagates shard I/O errors.
     pub fn put_record(&self, record: &PointRecord) -> Result<bool, ShardError> {
-        Ok(self.shard(record.key).put(record)?)
+        Ok(self.shard_write(record.key).put(record)?)
     }
 
     /// Record count per shard, in shard order.
@@ -245,7 +268,7 @@ impl ShardedStore {
             .iter()
             .map(|shard| {
                 Ok(shard
-                    .lock()
+                    .read()
                     .expect("no shard user panics while holding the lock")
                     .len()?)
             })
@@ -328,7 +351,7 @@ impl ShardedStore {
             }
             std::fs::write(&tmp, text)?;
             std::fs::rename(&tmp, &path)?;
-            self.shards[index] = Mutex::new(JsonlStore::open(&path)?);
+            self.shards[index] = RwLock::new(JsonlStore::open(&path)?);
         }
         Ok(CompactOutcome {
             kept,
@@ -342,7 +365,7 @@ impl StoreBase for ShardedStore {
     type Error = ShardError;
 
     fn contains(&self, key: u64) -> Result<bool, ShardError> {
-        Ok(self.shard(key).contains(key)?)
+        Ok(self.shard_read(key).contains(key)?)
     }
 
     fn len(&self) -> Result<usize, ShardError> {

@@ -68,12 +68,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // Third pass, the hot-path shape: ONE keep-alive connection, the whole
+    // workload batched into a single `mget` line — no per-request connection
+    // setup, one syscall each way.
     let client = Client::new(addr);
+    let canonicals: Vec<String> = points
+        .iter()
+        .map(|point| srra_serve::canonical_for(point).expect("workload resolves"))
+        .collect();
+    let mut connection = client.connect()?;
+    let got = connection.mget(&canonicals)?;
+    println!(
+        "keep-alive pass: one mget line answered {}/{} points from the shards",
+        got.iter().filter(|record| record.is_some()).count(),
+        points.len()
+    );
+    drop(connection); // Close the keep-alive socket before asking for shutdown.
+
     let stats = client.stats()?;
     println!(
         "\nserver stats: {} requests, {} hits, {} evaluated; shard records {:?}",
         stats.requests, stats.hits, stats.evaluated, stats.shard_records
     );
+    for op in ["explore", "mget"] {
+        let entry = stats.op(op).expect("per-op stats are reported");
+        println!(
+            "  op {:<8} count {:>3}  p50 {:>4} us  p99 {:>4} us",
+            entry.op, entry.count, entry.p50_us, entry.p99_us
+        );
+    }
     assert_eq!(
         stats.evaluated as usize,
         points.len(),

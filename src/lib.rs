@@ -75,5 +75,5 @@ pub mod prelude {
     pub use srra_fpga::{DeviceModel, HardwareDesign};
     pub use srra_ir::{ArrayRef, Kernel, LoopNest};
     pub use srra_reuse::ReuseAnalysis;
-    pub use srra_serve::{Client, QueryPoint, Server, ServerConfig, ShardedStore};
+    pub use srra_serve::{Client, Connection, QueryPoint, Server, ServerConfig, ShardedStore};
 }
