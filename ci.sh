@@ -6,6 +6,9 @@
 #   4. tier-1 verification (cargo build --release && cargo test -q)
 #   5. serve smoke test    (srra serve + srra query against a live socket,
 #                           incl. one pipelined keep-alive connection)
+#   6. cluster smoke test  (two srra serve nodes + consistent-hash routed
+#                           mget/explore through srra cluster; both nodes
+#                           must receive traffic)
 #
 # Run from the repository root: ./ci.sh
 set -euo pipefail
@@ -31,6 +34,8 @@ SRRA="target/release/srra"
 SMOKE_DIR="$(mktemp -d)"
 cleanup_smoke() {
   [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
+  [ -n "${NODE_A_PID:-}" ] && kill "$NODE_A_PID" 2>/dev/null || true
+  [ -n "${NODE_B_PID:-}" ] && kill "$NODE_B_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup_smoke EXIT
@@ -83,5 +88,59 @@ grep -q '"kernel":"fir"' "$SMOKE_DIR"/cache/shard-*.jsonl \
   || { echo "serve smoke: shards are empty"; exit 1; }
 grep -q '"kernel":"mat"' "$SMOKE_DIR"/cache/shard-*.jsonl \
   || { echo "serve smoke: mexplore record missing"; exit 1; }
+
+echo "==> cluster smoke test"
+# Two independent serve nodes; the router splits the key space between them.
+"$SRRA" serve --addr 127.0.0.1:0 --shards 2 --cache-dir "$SMOKE_DIR/node-a" \
+  > "$SMOKE_DIR/node-a.out" 2> "$SMOKE_DIR/node-a.err" &
+NODE_A_PID=$!
+"$SRRA" serve --addr 127.0.0.1:0 --shards 2 --cache-dir "$SMOKE_DIR/node-b" \
+  > "$SMOKE_DIR/node-b.out" 2> "$SMOKE_DIR/node-b.err" &
+NODE_B_PID=$!
+ADDR_A=""
+ADDR_B=""
+for _ in $(seq 1 100); do
+  ADDR_A="$(sed -n 's/^srra-serve listening on \([0-9.:]*\).*/\1/p' "$SMOKE_DIR/node-a.out")"
+  ADDR_B="$(sed -n 's/^srra-serve listening on \([0-9.:]*\).*/\1/p' "$SMOKE_DIR/node-b.out")"
+  [ -n "$ADDR_A" ] && [ -n "$ADDR_B" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR_A" ] && [ -n "$ADDR_B" ] \
+  || { echo "cluster smoke: a node never announced its address"; exit 1; }
+NODES="$ADDR_A,$ADDR_B"
+CLUSTER_AXES="--kernel fir,mat,pat --algos fr,pr,cpa --budgets 8,16,32,64"
+# Routed explore: 36 points, every one evaluated exactly once across the
+# cluster (the ring sends each canonical to one owner).  36 keys also make
+# the per-node traffic check below safe: even at the worst tested balance
+# bound (a 2/3 key share), all keys landing on one node has probability
+# ~(2/3)^36 < 1e-6.
+"$SRRA" cluster --nodes "$NODES" explore $CLUSTER_AXES 2>/dev/null \
+  | grep -q '"evaluated":36' || { echo "cluster smoke: explore"; exit 1; }
+# Routed mget over the same grid: all 36 answered, none null.
+"$SRRA" cluster --nodes "$NODES" mget $CLUSTER_AXES > "$SMOKE_DIR/cluster-mget.out"
+grep -q '"got":\[{' "$SMOKE_DIR/cluster-mget.out" \
+  || { echo "cluster smoke: mget shape"; exit 1; }
+! grep -q 'null' "$SMOKE_DIR/cluster-mget.out" \
+  || { echo "cluster smoke: mget returned a miss"; exit 1; }
+# Both nodes received traffic: every node line reports evaluations.
+"$SRRA" cluster --nodes "$NODES" stats > "$SMOKE_DIR/cluster-stats.out"
+[ "$(grep -c '"up":true' "$SMOKE_DIR/cluster-stats.out")" -eq 2 ] \
+  || { echo "cluster smoke: not all nodes up"; exit 1; }
+! grep '"addr"' "$SMOKE_DIR/cluster-stats.out" | grep -q '"evaluated":0,' \
+  || { echo "cluster smoke: a node received no explore traffic"; exit 1; }
+grep -q '"nodes_up":2' "$SMOKE_DIR/cluster-stats.out" \
+  || { echo "cluster smoke: totals line"; exit 1; }
+grep -q '"total_evaluated":36' "$SMOKE_DIR/cluster-stats.out" \
+  || { echo "cluster smoke: evaluated total"; exit 1; }
+# Liveness probe answers for both nodes.
+[ "$("$SRRA" cluster --nodes "$NODES" ping | grep -c '"up":true')" -eq 2 ] \
+  || { echo "cluster smoke: ping"; exit 1; }
+# Graceful shutdown of both nodes.
+"$SRRA" query --addr "$ADDR_A" shutdown | grep -q '"shutting_down":true'
+"$SRRA" query --addr "$ADDR_B" shutdown | grep -q '"shutting_down":true'
+wait "$NODE_A_PID"
+NODE_A_PID=""
+wait "$NODE_B_PID"
+NODE_B_PID=""
 
 echo "ci.sh: all checks passed"

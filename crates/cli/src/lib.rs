@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 use srra_bench::{evaluate_compiled, figure2, render_figure2, render_table1, table1};
+use srra_cluster::{ClusterClient, ClusterConfig};
 use srra_core::{AllocatorRef, AllocatorRegistry, CompiledKernel};
 use srra_explore::{
     exploration_csv, render_exploration, DesignSpace, Exploration, Explorer, JsonlStore,
@@ -33,7 +34,7 @@ use srra_explore::{
 use srra_fpga::DeviceModel;
 use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
-use srra_serve::{Connection, QueryPoint, Request, Server, ServerConfig, ShardedStore};
+use srra_serve::{Connection, QueryPoint, Request, Response, Server, ServerConfig, ShardedStore};
 
 /// Usage text printed for `srra help` and on argument errors.
 ///
@@ -80,6 +81,15 @@ pub fn usage() -> &'static str {
     pipe                         read raw request lines from stdin, pipeline\n\
                                  them over ONE keep-alive connection, print\n\
                                  the reply lines in request order\n\
+  cluster --nodes <a:p,b:p,...> [--replicas <R>] [--vnodes <V>] <op>\n\
+                                 consistent-hash routed queries over several\n\
+                                 serve nodes (see docs/cluster.md)\n\
+    get <kernel> <algo> <N> [--latency <n>] [--device <d>]\n\
+    mget [axis flags as for explore]        routed batched lookups\n\
+    explore [axis flags as for explore]     routed batched explore (+tee to\n\
+                                            replicas when --replicas > 1)\n\
+    stats                        one JSON line per node plus a totals line\n\
+    ping                         probe every node's liveness\n\
   help                           show this text"
         )
     })
@@ -617,28 +627,7 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
     }
     let request = match rest {
         [op, kernel, algo, budget, opts @ ..] if op == "get" => {
-            let mut point = QueryPoint::new(kernel.clone(), algo.clone(), 0);
-            point.budget = budget
-                .parse()
-                .map_err(|_| CliError(format!("invalid register budget `{budget}`")))?;
-            let mut iter = opts.iter();
-            while let Some(flag) = iter.next() {
-                let mut value = |name: &str| {
-                    iter.next()
-                        .cloned()
-                        .ok_or_else(|| CliError(format!("{name} needs a value")))
-                };
-                match flag.as_str() {
-                    "--latency" => {
-                        let raw = value("--latency")?;
-                        point.ram_latency = raw
-                            .parse()
-                            .map_err(|_| CliError(format!("invalid --latency value `{raw}`")))?;
-                    }
-                    "--device" => point.device = value("--device")?,
-                    other => return Err(CliError(format!("unknown query get flag `{other}`"))),
-                }
-            }
+            let point = parse_get_point(kernel, algo, budget, opts)?;
             let canonical = srra_serve::canonical_for(&point).map_err(CliError)?;
             Request::Get { canonical }
         }
@@ -755,6 +744,198 @@ fn cmd_query_pipe(addr: &str, input: impl std::io::BufRead) -> Result<String, Cl
     Ok(out)
 }
 
+/// Parses the `get <kernel> <algo> <budget> [--latency <n>] [--device <d>]`
+/// positional shape shared by `srra query get` and `srra cluster get`.
+fn parse_get_point(
+    kernel: &str,
+    algo: &str,
+    budget: &str,
+    opts: &[String],
+) -> Result<QueryPoint, CliError> {
+    let mut point = QueryPoint::new(kernel, algo, 0);
+    point.budget = budget
+        .parse()
+        .map_err(|_| CliError(format!("invalid register budget `{budget}`")))?;
+    let mut iter = opts.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--latency" => {
+                let raw = value("--latency")?;
+                point.ram_latency = raw
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid --latency value `{raw}`")))?;
+            }
+            "--device" => point.device = value("--device")?,
+            other => return Err(CliError(format!("unknown get flag `{other}`"))),
+        }
+    }
+    Ok(point)
+}
+
+/// Renders one cluster stats node entry as a flat JSON line, greppable by
+/// scripts (`ci.sh` asserts every node saw traffic through these lines).
+fn render_node_stats_line(node: &srra_cluster::NodeStats) -> String {
+    let mut line = format!(
+        "{{\"addr\":\"{}\",\"up\":{},\"routed\":{}",
+        node.addr, node.up, node.routed
+    );
+    if let Some(stats) = &node.stats {
+        line.push_str(&format!(
+            ",\"requests\":{},\"hits\":{},\"misses\":{},\"evaluated\":{},\"records\":{}",
+            stats.requests,
+            stats.hits,
+            stats.misses,
+            stats.evaluated,
+            stats.records()
+        ));
+    }
+    line.push('}');
+    line
+}
+
+fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
+    let mut nodes: Option<Vec<String>> = None;
+    let mut replicas = 1usize;
+    let mut vnodes = srra_cluster::Ring::DEFAULT_VNODES;
+    let mut rest: &[String] = &[];
+    let mut iter_index = 0;
+    while iter_index < args.len() {
+        let flag = &args[iter_index];
+        let value = |name: &str| {
+            args.get(iter_index + 1)
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--nodes" => {
+                let list = value("--nodes")?;
+                nodes = Some(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|node| !node.is_empty())
+                        .map(str::to_owned)
+                        .collect(),
+                );
+                iter_index += 2;
+            }
+            "--replicas" => {
+                let raw = value("--replicas")?;
+                replicas = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError(format!("invalid --replicas value `{raw}`")))?;
+                iter_index += 2;
+            }
+            "--vnodes" => {
+                let raw = value("--vnodes")?;
+                vnodes = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError(format!("invalid --vnodes value `{raw}`")))?;
+                iter_index += 2;
+            }
+            _ => {
+                rest = &args[iter_index..];
+                break;
+            }
+        }
+    }
+    let nodes = nodes
+        .filter(|nodes| !nodes.is_empty())
+        .ok_or_else(|| CliError(format!("cluster needs --nodes <a:p,b:p,...>\n{}", usage())))?;
+    let config = ClusterConfig::new(nodes)
+        .with_replicas(replicas)
+        .with_vnodes(vnodes);
+    let mut cluster =
+        ClusterClient::connect(&config).map_err(|err| CliError(format!("cluster: {err}")))?;
+    match rest {
+        [op, kernel, algo, budget, opts @ ..] if op == "get" => {
+            let point = parse_get_point(kernel, algo, budget, opts)?;
+            let canonical = srra_serve::canonical_for(&point).map_err(CliError)?;
+            let record = cluster
+                .get(&canonical)
+                .map_err(|err| CliError(format!("cluster: {err}")))?;
+            Ok(match record {
+                Some(record) => {
+                    let mut line = String::new();
+                    record.write_json_line(&mut line);
+                    line
+                }
+                None => "null".to_owned(),
+            })
+        }
+        [op, axes @ ..] if op == "mget" => {
+            let points = parse_query_points(axes)?;
+            let canonicals = points
+                .iter()
+                .map(|point| srra_serve::canonical_for(point).map_err(CliError))
+                .collect::<Result<Vec<_>, _>>()?;
+            let records = cluster
+                .mget(&canonicals)
+                .map_err(|err| CliError(format!("cluster: {err}")))?;
+            Ok(Response::MultiGot { records }.render())
+        }
+        [op, axes @ ..] if op == "explore" => {
+            let points = parse_query_points(axes)?;
+            let reply = cluster
+                .explore(&points)
+                .map_err(|err| CliError(format!("cluster: {err}")))?;
+            // Routing/replication summary to stderr, the outcomes to stdout —
+            // stdout stays byte-identical between a cold and a warm run.
+            eprintln!(
+                "cluster explore: {} points over {} nodes, {} hits, {} evaluated, {} replicated",
+                reply.outcomes.len(),
+                cluster.ring().len(),
+                reply.hits,
+                reply.evaluated,
+                reply.replicated
+            );
+            Ok(Response::MultiExplored {
+                outcomes: reply.outcomes,
+                hits: reply.hits,
+                evaluated: reply.evaluated,
+            }
+            .render())
+        }
+        [op] if op == "stats" => {
+            let stats = cluster.stats();
+            let mut out = String::new();
+            for node in &stats.nodes {
+                out.push_str(&render_node_stats_line(node));
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{{\"nodes_up\":{},\"replicas\":{},\"total_requests\":{},\"total_evaluated\":{},\"total_records\":{}}}",
+                stats.nodes_up(),
+                stats.replicas,
+                stats.total_requests(),
+                stats.total_evaluated(),
+                stats.total_records()
+            ));
+            Ok(out)
+        }
+        [op] if op == "ping" => {
+            let mut out = String::new();
+            for (addr, up) in cluster.ping_all() {
+                out.push_str(&format!("{{\"addr\":\"{addr}\",\"up\":{up}}}\n"));
+            }
+            Ok(out.trim_end().to_owned())
+        }
+        _ => Err(CliError(format!(
+            "cluster expects get/mget/explore/stats/ping, got `{}`\n{}",
+            rest.join(" "),
+            usage()
+        ))),
+    }
+}
+
 fn cmd_dot(name: &str) -> Result<String, CliError> {
     let kernel = kernel_by_name(name)?;
     Ok(srra_dfg::to_dot(kernel.dfg(), Some(kernel.critical_path())))
@@ -779,6 +960,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         [cmd, rest @ ..] if cmd == "explore" => cmd_explore(rest),
         [cmd, rest @ ..] if cmd == "serve" => cmd_serve(rest),
         [cmd, rest @ ..] if cmd == "query" => cmd_query(rest),
+        [cmd, rest @ ..] if cmd == "cluster" => cmd_cluster(rest),
         _ => Err(CliError(format!(
             "unrecognised arguments: {}\n{}",
             args.join(" "),
@@ -1086,6 +1268,96 @@ mod tests {
         let down = run(&args(&["query", "--addr", &addr, "shutdown"])).unwrap();
         assert!(down.contains("shutting_down"));
         handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cluster_routes_queries_over_two_nodes() {
+        let dir =
+            std::env::temp_dir().join(format!("srra-cli-cluster-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        for index in 0..2 {
+            let server = Server::bind(&ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                cache_dir: dir.join(format!("node-{index}")),
+                shards: 2,
+                workers: 2,
+            })
+            .unwrap();
+            addrs.push(server.local_addr().to_string());
+            handles.push(std::thread::spawn(move || server.run().unwrap()));
+        }
+        let nodes = addrs.join(",");
+        let cluster = |rest: &[&str]| {
+            let mut full = vec!["cluster", "--nodes", nodes.as_str(), "--replicas", "2"];
+            full.extend_from_slice(rest);
+            run(&args(&full))
+        };
+
+        let ping = cluster(&["ping"]).unwrap();
+        assert_eq!(ping.matches("\"up\":true").count(), 2, "{ping}");
+
+        // 36 points: even at the worst tested balance bound (a 2/3 key
+        // share) the chance of one node owning all of them is < 1e-6, so
+        // the per-node traffic assertions below cannot realistically flake.
+        let axes = [
+            "--kernel",
+            "fir,mat,pat",
+            "--algos",
+            "fr,pr,cpa",
+            "--budgets",
+            "8,16,32,64",
+        ];
+        let explored = cluster(&[&["explore"], &axes[..]].concat()).unwrap();
+        assert!(explored.contains("\"outcomes\":["), "{explored}");
+        assert!(explored.contains("\"evaluated\":36"), "{explored}");
+
+        // Warm mget: every record answered, none null.
+        let got = cluster(&[&["mget"], &axes[..]].concat()).unwrap();
+        assert!(got.starts_with("{\"ok\":true,\"got\":["), "{got}");
+        assert!(!got.contains("null"), "{got}");
+
+        // Single get against a replicated record.
+        let hit = cluster(&["get", "fir", "cpa", "8"]).unwrap();
+        assert!(hit.contains("\"kernel\":\"fir\""), "{hit}");
+        let miss = cluster(&["get", "fir", "cpa", "127"]).unwrap();
+        assert_eq!(miss, "null");
+
+        // Stats: one line per node plus the totals line; both nodes saw
+        // evaluations (the ring split the grid) and replication doubled the
+        // stored records.
+        let stats = cluster(&["stats"]).unwrap();
+        let lines: Vec<&str> = stats.lines().collect();
+        assert_eq!(lines.len(), 3, "{stats}");
+        for line in &lines[..2] {
+            assert!(line.contains("\"up\":true"), "{stats}");
+            assert!(!line.contains("\"evaluated\":0,"), "{stats}");
+        }
+        assert!(lines[2].contains("\"nodes_up\":2"), "{stats}");
+        assert!(lines[2].contains("\"total_evaluated\":36"), "{stats}");
+        assert!(lines[2].contains("\"total_records\":72"), "{stats}");
+
+        // Config errors fail before any traffic.
+        assert!(run(&args(&["cluster", "stats"])).is_err(), "needs --nodes");
+        assert!(cluster(&["frobnicate"]).is_err());
+        assert!(run(&args(&[
+            "cluster",
+            "--nodes",
+            nodes.as_str(),
+            "--replicas",
+            "3",
+            "stats"
+        ]))
+        .is_err());
+
+        for addr in &addrs {
+            run(&args(&["query", "--addr", addr, "shutdown"])).unwrap();
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

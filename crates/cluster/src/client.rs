@@ -1,0 +1,577 @@
+//! The cluster client: routes batches over the ring, fans them out as
+//! pipelined batched wire ops, merges replies back into request order, and
+//! keeps per-node health so a dead node degrades service instead of failing
+//! it.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use srra_explore::{fnv1a_64, PointRecord};
+use srra_serve::{canonical_for, ClientError, Connection, PointOutcome, QueryPoint, ServerStats};
+
+use crate::ring::Ring;
+
+/// First back-off after a node failure; doubles per consecutive failure.
+const BACKOFF_INITIAL: Duration = Duration::from_millis(50);
+
+/// Ceiling of the reconnect back-off.
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// Errors of the cluster client.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The cluster configuration is unusable (empty node list, replicas out
+    /// of range, no reachable node at connect time).
+    Config(String),
+    /// A node answered with a protocol- or server-level error (not an I/O
+    /// failure — those trigger failover instead).
+    Node {
+        /// The node that answered.
+        addr: String,
+        /// The underlying client error.
+        source: ClientError,
+    },
+    /// Every replica owner of a key is down.
+    Unavailable {
+        /// What could not be served.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Config(message) => write!(f, "cluster config error: {message}"),
+            ClusterError::Node { addr, source } => write!(f, "cluster node {addr}: {source}"),
+            ClusterError::Unavailable { what } => {
+                write!(f, "cluster unavailable: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Whether a node failure is an I/O-level one (connection refused/reset,
+/// EOF, ...) — the kind that marks the node down and triggers failover.
+/// Server-side and protocol errors are *answers* and propagate instead.
+fn is_io(err: &ClientError) -> bool {
+    matches!(err, ClientError::Io(_))
+}
+
+/// Configuration of a [`ClusterClient`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node addresses (`host:port`), order-insensitive for placement but
+    /// reported in this order by [`ClusterClient::stats`].
+    pub nodes: Vec<String>,
+    /// Ring replication factor: every key lives on its owner plus the next
+    /// `replicas - 1` distinct ring successors.  `1` disables replication.
+    pub replicas: usize,
+    /// Virtual nodes per physical node.
+    pub vnodes: usize,
+}
+
+impl ClusterConfig {
+    /// A configuration over `nodes` with no replication and
+    /// [`Ring::DEFAULT_VNODES`] virtual nodes.
+    pub fn new<I, S>(nodes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            nodes: nodes.into_iter().map(Into::into).collect(),
+            replicas: 1,
+            vnodes: Ring::DEFAULT_VNODES,
+        }
+    }
+
+    /// Sets the replication factor.
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the virtual-node count.
+    #[must_use]
+    pub fn with_vnodes(mut self, vnodes: usize) -> Self {
+        self.vnodes = vnodes;
+        self
+    }
+}
+
+/// One node's client-side state: the cached keep-alive connection and the
+/// health bookkeeping.
+#[derive(Debug)]
+struct Node {
+    addr: String,
+    connection: Option<Connection>,
+    /// `Some(instant)` while the node is marked down; no connect attempt is
+    /// made before it.
+    down_until: Option<Instant>,
+    /// Next back-off period (doubles per consecutive failure).
+    backoff: Duration,
+    /// Requests this client successfully routed to the node.
+    routed: u64,
+}
+
+impl Node {
+    fn new(addr: String) -> Self {
+        Self {
+            addr,
+            connection: None,
+            down_until: None,
+            backoff: BACKOFF_INITIAL,
+            routed: 0,
+        }
+    }
+
+    /// Whether the node is currently marked down (back-off window open).
+    fn is_down(&self) -> bool {
+        self.down_until.is_some_and(|until| Instant::now() < until)
+    }
+
+    /// Marks the node down: drops the connection and opens (and doubles) the
+    /// back-off window.
+    fn mark_down(&mut self) {
+        self.connection = None;
+        self.down_until = Some(Instant::now() + self.backoff);
+        self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
+    }
+
+    /// Marks the node healthy and resets the back-off.
+    fn mark_up(&mut self) {
+        self.down_until = None;
+        self.backoff = BACKOFF_INITIAL;
+    }
+
+    /// The node's keep-alive connection, dialling if necessary.  Fails fast
+    /// (without touching the network) while the back-off window is open.
+    fn ensure_connection(&mut self) -> Result<&mut Connection, ClientError> {
+        if self.is_down() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                format!(
+                    "node {} is marked down (reconnect back-off open)",
+                    self.addr
+                ),
+            )));
+        }
+        if self.connection.is_none() {
+            match Connection::connect(&self.addr) {
+                Ok(connection) => self.connection = Some(connection),
+                Err(err) => {
+                    if is_io(&err) {
+                        self.mark_down();
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok(self.connection.as_mut().expect("connection just ensured"))
+    }
+
+    /// Runs one wire call against the node, maintaining the health state: an
+    /// I/O failure marks the node down (the `Connection` has already retried
+    /// once internally for stale-socket cases), success marks it up.
+    fn call<T>(
+        &mut self,
+        op: impl FnOnce(&mut Connection) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let connection = self.ensure_connection()?;
+        match op(connection) {
+            Ok(value) => {
+                self.routed += 1;
+                self.mark_up();
+                Ok(value)
+            }
+            Err(err) => {
+                if is_io(&err) {
+                    self.mark_down();
+                }
+                Err(err)
+            }
+        }
+    }
+}
+
+/// One node's entry in [`ClusterStats`].
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// The node address.
+    pub addr: String,
+    /// Whether the node answered the stats probe.
+    pub up: bool,
+    /// Requests this client routed to the node (client-side counter).
+    pub routed: u64,
+    /// The node's own server statistics; `None` when unreachable.
+    pub stats: Option<ServerStats>,
+}
+
+/// Aggregated statistics of the whole cluster, as seen by one client.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Per-node statistics, in configuration order.
+    pub nodes: Vec<NodeStats>,
+    /// The configured replication factor.
+    pub replicas: usize,
+}
+
+impl ClusterStats {
+    /// Nodes that answered the probe.
+    pub fn nodes_up(&self) -> usize {
+        self.nodes.iter().filter(|node| node.up).count()
+    }
+
+    /// Total requests served across reachable nodes.
+    pub fn total_requests(&self) -> u64 {
+        self.sum(|stats| stats.requests)
+    }
+
+    /// Total records stored across reachable nodes (with replication, a
+    /// record counts once per replica holding it).
+    pub fn total_records(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|node| node.stats.as_ref())
+            .map(ServerStats::records)
+            .sum()
+    }
+
+    /// Total points evaluated across reachable nodes.
+    pub fn total_evaluated(&self) -> u64 {
+        self.sum(|stats| stats.evaluated)
+    }
+
+    fn sum(&self, field: impl Fn(&ServerStats) -> u64) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|node| node.stats.as_ref())
+            .map(field)
+            .sum()
+    }
+}
+
+/// The result of one cluster [`explore`](ClusterClient::explore) call.
+#[derive(Debug, Clone)]
+pub struct ClusterExploreReply {
+    /// One outcome per requested point, in request order.
+    pub outcomes: Vec<PointOutcome>,
+    /// Points answered from some node's shards.
+    pub hits: u64,
+    /// Points evaluated on demand (each on exactly one node).
+    pub evaluated: u64,
+    /// Freshly evaluated records teed to replica successors and stored there
+    /// for the first time (0 unless `replicas > 1`).
+    pub replicated: u64,
+}
+
+/// A client over a cluster of `srra serve` nodes.
+///
+/// Routing is deterministic: the [`Ring`] places every canonical key on one
+/// owner node (plus `replicas - 1` successors).  Batches are grouped per
+/// owning node, fanned out as the batched wire ops (`mget` / `mexplore`) over
+/// per-node keep-alive [`Connection`]s, and the per-point results merged back
+/// into request order.  A node that fails at the I/O level is marked down
+/// (exponential-backoff reconnect) and its share of the batch fails over to
+/// the next replica successor — with `replicas == 1` there is nowhere to fail
+/// over to, and the call reports [`ClusterError::Unavailable`].
+#[derive(Debug)]
+pub struct ClusterClient {
+    ring: Ring,
+    nodes: Vec<Node>,
+    replicas: usize,
+}
+
+impl ClusterClient {
+    /// Builds the ring and probes every node once with `ping`, marking
+    /// unreachable nodes down.  At least one node must answer.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for an unusable configuration or when no
+    /// node is reachable.
+    pub fn connect(config: &ClusterConfig) -> Result<Self, ClusterError> {
+        let ring =
+            Ring::new(config.nodes.iter().cloned(), config.vnodes).map_err(ClusterError::Config)?;
+        if config.replicas == 0 || config.replicas > ring.len() {
+            return Err(ClusterError::Config(format!(
+                "replicas must be between 1 and the node count ({}), got {}",
+                ring.len(),
+                config.replicas
+            )));
+        }
+        let mut client = Self {
+            nodes: ring.nodes().iter().cloned().map(Node::new).collect(),
+            ring,
+            replicas: config.replicas,
+        };
+        let up = client.ping_all().into_iter().filter(|(_, up)| *up).count();
+        if up == 0 {
+            return Err(ClusterError::Config(format!(
+                "no reachable node among: {}",
+                client
+                    .nodes
+                    .iter()
+                    .map(|node| node.addr.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        }
+        Ok(client)
+    }
+
+    /// The placement ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The configured replication factor.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Probes every node with a `ping`; returns `(addr, reachable)` in
+    /// configuration order.  Unreachable nodes are marked down (respecting
+    /// the back-off — a node inside its back-off window reports `false`
+    /// without a network attempt).
+    pub fn ping_all(&mut self) -> Vec<(String, bool)> {
+        self.nodes
+            .iter_mut()
+            .map(|node| {
+                let up = node.call(Connection::ping).is_ok();
+                (node.addr.clone(), up)
+            })
+            .collect()
+    }
+
+    /// The shared routing/failover loop of [`mget`](ClusterClient::mget) and
+    /// [`explore`](ClusterClient::explore).
+    ///
+    /// `pending` holds `(item index, owner-list attempt)` pairs;
+    /// `canonicals[item]` names item's key.  Each round groups the pending
+    /// items by the replica owner at their current attempt and invokes
+    /// `call` once per `(node, items)` group — `call` performs the wire op
+    /// and merges the group's results into the caller's buffers.  A group
+    /// whose call fails at the I/O level (the node is down) is re-queued
+    /// against the next replica successor; a server/protocol error aborts
+    /// with [`ClusterError::Node`]; an item that exhausts its owner list
+    /// aborts with [`ClusterError::Unavailable`].
+    fn route_with_failover<C>(
+        &mut self,
+        mut pending: Vec<(usize, usize)>,
+        canonicals: &[String],
+        mut call: C,
+    ) -> Result<(), ClusterError>
+    where
+        C: FnMut(&mut Self, usize, &[(usize, usize)]) -> Result<(), ClientError>,
+    {
+        while !pending.is_empty() {
+            let mut groups: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+            for (item, attempt) in pending.drain(..) {
+                let key = fnv1a_64(canonicals[item].as_bytes());
+                let owners = self.ring.owners(key, self.replicas);
+                let Some(&node) = owners.get(attempt) else {
+                    return Err(ClusterError::Unavailable {
+                        what: format!(
+                            "all {} replica owner(s) of `{}` are down",
+                            owners.len(),
+                            canonicals[item]
+                        ),
+                    });
+                };
+                groups.entry(node).or_default().push((item, attempt));
+            }
+            for (node, items) in groups {
+                match call(self, node, &items) {
+                    Ok(()) => {}
+                    Err(err) if is_io(&err) => {
+                        pending.extend(items.iter().map(|&(item, attempt)| (item, attempt + 1)));
+                    }
+                    Err(err) => {
+                        return Err(ClusterError::Node {
+                            addr: self.nodes[node].addr.clone(),
+                            source: err,
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks one canonical string up; `None` is a cluster-wide miss.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Unavailable`] when every replica owner is down, and
+    /// node-level server/protocol errors.
+    pub fn get(&mut self, canonical: &str) -> Result<Option<PointRecord>, ClusterError> {
+        let mut records = self.mget(std::slice::from_ref(&canonical.to_owned()))?;
+        Ok(records.pop().flatten())
+    }
+
+    /// Looks a batch of canonical strings up, routed per owner node, results
+    /// in request order (`None` = miss).  When a node is down its share of
+    /// the batch is read from the next replica successor.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Unavailable`] when some key's replica owners are all
+    /// down, and node-level server/protocol errors.
+    pub fn mget(
+        &mut self,
+        canonicals: &[String],
+    ) -> Result<Vec<Option<PointRecord>>, ClusterError> {
+        let mut results: Vec<Option<PointRecord>> = vec![None; canonicals.len()];
+        let pending: Vec<(usize, usize)> = (0..canonicals.len()).map(|i| (i, 0)).collect();
+        self.route_with_failover(pending, canonicals, |client, node, items| {
+            let batch: Vec<String> = items
+                .iter()
+                .map(|&(item, _)| canonicals[item].clone())
+                .collect();
+            let records = client.nodes[node].call(|connection| connection.mget(&batch))?;
+            if records.len() != items.len() {
+                // A short reply must surface as a node error, not silently
+                // leave the tail of the batch looking like misses.
+                return Err(ClientError::Protocol(format!(
+                    "mget answered {} of {} canonicals",
+                    records.len(),
+                    items.len()
+                )));
+            }
+            for (&(item, _), record) in items.iter().zip(records) {
+                results[item] = record;
+            }
+            Ok(())
+        })?;
+        Ok(results)
+    }
+
+    /// Answers a batch of design points: each point is routed to the node
+    /// owning its canonical key and answered there (shard hit or exactly-once
+    /// evaluation); per-point outcomes come back in request order.  Points
+    /// that fail to resolve client-side (unknown algorithm/device) fail in
+    /// place without travelling.  With `replicas > 1`, freshly evaluated
+    /// records are teed to the replica successors (best effort — a replica
+    /// that is down simply misses the tee and heals on a later fallback).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Unavailable`] when some point's replica owners are
+    /// all down, and node-level server/protocol errors.
+    pub fn explore(&mut self, points: &[QueryPoint]) -> Result<ClusterExploreReply, ClusterError> {
+        let mut outcomes: Vec<Option<PointOutcome>> = vec![None; points.len()];
+        let mut canonicals: Vec<String> = vec![String::new(); points.len()];
+        let mut pending: Vec<(usize, usize)> = Vec::with_capacity(points.len());
+        for (index, point) in points.iter().enumerate() {
+            match canonical_for(point) {
+                Ok(canonical) => {
+                    canonicals[index] = canonical;
+                    pending.push((index, 0));
+                }
+                Err(error) => outcomes[index] = Some(PointOutcome::Failed { error }),
+            }
+        }
+        let mut hits = 0;
+        let mut evaluated = 0;
+        let mut replicated = 0;
+        self.route_with_failover(pending, &canonicals, |client, node, items| {
+            let batch: Vec<QueryPoint> = items
+                .iter()
+                .map(|&(item, _)| points[item].clone())
+                .collect();
+            let reply = client.nodes[node].call(|connection| connection.mexplore(&batch))?;
+            if reply.outcomes.len() != items.len() {
+                // A short reply must surface as a node error, not as a
+                // missing outcome (which would panic the final unwrap).
+                return Err(ClientError::Protocol(format!(
+                    "mexplore answered {} of {} points",
+                    reply.outcomes.len(),
+                    items.len()
+                )));
+            }
+            hits += reply.hits;
+            evaluated += reply.evaluated;
+            let mut fresh = Vec::new();
+            for (&(item, _), outcome) in items.iter().zip(reply.outcomes) {
+                if client.replicas > 1 {
+                    if let PointOutcome::Answered { record, hit: false } = &outcome {
+                        fresh.push(record.clone());
+                    }
+                }
+                outcomes[item] = Some(outcome);
+            }
+            if !fresh.is_empty() {
+                replicated += client.tee(node, &fresh);
+            }
+            Ok(())
+        })?;
+        Ok(ClusterExploreReply {
+            outcomes: outcomes
+                .into_iter()
+                .map(|outcome| outcome.expect("every point resolved or failed in place"))
+                .collect(),
+            hits,
+            evaluated,
+            replicated,
+        })
+    }
+
+    /// Tees freshly evaluated records to every replica owner other than the
+    /// node that evaluated them.  Best effort: a failing replica is marked
+    /// down and skipped (its copy heals when a later explore falls back to
+    /// it and re-evaluates).  Returns how many records were newly stored on
+    /// replicas.
+    fn tee(&mut self, source: usize, records: &[PointRecord]) -> u64 {
+        let mut groups: BTreeMap<usize, Vec<PointRecord>> = BTreeMap::new();
+        for record in records {
+            for owner in self.ring.owners(record.key, self.replicas) {
+                if owner != source {
+                    groups.entry(owner).or_default().push(record.clone());
+                }
+            }
+        }
+        let mut stored = 0;
+        for (node, batch) in groups {
+            if let Ok(count) = self.nodes[node].call(|connection| connection.put(&batch)) {
+                stored += count;
+            }
+        }
+        stored
+    }
+
+    /// Per-node and aggregate statistics.  Unreachable nodes report
+    /// `up: false` with no server stats instead of failing the call.
+    pub fn stats(&mut self) -> ClusterStats {
+        let nodes = self
+            .nodes
+            .iter_mut()
+            .map(|node| {
+                let stats = node.call(Connection::stats).ok();
+                NodeStats {
+                    addr: node.addr.clone(),
+                    up: stats.is_some(),
+                    routed: node.routed,
+                    stats,
+                }
+            })
+            .collect();
+        ClusterStats {
+            nodes,
+            replicas: self.replicas,
+        }
+    }
+
+    /// Asks every reachable node to shut down gracefully; returns how many
+    /// acknowledged.
+    pub fn shutdown_all(&mut self) -> usize {
+        self.nodes
+            .iter_mut()
+            .map(|node| node.call(Connection::shutdown).is_ok())
+            .filter(|&ok| ok)
+            .count()
+    }
+}

@@ -1,0 +1,71 @@
+//! Consistent-hash routing, replication and failover across multiple
+//! `srra serve` nodes.
+//!
+//! One `srra serve` node scales the exploration cache to many clients on one
+//! host; this crate scales it across *hosts*.  It adds no new wire protocol —
+//! a cluster is just N independent `srra serve` processes plus deterministic
+//! client-side placement:
+//!
+//! 1. [`Ring`] — a consistent-hash ring with virtual nodes.  Every canonical
+//!    design-point key is owned by exactly one node (plus optional replica
+//!    successors); placement depends only on the node list and the key, so
+//!    any number of uncoordinated clients agree on it.
+//! 2. [`ClusterClient`] — groups a batch of canonicals by owning node, fans
+//!    the groups out as batched wire ops (`mget` / `mexplore`) over per-node
+//!    keep-alive [`srra_serve::Connection`]s, and merges the per-point
+//!    results back into request order.  Per-node health state marks a node
+//!    down on I/O failure (exponential-backoff reconnect), fails its share
+//!    of the batch over to the next replica successor, and — with a
+//!    replication factor `R > 1` — tees freshly evaluated records to the
+//!    `R - 1` successors via the `put` op so reads survive a node death.
+//!
+//! The CLI front end is `srra cluster --nodes a:p,b:p [--replicas R] ...`;
+//! semantics are specified in `docs/cluster.md`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use srra_cluster::{ClusterClient, ClusterConfig};
+//! use srra_serve::{QueryPoint, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two independent serve nodes (in-process here; `srra serve` in production).
+//! let dir = std::env::temp_dir().join(format!("srra-cluster-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let mut addrs = Vec::new();
+//! let mut handles = Vec::new();
+//! for index in 0..2 {
+//!     let server = Server::bind(&ServerConfig::ephemeral(dir.join(index.to_string())))?;
+//!     addrs.push(server.local_addr().to_string());
+//!     handles.push(std::thread::spawn(move || server.run()));
+//! }
+//!
+//! // Route a batch over the ring: every point lands on its owning node.
+//! let mut cluster = ClusterClient::connect(&ClusterConfig::new(addrs).with_replicas(2))?;
+//! let reply = cluster.explore(&[
+//!     QueryPoint::new("fir", "cpa", 32),
+//!     QueryPoint::new("mat", "fr", 16),
+//! ])?;
+//! assert_eq!(reply.outcomes.len(), 2);
+//! assert_eq!(reply.evaluated, 2, "cold cluster: both points evaluated");
+//! assert_eq!(reply.replicated, 2, "replicas hold a copy of each record");
+//!
+//! cluster.shutdown_all();
+//! for handle in handles {
+//!     handle.join().expect("server thread")?;
+//! }
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod ring;
+
+pub use client::{
+    ClusterClient, ClusterConfig, ClusterError, ClusterExploreReply, ClusterStats, NodeStats,
+};
+pub use ring::Ring;

@@ -1,0 +1,201 @@
+//! The consistent-hash ring: deterministic placement of canonical keys on
+//! nodes, with virtual nodes for balance.
+//!
+//! Every node contributes `vnodes` points on a 64-bit ring; a key is owned by
+//! the node of the first ring point at or after the key's (mixed) position,
+//! wrapping at the top.  Replica owners are the next *distinct* nodes walking
+//! clockwise from there.  Placement depends only on the node names, the vnode
+//! count and the key — two processes configured with the same node list route
+//! every key identically, which is what lets independent `ClusterClient`s
+//! (and the `srra cluster` CLI) share a cluster without coordination.
+//!
+//! Adding or removing one node moves only the keys whose owning ring arc
+//! changed — on average `1/n` of the key space — which is the point of
+//! consistent hashing over `key % n` routing.
+
+use srra_explore::fnv1a_64;
+
+/// Finalizing mix (SplitMix64): FNV-1a is fast but its low bits correlate for
+/// short suffix changes (`addr#0`, `addr#1`, ...); the finalizer spreads the
+/// vnode points and key positions uniformly over the whole 64-bit ring, which
+/// the balance bound of the property tests depends on.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// A consistent-hash ring over a fixed set of named nodes.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Node names (addresses), in configuration order; ring points refer to
+    /// nodes by index into this list.
+    nodes: Vec<String>,
+    /// `(position, node index)` pairs, sorted by position.
+    points: Vec<(u64, u32)>,
+    /// Virtual nodes per physical node.
+    vnodes: usize,
+}
+
+impl Ring {
+    /// Virtual nodes per physical node when the caller does not choose:
+    /// enough for the max/min key-share ratio to stay under 2 (see the
+    /// property tests), cheap enough to rebuild on every CLI invocation.
+    pub const DEFAULT_VNODES: usize = 64;
+
+    /// Builds the ring for `nodes` with `vnodes` virtual nodes each.
+    ///
+    /// # Errors
+    ///
+    /// An empty node list, a duplicate node name, or `vnodes == 0`.
+    pub fn new<I, S>(nodes: I, vnodes: usize) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let nodes: Vec<String> = nodes.into_iter().map(Into::into).collect();
+        if nodes.is_empty() {
+            return Err("a ring needs at least one node".to_owned());
+        }
+        if vnodes == 0 {
+            return Err("a ring needs at least one virtual node per node".to_owned());
+        }
+        if u32::try_from(nodes.len()).is_err() {
+            return Err("too many nodes".to_owned());
+        }
+        for (index, node) in nodes.iter().enumerate() {
+            if node.is_empty() {
+                return Err("node names must be non-empty".to_owned());
+            }
+            if nodes[..index].contains(node) {
+                return Err(format!("duplicate node `{node}` in the ring"));
+            }
+        }
+        let mut points = Vec::with_capacity(nodes.len() * vnodes);
+        for (index, node) in nodes.iter().enumerate() {
+            for vnode in 0..vnodes {
+                // `\0` cannot occur in a host:port name, so the vnode label
+                // is collision-free across nodes.
+                let label = format!("{node}\u{0}{vnode}");
+                points.push((mix64(fnv1a_64(label.as_bytes())), index as u32));
+            }
+        }
+        points.sort_unstable();
+        Ok(Self {
+            nodes,
+            points,
+            vnodes,
+        })
+    }
+
+    /// The node names, in configuration order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Physical node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes (never true for a constructed ring).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Virtual nodes per physical node.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Index of the first ring point at or after the mixed key position
+    /// (wrapping).
+    fn first_point(&self, key: u64) -> usize {
+        let position = mix64(key);
+        match self.points.binary_search(&(position, 0)) {
+            Ok(index) => index,
+            Err(index) => {
+                if index == self.points.len() {
+                    0
+                } else {
+                    index
+                }
+            }
+        }
+    }
+
+    /// The index (into [`nodes`](Ring::nodes)) of the node owning `key`.
+    pub fn node_for_key(&self, key: u64) -> usize {
+        self.points[self.first_point(key)].1 as usize
+    }
+
+    /// The node name owning the canonical design-point string.
+    pub fn node_for_canonical(&self, canonical: &str) -> &str {
+        &self.nodes[self.node_for_key(fnv1a_64(canonical.as_bytes()))]
+    }
+
+    /// The first `replicas` *distinct* node indices walking clockwise from
+    /// `key`'s position: the owner first, then its successors.  Capped at the
+    /// node count.
+    pub fn owners(&self, key: u64, replicas: usize) -> Vec<usize> {
+        let wanted = replicas.clamp(1, self.nodes.len());
+        let mut owners = Vec::with_capacity(wanted);
+        let start = self.first_point(key);
+        for offset in 0..self.points.len() {
+            let node = self.points[(start + offset) % self.points.len()].1 as usize;
+            if !owners.contains(&node) {
+                owners.push(node);
+                if owners.len() == wanted {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(names: &[&str]) -> Ring {
+        Ring::new(names.iter().copied(), Ring::DEFAULT_VNODES).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_bad_configs() {
+        assert!(Ring::new(Vec::<String>::new(), 64).is_err());
+        assert!(Ring::new(["a", "b"], 0).is_err());
+        assert!(Ring::new(["a", "a"], 64).is_err());
+        assert!(Ring::new(["a", ""], 64).is_err());
+    }
+
+    #[test]
+    fn owner_is_the_first_entry_of_the_owner_list() {
+        let ring = ring(&["127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003"]);
+        for key in 0..1000u64 {
+            let owners = ring.owners(key, 2);
+            assert_eq!(owners[0], ring.node_for_key(key));
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+        }
+    }
+
+    #[test]
+    fn replica_count_is_capped_at_the_node_count() {
+        let ring = ring(&["a:1", "b:2"]);
+        assert_eq!(ring.owners(42, 5).len(), 2);
+        assert_eq!(ring.owners(42, 0).len(), 1);
+    }
+
+    #[test]
+    fn single_node_rings_route_everything_to_it() {
+        let ring = ring(&["only:1"]);
+        for key in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(ring.node_for_key(key), 0);
+        }
+    }
+}

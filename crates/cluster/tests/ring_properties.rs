@@ -1,0 +1,130 @@
+//! Property tests for the consistent-hash ring: deterministic placement,
+//! order-insensitivity, balance under virtual nodes, and minimal movement
+//! when a node leaves.
+
+use proptest::prelude::*;
+use srra_cluster::Ring;
+
+/// Generated node names shaped like real `host:port` addresses.
+fn node_names(count: usize, salt: u64) -> Vec<String> {
+    (0..count)
+        .map(|index| format!("10.{salt}.0.{index}:7{index:03}"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two independently built rings over the same configuration place every
+    /// key identically — the property that lets uncoordinated clients share
+    /// a cluster.
+    #[test]
+    fn placement_is_deterministic(
+        count in 2usize..=6,
+        salt in any::<u64>(),
+        vnodes in 64usize..=128,
+        keys in prop::collection::vec(any::<u64>(), 256),
+    ) {
+        let nodes = node_names(count, salt % 200);
+        let a = Ring::new(nodes.clone(), vnodes).unwrap();
+        let b = Ring::new(nodes.clone(), vnodes).unwrap();
+        for &key in &keys {
+            prop_assert_eq!(a.node_for_key(key), b.node_for_key(key));
+            prop_assert_eq!(a.owners(key, 2), b.owners(key, 2));
+        }
+    }
+
+    /// Placement depends on node *names*, not configuration order: reversing
+    /// the node list routes every key to the same-named node.
+    #[test]
+    fn placement_ignores_configuration_order(
+        count in 2usize..=6,
+        salt in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 256),
+    ) {
+        let nodes = node_names(count, salt % 200);
+        let mut reversed = nodes.clone();
+        reversed.reverse();
+        let a = Ring::new(nodes.clone(), 64).unwrap();
+        let b = Ring::new(reversed, 64).unwrap();
+        for &key in &keys {
+            prop_assert_eq!(
+                &a.nodes()[a.node_for_key(key)],
+                &b.nodes()[b.node_for_key(key)]
+            );
+        }
+    }
+
+    /// With >= 64 virtual nodes the load is balanced: over a large random
+    /// key set, the busiest node's share stays within 2x the least busy
+    /// node's share.
+    #[test]
+    fn virtual_nodes_balance_the_key_space(
+        count in 2usize..=6,
+        salt in any::<u64>(),
+        vnodes in 64usize..=128,
+        keys in prop::collection::vec(any::<u64>(), 4096),
+    ) {
+        let nodes = node_names(count, salt % 200);
+        let ring = Ring::new(nodes, vnodes).unwrap();
+        let mut shares = vec![0usize; ring.len()];
+        for &key in &keys {
+            shares[ring.node_for_key(key)] += 1;
+        }
+        let max = *shares.iter().max().unwrap();
+        let min = *shares.iter().min().unwrap();
+        prop_assert!(
+            max <= 2 * min,
+            "unbalanced ring: shares {shares:?} with {vnodes} vnodes"
+        );
+    }
+
+    /// The owner list starts with the primary owner, contains no duplicates,
+    /// and is a prefix-stable chain: owners(key, r) is a prefix of
+    /// owners(key, r + 1).
+    #[test]
+    fn owner_lists_are_distinct_prefix_stable_chains(
+        count in 2usize..=6,
+        salt in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 128),
+    ) {
+        let nodes = node_names(count, salt % 200);
+        let ring = Ring::new(nodes, 64).unwrap();
+        for &key in &keys {
+            let all = ring.owners(key, ring.len());
+            prop_assert_eq!(all.len(), ring.len());
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), ring.len(), "duplicate owner");
+            prop_assert_eq!(all[0], ring.node_for_key(key));
+            for replicas in 1..=ring.len() {
+                prop_assert_eq!(&ring.owners(key, replicas)[..], &all[..replicas]);
+            }
+        }
+    }
+
+    /// Consistent hashing moves only the departed node's keys: every key NOT
+    /// owned by the removed node keeps its owner.
+    #[test]
+    fn removing_a_node_only_moves_its_own_keys(
+        count in 3usize..=6,
+        salt in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 512),
+    ) {
+        let nodes = node_names(count, salt % 200);
+        let full = Ring::new(nodes.clone(), 64).unwrap();
+        let removed = nodes[0].clone();
+        let without = Ring::new(nodes[1..].to_vec(), 64).unwrap();
+        for &key in &keys {
+            let owner = &full.nodes()[full.node_for_key(key)];
+            if owner != &removed {
+                prop_assert_eq!(
+                    owner,
+                    &without.nodes()[without.node_for_key(key)],
+                    "key {} moved although its owner survived", key
+                );
+            }
+        }
+    }
+}

@@ -8,6 +8,17 @@
 //! back-to-back, then read the N replies in order.  [`Client`] is the
 //! connection-per-request convenience wrapper kept for one-shot callers: each
 //! call opens a fresh [`Connection`], performs one round trip and drops it.
+//!
+//! A keep-alive socket can go stale while idle — the server restarted, or a
+//! middlebox dropped the connection — surfacing as broken-pipe / ECONNRESET
+//! on the next write or an immediate EOF on the next read.  The single
+//! request/response methods transparently reconnect and retry **once** in
+//! that case (safe: a stale failure means no reply byte arrived, and every
+//! protocol op except `shutdown` is idempotent — `shutdown` alone is never
+//! retried, since a replay could stop a server restarted between the
+//! attempts); [`Connection::pipeline`] retries only when the failure
+//! precedes its first reply byte and the window carries no `shutdown`, so
+//! replies are never replayed or lost.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -15,8 +26,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use srra_explore::PointRecord;
 
 use crate::protocol::{
-    render_get_request, render_mget_request, render_points_request, PointOutcome, QueryPoint,
-    Request, Response, ServerStats,
+    render_get_request, render_mget_request, render_points_request, render_put_request,
+    PointOutcome, QueryPoint, Request, Response, ServerStats,
 };
 
 /// Errors of the query client.
@@ -78,12 +89,40 @@ pub struct MultiExploreReply {
 /// several connections.
 #[derive(Debug)]
 pub struct Connection {
+    /// The `host:port` this connection targets, kept for transparent
+    /// reconnects after the socket goes stale.
+    addr: String,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     /// Scratch buffer for rendering outgoing request lines.
     scratch: String,
     /// Scratch buffer for incoming response lines.
     line: String,
+}
+
+/// Whether `err` says the keep-alive socket went stale while idle (server
+/// restart, middlebox drop) — the failures a reconnect-and-retry can heal.
+fn is_stale(err: &ClientError) -> bool {
+    matches!(err, ClientError::Io(io) if matches!(
+        io.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::NotConnected
+    ))
+}
+
+/// Opens the `TCP_NODELAY` stream pair for `addr`.
+fn open_stream(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+    let mut addrs = addr.to_socket_addrs()?;
+    let addr = addrs
+        .next()
+        .ok_or_else(|| ClientError::Protocol(format!("unresolvable address `{addr}`")))?;
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let writer = stream.try_clone()?;
+    Ok((BufReader::new(stream), writer))
 }
 
 impl Connection {
@@ -94,19 +133,29 @@ impl Connection {
     ///
     /// Connection failures and unresolvable addresses.
     pub fn connect(addr: &str) -> Result<Self, ClientError> {
-        let mut addrs = addr.to_socket_addrs()?;
-        let addr = addrs
-            .next()
-            .ok_or_else(|| ClientError::Protocol(format!("unresolvable address `{addr}`")))?;
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
+        let (reader, writer) = open_stream(addr)?;
         Ok(Self {
-            reader: BufReader::new(stream),
+            addr: addr.to_owned(),
+            reader,
             writer,
             scratch: String::with_capacity(256),
             line: String::with_capacity(256),
         })
+    }
+
+    /// The `host:port` this connection targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Replaces the stale socket with a fresh one to the same address.  The
+    /// scratch buffers (and whatever request line `scratch` holds) survive,
+    /// so a failed call can be replayed byte-identically.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let (reader, writer) = open_stream(&self.addr)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     /// Writes one request line (trailing `\n` included) with a single
@@ -136,27 +185,59 @@ impl Connection {
     ///
     /// # Errors
     ///
-    /// Socket-level failures, a connection closed before the reply, and
-    /// malformed response lines.
+    /// Socket-level failures ([`std::io::ErrorKind::UnexpectedEof`] when the
+    /// connection closes before the reply) and malformed response lines.
     pub fn receive(&mut self) -> Result<Response, ClientError> {
         self.line.clear();
         self.reader.read_line(&mut self.line)?;
         if self.line.is_empty() {
-            return Err(ClientError::Protocol(
-                "server closed the connection without answering".to_owned(),
-            ));
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection without answering",
+            )));
         }
         Response::parse(self.line.trim_end()).map_err(ClientError::Protocol)
     }
 
-    /// Sends one request line and reads its response line.
+    /// Terminates the request line sitting in `scratch`, performs the round
+    /// trip, and — when the socket turns out to be stale — reconnects and
+    /// replays the identical line exactly once.  Safe because every protocol
+    /// op is idempotent and a stale failure means no reply byte arrived.
+    fn roundtrip_scratch(&mut self) -> Result<Response, ClientError> {
+        self.scratch.push('\n');
+        match self.try_roundtrip_scratch() {
+            Err(err) if is_stale(&err) => {
+                self.reconnect()?;
+                self.try_roundtrip_scratch()
+            }
+            other => other,
+        }
+    }
+
+    /// One attempt of [`roundtrip_scratch`](Connection::roundtrip_scratch):
+    /// writes the already-terminated `scratch` line and reads one reply.
+    fn try_roundtrip_scratch(&mut self) -> Result<Response, ClientError> {
+        self.writer.write_all(self.scratch.as_bytes())?;
+        self.receive()
+    }
+
+    /// Sends one request line and reads its response line, transparently
+    /// reconnecting and retrying once if the idle socket had gone stale
+    /// (broken pipe / connection reset / immediate EOF).  `shutdown` is the
+    /// one non-idempotent op, so it is never retried — reconnect-and-replay
+    /// could stop a server that was restarted between the two attempts.
     ///
     /// # Errors
     ///
     /// Socket-level failures and malformed responses.
     pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.send(request)?;
-        self.receive()
+        self.scratch.clear();
+        request.render_into(&mut self.scratch);
+        if matches!(request, Request::Shutdown) {
+            self.scratch.push('\n');
+            return self.try_roundtrip_scratch();
+        }
+        self.roundtrip_scratch()
     }
 
     /// Pipelines a batch: renders *all* request lines into one buffer, sends
@@ -166,6 +247,13 @@ impl Connection {
     /// the whole request window plus the replies produced while the client
     /// is still writing, so keep batches to at most a few hundred lines
     /// (the in-tree callers use 48–256) and loop for larger workloads.
+    ///
+    /// A stale socket detected on the write or **before the first reply
+    /// byte** reconnects and replays the whole window once; once any reply
+    /// has been consumed the batch fails as-is (replaying would re-execute
+    /// requests whose replies are gone).  A window containing the one
+    /// non-idempotent op, `shutdown`, is never replayed — the replay could
+    /// stop a server that was restarted between the attempts.
     ///
     /// # Errors
     ///
@@ -178,8 +266,41 @@ impl Connection {
             request.render_into(&mut self.scratch);
             self.scratch.push('\n');
         }
-        self.writer.write_all(self.scratch.as_bytes())?;
-        (0..requests.len()).map(|_| self.receive()).collect()
+        let replayable = !requests
+            .iter()
+            .any(|request| matches!(request, Request::Shutdown));
+        match self.try_pipeline_scratch(requests.len()) {
+            Err((_, true)) if replayable => {
+                self.reconnect()?;
+                self.try_pipeline_scratch(requests.len())
+                    .map_err(|(err, _)| err)
+            }
+            Err((err, _)) => Err(err),
+            Ok(responses) => Ok(responses),
+        }
+    }
+
+    /// One attempt of [`pipeline`](Connection::pipeline): writes the whole
+    /// pre-rendered window from `scratch`, then reads `count` replies.  The
+    /// error's boolean says whether a retry is safe: `true` only while no
+    /// reply byte has been consumed.
+    fn try_pipeline_scratch(&mut self, count: usize) -> Result<Vec<Response>, (ClientError, bool)> {
+        if let Err(err) = self.writer.write_all(self.scratch.as_bytes()) {
+            let err = ClientError::Io(err);
+            let retryable = is_stale(&err);
+            return Err((err, retryable));
+        }
+        let mut responses = Vec::with_capacity(count);
+        for index in 0..count {
+            match self.receive() {
+                Ok(response) => responses.push(response),
+                Err(err) => {
+                    let retryable = index == 0 && is_stale(&err);
+                    return Err((err, retryable));
+                }
+            }
+        }
+        Ok(responses)
     }
 
     /// Looks a record up by canonical string; `None` is a miss.
@@ -191,8 +312,7 @@ impl Connection {
         // Rendered from the borrowed canonical — no owned Request, no clone.
         self.scratch.clear();
         render_get_request(&mut self.scratch, canonical);
-        self.send_scratch_line()?;
-        expect_get(self.receive()?)
+        expect_get(self.roundtrip_scratch()?)
     }
 
     /// Looks a batch of canonical strings up in one request/reply pair.
@@ -203,8 +323,7 @@ impl Connection {
     pub fn mget(&mut self, canonicals: &[String]) -> Result<Vec<Option<PointRecord>>, ClientError> {
         self.scratch.clear();
         render_mget_request(&mut self.scratch, canonicals);
-        self.send_scratch_line()?;
-        expect_mget(self.receive()?)
+        expect_mget(self.roundtrip_scratch()?)
     }
 
     /// Answers a batch of design points (hits from the shards, misses
@@ -216,8 +335,7 @@ impl Connection {
     pub fn explore(&mut self, points: &[QueryPoint]) -> Result<ExploreReply, ClientError> {
         self.scratch.clear();
         render_points_request(&mut self.scratch, "explore", points);
-        self.send_scratch_line()?;
-        expect_explore(self.receive()?)
+        expect_explore(self.roundtrip_scratch()?)
     }
 
     /// Answers a batch of design points with per-point outcomes: a point that
@@ -230,8 +348,29 @@ impl Connection {
     pub fn mexplore(&mut self, points: &[QueryPoint]) -> Result<MultiExploreReply, ClientError> {
         self.scratch.clear();
         render_points_request(&mut self.scratch, "mexplore", points);
-        self.send_scratch_line()?;
-        expect_mexplore(self.receive()?)
+        expect_mexplore(self.roundtrip_scratch()?)
+    }
+
+    /// Stores pre-evaluated records verbatim (the cluster replication tee);
+    /// returns how many were new to the server's shards.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn put(&mut self, records: &[PointRecord]) -> Result<u64, ClientError> {
+        self.scratch.clear();
+        render_put_request(&mut self.scratch, records);
+        expect_stored(self.roundtrip_scratch()?)
+    }
+
+    /// Trivial health probe: round-trips a `ping` line.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let response = self.roundtrip(&Request::Ping)?;
+        expect_pong(response)
     }
 
     /// Fetches the server statistics.
@@ -244,7 +383,10 @@ impl Connection {
         expect_stats(response)
     }
 
-    /// Asks the server to shut down gracefully.
+    /// Asks the server to shut down gracefully.  Never retried on a stale
+    /// socket ([`roundtrip`](Connection::roundtrip) exempts `shutdown` from
+    /// the reconnect-and-replay): a replay could stop a server that was
+    /// restarted between the two attempts.
     ///
     /// # Errors
     ///
@@ -333,6 +475,24 @@ impl Client {
         self.connect()?.mexplore(points)
     }
 
+    /// Stores pre-evaluated records verbatim; returns how many were new.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn put(&self, records: &[PointRecord]) -> Result<u64, ClientError> {
+        self.connect()?.put(records)
+    }
+
+    /// Trivial health probe.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        self.connect()?.ping()
+    }
+
     /// Fetches the server statistics.
     ///
     /// # Errors
@@ -409,6 +569,28 @@ fn expect_mexplore(response: Response) -> Result<MultiExploreReply, ClientError>
         Response::Error { message } => Err(ClientError::Server(message)),
         other => Err(ClientError::Protocol(format!(
             "unexpected response to mexplore: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the `put` reply shape.
+fn expect_stored(response: Response) -> Result<u64, ClientError> {
+    match response {
+        Response::Stored { stored } => Ok(stored),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to put: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the `ping` acknowledgement.
+fn expect_pong(response: Response) -> Result<(), ClientError> {
+    match response {
+        Response::Pong => Ok(()),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to ping: {other:?}"
         ))),
     }
 }

@@ -20,8 +20,10 @@
 //!    [`srra_explore::evaluate_point`] seam exactly once — concurrent
 //!    requests for the same missing point block on an in-flight table rather
 //!    than re-evaluating), batched `mget` / `mexplore` (many lookups or
-//!    points per wire line), `stats` (with per-op latency quantiles), and
-//!    graceful `shutdown`.
+//!    points per wire line), `put` (store pre-evaluated records verbatim —
+//!    the cluster replication tee), `ping` (liveness probe), `stats` (with
+//!    per-op latency quantiles), and graceful `shutdown` (which also closes
+//!    idle keep-alive connections so draining never waits on clients).
 //!
 //! The wire protocol is specified in `docs/serving.md`; [`Request`] /
 //! [`Response`] are its single encode/decode implementation, shared by the

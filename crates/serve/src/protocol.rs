@@ -136,6 +136,18 @@ pub(crate) fn render_mget_request(out: &mut String, canonicals: &[String]) {
     out.push_str("]}");
 }
 
+/// Renders a `put` request line from borrowed records (no trailing newline).
+pub(crate) fn render_put_request(out: &mut String, records: &[PointRecord]) {
+    out.push_str("{\"op\":\"put\",\"records\":[");
+    for (index, record) in records.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        record.write_json_line(out);
+    }
+    out.push_str("]}");
+}
+
 /// Renders an `explore`-shaped request line (`op` is `explore` or
 /// `mexplore`) from borrowed points (no trailing newline).
 pub(crate) fn render_points_request(out: &mut String, op: &str, points: &[QueryPoint]) {
@@ -184,6 +196,16 @@ pub enum Request {
         /// The points to answer, in request order.
         points: Vec<QueryPoint>,
     },
+    /// Store pre-evaluated records verbatim (no evaluation).  Used by the
+    /// cluster router to tee freshly evaluated records to replica nodes; a
+    /// record whose canonical is already present is a no-op.
+    Put {
+        /// The records to store, in their JSONL cache encoding.
+        records: Vec<PointRecord>,
+    },
+    /// Trivial health probe: answers [`Response::Pong`] and touches nothing.
+    /// Used by the cluster router to probe node liveness cheaply.
+    Ping,
     /// Server statistics.
     Stats,
     /// Graceful shutdown: the server acknowledges, stops accepting, drains
@@ -207,6 +229,8 @@ impl Request {
             Request::MultiGet { canonicals } => render_mget_request(out, canonicals),
             Request::Explore { points } => render_points_request(out, "explore", points),
             Request::MultiExplore { points } => render_points_request(out, "mexplore", points),
+            Request::Put { records } => render_put_request(out, records),
+            Request::Ping => out.push_str(r#"{"op":"ping"}"#),
             Request::Stats => out.push_str(r#"{"op":"stats"}"#),
             Request::Shutdown => out.push_str(r#"{"op":"shutdown"}"#),
         }
@@ -268,6 +292,21 @@ impl Request {
             "mexplore" => Ok(Request::MultiExplore {
                 points: parse_points(&value, "mexplore")?,
             }),
+            "put" => {
+                let items = value
+                    .get("records")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("`put` needs a `records` array")?;
+                if items.is_empty() {
+                    return Err("`put` needs at least one record".to_owned());
+                }
+                let records = items
+                    .iter()
+                    .map(record_from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Put { records })
+            }
+            "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
@@ -278,8 +317,8 @@ impl Request {
 /// Request count and latency quantiles of one op, as reported by `stats`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpStats {
-    /// Op name (`get`, `mget`, `explore`, `mexplore`, `stats`, `shutdown`,
-    /// or `invalid` for unparseable request lines).
+    /// Op name (`get`, `mget`, `explore`, `mexplore`, `put`, `ping`,
+    /// `stats`, `shutdown`, or `invalid` for unparseable request lines).
     pub op: String,
     /// Requests of this op handled so far.
     pub count: u64,
@@ -498,6 +537,14 @@ pub enum Response {
         /// Points evaluated on demand (by this request or one it waited on).
         evaluated: u64,
     },
+    /// `put` answer: how many of the records were new to the store (records
+    /// whose canonical was already present are skipped).
+    Stored {
+        /// Newly stored records, `<=` the records in the request.
+        stored: u64,
+    },
+    /// `ping` answer.
+    Pong,
     /// `stats` answer.
     Stats(ServerStats),
     /// `shutdown` acknowledgement.
@@ -600,6 +647,12 @@ impl Response {
                 out.push_str(&evaluated.to_string());
                 out.push('}');
             }
+            Response::Stored { stored } => {
+                out.push_str("{\"ok\":true,\"stored\":");
+                out.push_str(&stored.to_string());
+                out.push('}');
+            }
+            Response::Pong => out.push_str(r#"{"ok":true,"pong":true}"#),
             Response::Stats(stats) => {
                 out.push_str("{\"ok\":true,\"stats\":");
                 stats.to_value().render_into(out);
@@ -707,6 +760,12 @@ impl Response {
                 evaluated,
             });
         }
+        if let Some(stored) = value.get("stored").and_then(JsonValue::as_u64) {
+            return Ok(Response::Stored { stored });
+        }
+        if value.get("pong").and_then(JsonValue::as_bool) == Some(true) {
+            return Ok(Response::Pong);
+        }
         if let Some(stats) = value.get("stats") {
             return Ok(Response::Stats(ServerStats::from_value(stats)?));
         }
@@ -813,6 +872,10 @@ mod tests {
             Request::MultiExplore {
                 points: vec![QueryPoint::new("mat", "fr", 16)],
             },
+            Request::Put {
+                records: vec![sample_record(), sample_record()],
+            },
+            Request::Ping,
             Request::Stats,
             Request::Shutdown,
         ];
@@ -870,6 +933,8 @@ mod tests {
                 hits: 1,
                 evaluated: 1,
             },
+            Response::Stored { stored: 2 },
+            Response::Pong,
             Response::Stats(sample_stats()),
             Response::ShuttingDown,
             Response::Error {
@@ -924,6 +989,9 @@ mod tests {
             r#"{"op":"mexplore"}"#,
             r#"{"op":"mexplore","points":[]}"#,
             r#"{"op":"mexplore","points":[{"algo":"cpa","budget":32}]}"#,
+            r#"{"op":"put"}"#,
+            r#"{"op":"put","records":[]}"#,
+            r#"{"op":"put","records":[{"kernel":"fir"}]}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "accepted `{bad}`");
         }

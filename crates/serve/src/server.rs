@@ -21,8 +21,11 @@
 //!   concurrently: the first claimant evaluates, everyone else blocks until
 //!   the record lands in the store and then reads it back;
 //! * `shutdown` flips an atomic flag and pokes the listener with a loopback
-//!   connection so the blocking `accept` wakes up; accepted connections are
-//!   served to completion before the server returns.
+//!   connection so the blocking `accept` wakes up; in-flight requests are
+//!   answered, then the read halves of all open sockets are shut down so
+//!   workers blocked on idle keep-alive connections wake with EOF — draining
+//!   never waits for clients (the cluster router keeps connections open
+//!   indefinitely) to hang up first.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
@@ -150,14 +153,16 @@ enum Op {
     MultiGet,
     Explore,
     MultiExplore,
+    Put,
+    Ping,
     Stats,
     Shutdown,
     Invalid,
 }
 
 /// Wire names of the ops, indexed by `Op as usize`.
-const OP_NAMES: [&str; 7] = [
-    "get", "mget", "explore", "mexplore", "stats", "shutdown", "invalid",
+const OP_NAMES: [&str; 9] = [
+    "get", "mget", "explore", "mexplore", "put", "ping", "stats", "shutdown", "invalid",
 ];
 
 /// Latency buckets: bucket `i` (i ≥ 1) covers `[2^(i-1), 2^i)` microseconds,
@@ -253,6 +258,52 @@ struct ServerState {
     counters: Counters,
     shutdown: AtomicBool,
     started: Instant,
+    /// Read-shutdown handles of the currently open connections, keyed by a
+    /// per-connection id.  A graceful shutdown walks this table and shuts
+    /// down each socket's *read* half: workers blocked in `read_line` on an
+    /// idle keep-alive connection wake with EOF (pending replies can still
+    /// be written), so draining never waits on clients that simply keep
+    /// their connection open — the cluster router does exactly that.
+    open_connections: Mutex<HashMap<u64, TcpStream>>,
+    next_connection_id: AtomicU64,
+}
+
+impl ServerState {
+    /// Registers a connection's read-shutdown handle; returns its id.  When
+    /// the server is already shutting down, the read half is shut down
+    /// immediately so the connection cannot linger.
+    fn register_connection(&self, stream: &TcpStream) -> Option<u64> {
+        let handle = stream.try_clone().ok()?;
+        let id = self.next_connection_id.fetch_add(1, Ordering::Relaxed);
+        self.open_connections
+            .lock()
+            .expect("no worker panics while holding the connection table lock")
+            .insert(id, handle);
+        if self.shutdown.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        Some(id)
+    }
+
+    /// Drops a connection's registry entry.
+    fn deregister_connection(&self, id: u64) {
+        self.open_connections
+            .lock()
+            .expect("no worker panics while holding the connection table lock")
+            .remove(&id);
+    }
+
+    /// Wakes every open connection's worker by shutting down the socket read
+    /// halves; called once the shutdown flag is set.
+    fn close_idle_connections(&self) {
+        let open = self
+            .open_connections
+            .lock()
+            .expect("no worker panics while holding the connection table lock");
+        for stream in open.values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
 }
 
 /// Final report returned by [`Server::run`] after a graceful shutdown.
@@ -346,6 +397,8 @@ impl Server {
                 counters: Counters::default(),
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
+                open_connections: Mutex::new(HashMap::new()),
+                next_connection_id: AtomicU64::new(0),
             },
             workers: config.workers.max(1),
         })
@@ -447,6 +500,21 @@ fn snapshot_stats(state: &ServerState) -> Result<ServerStats, ServeError> {
 /// `BufWriter` flush is skipped while the read buffer already holds another
 /// complete request line, which batches pipelined replies into large writes.
 fn serve_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAddr) {
+    // Register before serving so a graceful shutdown can wake this
+    // connection's blocking read; deregister on the way out.  A connection
+    // that cannot be registered (fd exhaustion on the try_clone) is refused
+    // outright — serving it unregistered could leave a graceful shutdown
+    // waiting forever on its read, and the client's reconnect-and-retry
+    // turns the refusal into one clean retry on a fresh socket.
+    let Some(id) = state.register_connection(&stream) else {
+        return;
+    };
+    serve_connection_requests(state, stream, local_addr);
+    state.deregister_connection(id);
+}
+
+/// The request/response loop of [`serve_connection`].
+fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr: SocketAddr) {
     // Replies are latency-sensitive single lines: never let Nagle hold them.
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
@@ -481,6 +549,8 @@ fn serve_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAd
             Ok(Request::MultiExplore { points }) => {
                 (handle_mexplore(state, &points), Op::MultiExplore, false)
             }
+            Ok(Request::Put { records }) => (handle_put(state, &records), Op::Put, false),
+            Ok(Request::Ping) => (Response::Pong, Op::Ping, false),
             Ok(Request::Stats) => (
                 match snapshot_stats(state) {
                     Ok(stats) => Response::Stats(stats),
@@ -521,6 +591,10 @@ fn serve_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAd
             state.shutdown.store(true, Ordering::SeqCst);
             // Poke the accept loop awake; it re-checks the flag and exits.
             let _ = TcpStream::connect(local_addr);
+            // Wake workers blocked on idle keep-alive connections: their
+            // sockets' read halves are shut down, read_line returns EOF and
+            // the drain completes without waiting for clients to hang up.
+            state.close_idle_connections();
             return;
         }
         if sent.is_err() {
@@ -570,6 +644,39 @@ fn handle_mget(state: &ServerState, canonicals: &[String]) -> Response {
         }
     }
     Response::MultiGot { records }
+}
+
+/// Answers a `put`: stores pre-evaluated records verbatim, skipping records
+/// whose canonical is already present.  The replication tee of the cluster
+/// router lands here, so the records must be byte-identical to what the
+/// evaluating node stored — [`PointRecord`]'s JSONL round trip guarantees it.
+fn handle_put(state: &ServerState, records: &[PointRecord]) -> Response {
+    let mut stored = 0;
+    for record in records {
+        // The protocol is open to third-party clients: reject a record whose
+        // wire-supplied key does not match its canonical, or the store gains
+        // an entry no lookup can ever reach (and compact would keep routing
+        // by the bogus key forever).
+        let expected = srra_explore::fnv1a_64(record.canonical.as_bytes());
+        if record.key != expected {
+            return Response::Error {
+                message: format!(
+                    "put: record key {:#x} does not match its canonical (expected {expected:#x})",
+                    record.key
+                ),
+            };
+        }
+        match state.store.put_record(record) {
+            Ok(true) => stored += 1,
+            Ok(false) => {}
+            Err(err) => {
+                return Response::Error {
+                    message: err.to_string(),
+                }
+            }
+        }
+    }
+    Response::Stored { stored }
 }
 
 /// Answers an `mexplore` batch: like `explore`, but a point that fails to
@@ -728,6 +835,60 @@ mod tests {
         );
         assert_eq!(device_by_name("Xcv300").unwrap(), DeviceModel::xcv300());
         assert!(device_by_name("xcv9000").is_err());
+    }
+
+    #[test]
+    fn put_validates_keys_and_stores_records_verbatim() {
+        let dir = std::env::temp_dir().join(format!(
+            "srra-serve-put-unit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::bind(&ServerConfig::ephemeral(&dir)).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let mut connection = crate::Connection::connect(&addr).unwrap();
+        let mut record = PointRecord {
+            key: srra_explore::fnv1a_64(b"kernel=fir;algo=CPA-RA;budget=32"),
+            canonical: "kernel=fir;algo=CPA-RA;budget=32".to_owned(),
+            kernel: "fir".to_owned(),
+            algorithm: "CPA-RA".to_owned(),
+            version: "v3".to_owned(),
+            budget: 32,
+            ram_latency: 2,
+            device: "XCV1000-BG560".to_owned(),
+            feasible: true,
+            fits: true,
+            registers_used: 17,
+            total_cycles: 4242,
+            compute_cycles: 4000,
+            memory_cycles: 200,
+            transfer_cycles: 42,
+            clock_period_ns: 10.573,
+            execution_time_us: 1_305.312_048,
+            slices: 471,
+            block_rams: 3,
+            distribution: "a:16".to_owned(),
+        };
+        // A fresh record stores once; the byte-identical duplicate no-ops.
+        assert_eq!(connection.put(std::slice::from_ref(&record)).unwrap(), 1);
+        assert_eq!(connection.put(std::slice::from_ref(&record)).unwrap(), 0);
+        let read_back = connection.get(&record.canonical).unwrap().unwrap();
+        assert_eq!(read_back, record);
+        // A record whose wire key does not hash its canonical is rejected —
+        // it would be unreachable by every lookup.
+        record.key ^= 1;
+        match connection.put(std::slice::from_ref(&record)) {
+            Err(crate::ClientError::Server(message)) => {
+                assert!(message.contains("does not match"), "{message}");
+            }
+            other => panic!("expected a server error, got {other:?}"),
+        }
+        connection.shutdown().unwrap();
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Transparent-reconnect tests for [`srra_serve::Connection`]: a keep-alive
+//! socket that the server drops while idle is re-dialled and the failed call
+//! replayed exactly once; a pipelined batch is replayed only when the
+//! failure precedes its first reply.
+//!
+//! The "server" here is a hand-rolled accept loop speaking raw protocol
+//! lines, so the test controls exactly when connections die.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use srra_serve::{ClientError, Connection, Request, Response};
+
+/// Reads request lines from `stream` and answers each with a canned
+/// `NotFound` reply, stopping (and closing the connection) after
+/// `serve_limit` replies.  Returns how many requests it answered.
+fn serve_some(stream: TcpStream, serve_limit: usize) -> usize {
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut served = 0;
+    let mut line = String::new();
+    while served < serve_limit {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        assert!(
+            Request::parse(line.trim_end()).is_ok(),
+            "client sent a well-formed line: {line}"
+        );
+        let mut reply = Response::NotFound.render();
+        reply.push('\n');
+        if writer.write_all(reply.as_bytes()).is_err() {
+            break;
+        }
+        served += 1;
+    }
+    served
+}
+
+/// Spawns an accept loop that serves `limits[i]` requests on the `i`-th
+/// accepted connection and then hangs up on it; further connections are
+/// refused (the listener is dropped).  Returns the address and a counter of
+/// accepted connections.
+fn flaky_server(limits: Vec<usize>) -> (String, Arc<AtomicUsize>, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let accepted = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&accepted);
+    let handle = std::thread::spawn(move || {
+        for limit in limits {
+            let (stream, _) = listener.accept().expect("accept");
+            counter.fetch_add(1, Ordering::SeqCst);
+            serve_some(stream, limit);
+            // Dropping the stream closes the connection: the next client
+            // call sees EOF (or a reset, if it wrote first).
+        }
+    });
+    (addr, accepted, handle)
+}
+
+#[test]
+fn idle_keepalive_connection_reconnects_and_retries_once() {
+    // Connection 1 serves exactly one request then hangs up; connection 2
+    // serves the rest.
+    let (addr, accepted, handle) = flaky_server(vec![1, 3]);
+    let mut connection = Connection::connect(&addr).expect("connects");
+
+    // First call: served by connection 1.
+    assert_eq!(connection.get("kernel=fir;x").expect("first get"), None);
+    // The server has dropped connection 1; this call hits EOF/reset on the
+    // stale socket and must transparently reconnect and replay.
+    assert_eq!(connection.get("kernel=fir;y").expect("retried get"), None);
+    assert_eq!(accepted.load(Ordering::SeqCst), 2, "one reconnect happened");
+
+    // The reconnected socket keeps serving normally.
+    assert_eq!(connection.get("kernel=fir;z").expect("third get"), None);
+    drop(connection);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn pipeline_replays_only_before_the_first_reply() {
+    // Connection 1 serves one request then hangs up; connection 2 also
+    // serves exactly one, so a partially-answered batch fails; connection 3
+    // would serve more but must never be dialled by the failing batch.
+    let (addr, accepted, handle) = flaky_server(vec![1, 1, 4]);
+    let mut connection = Connection::connect(&addr).expect("connects");
+
+    let batch = vec![
+        Request::Get {
+            canonical: "kernel=fir;a".to_owned(),
+        },
+        Request::Get {
+            canonical: "kernel=fir;b".to_owned(),
+        },
+    ];
+
+    // Exhaust connection 1 so the next batch starts on a stale socket.
+    assert_eq!(connection.get("kernel=fir;warm").expect("warm get"), None);
+
+    // The batch write lands on the dead socket: no reply was consumed, so
+    // the whole window is replayed on connection 2 — which answers one
+    // reply and hangs up mid-batch.  That failure must NOT be retried:
+    // reply 1 was already consumed.
+    match connection.pipeline(&batch) {
+        Err(ClientError::Io(err)) => {
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+        }
+        other => panic!("expected a mid-batch EOF failure, got {other:?}"),
+    }
+    assert_eq!(
+        accepted.load(Ordering::SeqCst),
+        2,
+        "the mid-batch failure did not reconnect"
+    );
+
+    // An explicit follow-up call may reconnect (connection 3) and succeed.
+    let replies = connection.pipeline(&batch).expect("fresh batch");
+    assert_eq!(replies.len(), 2);
+    assert_eq!(accepted.load(Ordering::SeqCst), 3);
+    drop(connection);
+    handle.join().expect("server thread");
+}

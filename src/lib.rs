@@ -18,6 +18,8 @@
 //!   Pareto frontiers,
 //! * [`srra_serve`] — the sharded result store and the TCP query-serving
 //!   front end over the exploration cache,
+//! * [`srra_cluster`] — consistent-hash routing, replication and failover
+//!   across multiple serve nodes,
 //! * [`srra_bench`] — the Table 1 / Figure 2 reproduction harness.
 //!
 //! # Example — evaluate one design point
@@ -55,6 +57,7 @@
 //! ```
 
 pub use srra_bench;
+pub use srra_cluster;
 pub use srra_core;
 pub use srra_dfg;
 pub use srra_explore;
@@ -66,6 +69,7 @@ pub use srra_serve;
 
 /// Commonly used items across the workspace.
 pub mod prelude {
+    pub use srra_cluster::{ClusterClient, ClusterConfig, Ring};
     pub use srra_core::{
         Allocator, AllocatorKind, AllocatorRef, AllocatorRegistry, CompiledKernel,
         RegisterAllocation,
