@@ -9,6 +9,9 @@
 #   6. cluster smoke test  (two srra serve nodes + consistent-hash routed
 #                           mget/explore through srra cluster; both nodes
 #                           must receive traffic)
+#   7. metrics smoke test  (traffic-driven telemetry scrape: JSON snapshot
+#                           with non-zero counters + well-formed Prometheus
+#                           exposition, folded into the steps above)
 #
 # Run from the repository root: ./ci.sh
 set -euo pipefail
@@ -23,8 +26,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo '==> RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps'
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace: a plain root build compiles only the facade package and never
+# produces target/release/srra, which the smoke tests below drive.
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test --workspace -q
@@ -75,6 +80,34 @@ sed -n '4p' "$PIPE_OUT" | grep -Eq '"get":\{"count":[1-9]'
 sed -n '4p' "$PIPE_OUT" | grep -Eq '"mget":\{"count":[1-9]'
 sed -n '4p' "$PIPE_OUT" | grep -Eq '"mexplore":\{"count":[1-9]'
 sed -n '4p' "$PIPE_OUT" | grep -Eq '"explore":\{"count":[1-9]'
+# Metrics smoke: after the mixed get/mget/mexplore traffic above, the JSON
+# snapshot reports non-zero serve counters and the exploration-stage globals.
+METRICS_OUT="$SMOKE_DIR/metrics.json"
+"$SRRA" query --addr "$ADDR" metrics > "$METRICS_OUT"
+grep -Eq '"serve_requests_total":[1-9]' "$METRICS_OUT" \
+  || { echo "metrics smoke: no requests counted"; exit 1; }
+grep -Eq '"serve_op_get_total":[1-9]' "$METRICS_OUT" \
+  || { echo "metrics smoke: get ops not counted"; exit 1; }
+grep -Eq '"serve_evaluated_total":[1-9]' "$METRICS_OUT" \
+  || { echo "metrics smoke: evaluations not counted"; exit 1; }
+grep -Eq '"explore_evaluations_total":[1-9]' "$METRICS_OUT" \
+  || { echo "metrics smoke: engine stage counters missing"; exit 1; }
+grep -Eq '"store_shard_reads_total":[1-9]' "$METRICS_OUT" \
+  || { echo "metrics smoke: shard counters missing"; exit 1; }
+grep -q '"histograms":{' "$METRICS_OUT" \
+  || { echo "metrics smoke: histograms missing"; exit 1; }
+# The Prometheus exposition is well-formed: typed families, cumulative
+# buckets ending at +Inf, and a non-zero requests sample.
+PROM_OUT="$SMOKE_DIR/metrics.prom"
+"$SRRA" query --addr "$ADDR" metrics --prom > "$PROM_OUT"
+grep -q '^# TYPE serve_requests_total counter' "$PROM_OUT" \
+  || { echo "metrics smoke: exposition TYPE line"; exit 1; }
+grep -q '^# TYPE serve_op_get_latency_us histogram' "$PROM_OUT" \
+  || { echo "metrics smoke: exposition histogram family"; exit 1; }
+grep -q 'serve_op_get_latency_us_bucket{le="+Inf"}' "$PROM_OUT" \
+  || { echo "metrics smoke: exposition +Inf bucket"; exit 1; }
+grep -Eq '^serve_requests_total [1-9]' "$PROM_OUT" \
+  || { echo "metrics smoke: exposition sample is zero"; exit 1; }
 # Graceful shutdown: ack on the wire, clean exit, summary line, lock released.
 "$SRRA" query --addr "$ADDR" shutdown | grep -q '"shutting_down":true'
 wait "$SERVE_PID"
@@ -135,6 +168,15 @@ grep -q '"total_evaluated":36' "$SMOKE_DIR/cluster-stats.out" \
 # Liveness probe answers for both nodes.
 [ "$("$SRRA" cluster --nodes "$NODES" ping | grep -c '"up":true')" -eq 2 ] \
   || { echo "cluster smoke: ping"; exit 1; }
+# Cluster-wide metrics scrape: both nodes answer, and the merged snapshot
+# carries the routed traffic (36 evaluations summed across the nodes).
+"$SRRA" cluster --nodes "$NODES" metrics > "$SMOKE_DIR/cluster-metrics.out"
+[ "$(grep -c '"scraped":true' "$SMOKE_DIR/cluster-metrics.out")" -eq 2 ] \
+  || { echo "cluster smoke: metrics scrape"; exit 1; }
+grep -Eq '"serve_evaluated_total":3[6-9]' "$SMOKE_DIR/cluster-metrics.out" \
+  || { echo "cluster smoke: merged evaluation counter"; exit 1; }
+grep -Eq '"client_connects_total":[1-9]' "$SMOKE_DIR/cluster-metrics.out" \
+  || { echo "cluster smoke: client-side counters missing"; exit 1; }
 # Graceful shutdown of both nodes.
 "$SRRA" query --addr "$ADDR_A" shutdown | grep -q '"shutting_down":true'
 "$SRRA" query --addr "$ADDR_B" shutdown | grep -q '"shutting_down":true'

@@ -79,10 +79,8 @@ fn start_nodes(
     let mut handles = Vec::new();
     for index in 0..count {
         let server = Server::bind(&ServerConfig {
-            addr: "127.0.0.1:0".to_owned(),
-            cache_dir: base.join(format!("node-{index}")),
-            shards: 4,
             workers,
+            ..ServerConfig::ephemeral(base.join(format!("node-{index}")))
         })
         .expect("node binds");
         addrs.push(server.local_addr().to_string());

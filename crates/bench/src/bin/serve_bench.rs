@@ -230,10 +230,8 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
 
     let server = Server::bind(&ServerConfig {
-        addr: "127.0.0.1:0".to_owned(),
-        cache_dir: dir.clone(),
-        shards: 4,
         workers: clients,
+        ..ServerConfig::ephemeral(dir.clone())
     })
     .expect("server binds");
     let addr = server.local_addr().to_string();

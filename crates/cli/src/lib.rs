@@ -73,11 +73,15 @@ pub fn usage() -> &'static str {
     --addr    <host:port>        bind address (default 127.0.0.1:0 = ephemeral port)\n\
     --shards  <n>                shard files (default 4)\n\
     --workers <n>                serving threads (default: all CPUs)\n\
+    --slow-query-us <n>          log requests slower than n µs to stderr (default: off)\n\
+    --report-interval <secs>     periodic stats report to stderr (default: off)\n\
   query --addr <host:port> <op>  queries against a running server; prints\n\
                                  the raw JSON response line(s) (see docs/serving.md)\n\
     get <kernel> <algo> <N> [--latency <n>] [--device <d>]\n\
     explore [axis flags as for explore]     (--batch uses one mexplore line)\n\
     stats | shutdown\n\
+    metrics [--prom]             full telemetry snapshot (JSON, or Prometheus\n\
+                                 text exposition with --prom; see docs/observability.md)\n\
     pipe                         read raw request lines from stdin, pipeline\n\
                                  them over ONE keep-alive connection, print\n\
                                  the reply lines in request order\n\
@@ -90,6 +94,7 @@ pub fn usage() -> &'static str {
                                             replicas when --replicas > 1)\n\
     stats                        one JSON line per node plus a totals line\n\
     ping                         probe every node's liveness\n\
+    metrics                      scrape every node, print the merged telemetry\n\
   help                           show this text"
         )
     })
@@ -458,6 +463,8 @@ struct ServeArgs {
     cache_dir: String,
     shards: usize,
     workers: usize,
+    slow_query_us: u64,
+    report_interval_secs: u64,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
@@ -467,6 +474,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
     let mut workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    let mut slow_query_us = 0u64;
+    let mut report_interval_secs = 0u64;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -480,11 +489,21 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
                 .filter(|&n| n >= 1)
                 .ok_or_else(|| CliError(format!("invalid {name} value `{raw}`")))
         };
+        let threshold = |name: &str, raw: String| {
+            raw.parse::<u64>()
+                .map_err(|_| CliError(format!("invalid {name} value `{raw}`")))
+        };
         match flag.as_str() {
             "--addr" => addr = value("--addr")?,
             "--cache-dir" => cache_dir = Some(value("--cache-dir")?),
             "--shards" => shards = positive("--shards", value("--shards")?)?,
             "--workers" => workers = positive("--workers", value("--workers")?)?,
+            "--slow-query-us" => {
+                slow_query_us = threshold("--slow-query-us", value("--slow-query-us")?)?;
+            }
+            "--report-interval" => {
+                report_interval_secs = threshold("--report-interval", value("--report-interval")?)?;
+            }
             other => {
                 return Err(CliError(format!(
                     "unknown serve flag `{other}`\n{}",
@@ -499,6 +518,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         cache_dir,
         shards,
         workers,
+        slow_query_us,
+        report_interval_secs,
     })
 }
 
@@ -509,6 +530,8 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         cache_dir: parsed.cache_dir.clone().into(),
         shards: parsed.shards,
         workers: parsed.workers,
+        slow_query_us: parsed.slow_query_us,
+        report_interval_secs: parsed.report_interval_secs,
     };
     let server = Server::bind(&config).map_err(|err| CliError(format!("serve: {err}")))?;
     // Announce the bound address immediately (the config may have asked for
@@ -645,9 +668,32 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
         }
         [op] if op == "stats" => Request::Stats,
         [op] if op == "shutdown" => Request::Shutdown,
+        [op, flags @ ..] if op == "metrics" => {
+            // The Prometheus exposition is multi-line text: print it raw
+            // rather than wrapped in the single-line JSON reply envelope.
+            let prom = match flags {
+                [] => false,
+                [flag] if flag == "--prom" => true,
+                _ => {
+                    return Err(CliError(format!(
+                        "query metrics takes only --prom, got `{}`",
+                        flags.join(" ")
+                    )))
+                }
+            };
+            let mut connection =
+                Connection::connect(&addr).map_err(|err| CliError(format!("query: {err}")))?;
+            return if prom {
+                connection.metrics_text()
+            } else {
+                connection.metrics().map(|snapshot| snapshot.render_json())
+            }
+            .map(|text| text.trim_end().to_owned())
+            .map_err(|err| CliError(format!("query: {err}")));
+        }
         _ => {
             return Err(CliError(format!(
-                "query expects get/explore/stats/shutdown/pipe, got `{}`\n{}",
+                "query expects get/explore/stats/metrics/shutdown/pipe, got `{}`\n{}",
                 rest.join(" "),
                 usage()
             )))
@@ -928,8 +974,24 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
             }
             Ok(out.trim_end().to_owned())
         }
+        [op] if op == "metrics" => {
+            let metrics = cluster.metrics();
+            let mut out = String::new();
+            for (addr, snapshot) in &metrics.nodes {
+                out.push_str(&format!(
+                    "{{\"addr\":\"{addr}\",\"scraped\":{}}}\n",
+                    snapshot.is_some()
+                ));
+            }
+            // One merged line: every reachable node's telemetry plus this
+            // process's own client_*/cluster_* instruments.
+            let mut combined = metrics.aggregate.clone();
+            combined.merge(&metrics.client);
+            out.push_str(&combined.render_json());
+            Ok(out)
+        }
         _ => Err(CliError(format!(
-            "cluster expects get/mget/explore/stats/ping, got `{}`\n{}",
+            "cluster expects get/mget/explore/stats/ping/metrics, got `{}`\n{}",
             rest.join(" "),
             usage()
         ))),
@@ -1182,10 +1244,9 @@ mod tests {
         // Bind directly (not via `run`) so the test learns the port without
         // scraping stdout, then exercise the `query` command end to end.
         let server = Server::bind(&ServerConfig {
-            addr: "127.0.0.1:0".to_owned(),
-            cache_dir: cache_dir.clone(),
             shards: 2,
             workers: 2,
+            ..ServerConfig::ephemeral(cache_dir.clone())
         })
         .unwrap();
         let addr = server.local_addr().to_string();
@@ -1223,10 +1284,9 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("srra-cli-pipe-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let server = Server::bind(&ServerConfig {
-            addr: "127.0.0.1:0".to_owned(),
-            cache_dir: dir.join("cache"),
             shards: 2,
             workers: 2,
+            ..ServerConfig::ephemeral(dir.join("cache"))
         })
         .unwrap();
         let addr = server.local_addr().to_string();
@@ -1280,10 +1340,9 @@ mod tests {
         let mut handles = Vec::new();
         for index in 0..2 {
             let server = Server::bind(&ServerConfig {
-                addr: "127.0.0.1:0".to_owned(),
-                cache_dir: dir.join(format!("node-{index}")),
                 shards: 2,
                 workers: 2,
+                ..ServerConfig::ephemeral(dir.join(format!("node-{index}")))
             })
             .unwrap();
             addrs.push(server.local_addr().to_string());

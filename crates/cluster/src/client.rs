@@ -4,9 +4,11 @@
 //! it.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use srra_explore::{fnv1a_64, PointRecord};
+use srra_obs::{Counter, MetricsSnapshot, Registry};
 use srra_serve::{canonical_for, ClientError, Connection, PointOutcome, QueryPoint, ServerStats};
 
 use crate::ring::Ring;
@@ -16,6 +18,34 @@ const BACKOFF_INITIAL: Duration = Duration::from_millis(50);
 
 /// Ceiling of the reconnect back-off.
 const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// Handles into [`Registry::global`] for the cluster-side instruments,
+/// resolved once — health transitions and failover requeues record directly.
+struct ClusterCounters {
+    node_failures: Arc<Counter>,
+    node_recoveries: Arc<Counter>,
+    backoff_fastfails: Arc<Counter>,
+    failover_requeues: Arc<Counter>,
+    routed: Arc<Counter>,
+    tee_stored: Arc<Counter>,
+    tee_failures: Arc<Counter>,
+}
+
+fn cluster_counters() -> &'static ClusterCounters {
+    static COUNTERS: OnceLock<ClusterCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = Registry::global();
+        ClusterCounters {
+            node_failures: registry.counter("cluster_node_failures_total"),
+            node_recoveries: registry.counter("cluster_node_recoveries_total"),
+            backoff_fastfails: registry.counter("cluster_backoff_fastfails_total"),
+            failover_requeues: registry.counter("cluster_failover_requeues_total"),
+            routed: registry.counter("cluster_requests_routed_total"),
+            tee_stored: registry.counter("cluster_tee_stored_total"),
+            tee_failures: registry.counter("cluster_tee_failures_total"),
+        }
+    })
+}
 
 /// Errors of the cluster client.
 #[derive(Debug)]
@@ -136,6 +166,7 @@ impl Node {
     /// Marks the node down: drops the connection and opens (and doubles) the
     /// back-off window.
     fn mark_down(&mut self) {
+        cluster_counters().node_failures.inc();
         self.connection = None;
         self.down_until = Some(Instant::now() + self.backoff);
         self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
@@ -143,7 +174,9 @@ impl Node {
 
     /// Marks the node healthy and resets the back-off.
     fn mark_up(&mut self) {
-        self.down_until = None;
+        if self.down_until.take().is_some() {
+            cluster_counters().node_recoveries.inc();
+        }
         self.backoff = BACKOFF_INITIAL;
     }
 
@@ -151,6 +184,7 @@ impl Node {
     /// (without touching the network) while the back-off window is open.
     fn ensure_connection(&mut self) -> Result<&mut Connection, ClientError> {
         if self.is_down() {
+            cluster_counters().backoff_fastfails.inc();
             return Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::ConnectionRefused,
                 format!(
@@ -184,6 +218,7 @@ impl Node {
         match op(connection) {
             Ok(value) => {
                 self.routed += 1;
+                cluster_counters().routed.inc();
                 self.mark_up();
                 Ok(value)
             }
@@ -251,6 +286,30 @@ impl ClusterStats {
             .filter_map(|node| node.stats.as_ref())
             .map(field)
             .sum()
+    }
+}
+
+/// The cluster-wide telemetry gathered by [`ClusterClient::metrics`].
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// Per-node metrics snapshots, in configuration order; `None` when the
+    /// node did not answer the scrape.
+    pub nodes: Vec<(String, Option<MetricsSnapshot>)>,
+    /// All reachable nodes' snapshots merged (counters summed, histograms
+    /// merged bucket-wise).
+    pub aggregate: MetricsSnapshot,
+    /// This process's own client-side telemetry (`client_*` / `cluster_*`
+    /// instruments).
+    pub client: MetricsSnapshot,
+}
+
+impl ClusterMetrics {
+    /// Nodes that answered the scrape.
+    pub fn nodes_up(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|(_, snapshot)| snapshot.is_some())
+            .count()
     }
 }
 
@@ -388,6 +447,7 @@ impl ClusterClient {
                 match call(self, node, &items) {
                     Ok(()) => {}
                     Err(err) if is_io(&err) => {
+                        cluster_counters().failover_requeues.add(items.len() as u64);
                         pending.extend(items.iter().map(|&(item, attempt)| (item, attempt + 1)));
                     }
                     Err(err) => {
@@ -536,8 +596,12 @@ impl ClusterClient {
         }
         let mut stored = 0;
         for (node, batch) in groups {
-            if let Ok(count) = self.nodes[node].call(|connection| connection.put(&batch)) {
-                stored += count;
+            match self.nodes[node].call(|connection| connection.put(&batch)) {
+                Ok(count) => {
+                    cluster_counters().tee_stored.add(count);
+                    stored += count;
+                }
+                Err(_) => cluster_counters().tee_failures.inc(),
             }
         }
         stored
@@ -562,6 +626,32 @@ impl ClusterClient {
         ClusterStats {
             nodes,
             replicas: self.replicas,
+        }
+    }
+
+    /// Scrapes every node's telemetry and merges the reachable answers into
+    /// one cluster-wide aggregate, alongside this process's own client-side
+    /// instruments.  Unreachable nodes report `None` instead of failing the
+    /// call.
+    pub fn metrics(&mut self) -> ClusterMetrics {
+        let nodes: Vec<(String, Option<MetricsSnapshot>)> = self
+            .nodes
+            .iter_mut()
+            .map(|node| {
+                let snapshot = node.call(Connection::metrics).ok();
+                (node.addr.clone(), snapshot)
+            })
+            .collect();
+        let mut aggregate = MetricsSnapshot::default();
+        for (_, snapshot) in &nodes {
+            if let Some(snapshot) = snapshot {
+                aggregate.merge(snapshot);
+            }
+        }
+        ClusterMetrics {
+            nodes,
+            aggregate,
+            client: Registry::global().snapshot(),
         }
     }
 

@@ -66,6 +66,7 @@ mod client;
 mod ring;
 
 pub use client::{
-    ClusterClient, ClusterConfig, ClusterError, ClusterExploreReply, ClusterStats, NodeStats,
+    ClusterClient, ClusterConfig, ClusterError, ClusterExploreReply, ClusterMetrics, ClusterStats,
+    NodeStats,
 };
 pub use ring::Ring;

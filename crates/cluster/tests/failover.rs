@@ -50,10 +50,9 @@ fn start_nodes(
     let mut handles = Vec::new();
     for index in 0..count {
         let server = Server::bind(&ServerConfig {
-            addr: "127.0.0.1:0".to_owned(),
-            cache_dir: dir.join(format!("node-{index}")),
             shards: 2,
             workers: 2,
+            ..ServerConfig::ephemeral(dir.join(format!("node-{index}")))
         })
         .expect("node binds");
         addrs.push(server.local_addr().to_string());

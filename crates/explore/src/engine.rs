@@ -3,13 +3,43 @@
 //! over a work-stealing thread pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use srra_core::{CompiledKernel, MemoryCostModel};
 use srra_fpga::{EvaluationOptions, HardwareDesign};
+use srra_obs::{Counter, Histogram, Registry};
 
 use crate::space::{DesignPoint, DesignSpace};
 use crate::store::{PointRecord, ResultStore};
+
+/// Handles into [`Registry::global`] for the engine's per-stage instruments,
+/// resolved once so worker threads never touch the registry's name map.
+struct EngineMetrics {
+    evaluations: Arc<Counter>,
+    infeasible: Arc<Counter>,
+    store_reads: Arc<Counter>,
+    store_writes: Arc<Counter>,
+    reuse_analysis_us: Arc<Histogram>,
+    allocation_us: Arc<Histogram>,
+    cost_model_us: Arc<Histogram>,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = Registry::global();
+        EngineMetrics {
+            evaluations: registry.counter("explore_evaluations_total"),
+            infeasible: registry.counter("explore_infeasible_total"),
+            store_reads: registry.counter("explore_store_reads_total"),
+            store_writes: registry.counter("explore_store_writes_total"),
+            reuse_analysis_us: registry.histogram("explore_reuse_analysis_us"),
+            allocation_us: registry.histogram("explore_allocation_us"),
+            cost_model_us: registry.histogram("explore_cost_model_us"),
+        }
+    })
+}
 
 /// Evaluates one design point from scratch (no cache involved).
 ///
@@ -45,13 +75,28 @@ pub fn evaluate_point(kernel: &CompiledKernel, point: &DesignPoint) -> PointReco
         block_rams: 0,
         distribution: String::new(),
     };
-    let Ok(allocation) = point.allocator.allocate(kernel, point.budget) else {
+    let metrics = engine_metrics();
+    metrics.evaluations.inc();
+    // Force the kernel's memoized reuse analysis now, so its cost (paid only
+    // by the first point of each kernel) lands in its own histogram instead
+    // of being folded into whichever stage happens to trigger it.
+    if !kernel.analysis_is_cached() {
+        let started = Instant::now();
+        let _ = kernel.analysis();
+        metrics.reuse_analysis_us.record(started.elapsed());
+    }
+    let started = Instant::now();
+    let allocated = point.allocator.allocate(kernel, point.budget);
+    metrics.allocation_us.record(started.elapsed());
+    let Ok(allocation) = allocated else {
+        metrics.infeasible.inc();
         return base;
     };
     let options = EvaluationOptions {
         memory: MemoryCostModel::default().with_ram_latency(point.ram_latency),
         ..EvaluationOptions::default()
     };
+    let started = Instant::now();
     let design = HardwareDesign::evaluate(
         kernel.kernel(),
         kernel.analysis(),
@@ -59,6 +104,7 @@ pub fn evaluate_point(kernel: &CompiledKernel, point: &DesignPoint) -> PointReco
         &point.device,
         &options,
     );
+    metrics.cost_model_us.record(started.elapsed());
     PointRecord {
         feasible: true,
         fits: point.device.fits(design.slices, design.block_rams),
@@ -167,6 +213,7 @@ impl Explorer {
                 // evaluate separately (the store indexes a vec per key, so
                 // both colliding records are cached).
             }
+            engine_metrics().store_reads.inc();
             match store.get(key, canonical)? {
                 Some(record) => {
                     records[index] = Some(record);
@@ -200,6 +247,7 @@ impl Explorer {
         };
 
         for (slot, record) in fresh {
+            engine_metrics().store_writes.inc();
             store.put(&record)?;
             for &index in &pending_slots[slot] {
                 records[index] = Some(record.clone());

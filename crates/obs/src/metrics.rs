@@ -1,0 +1,337 @@
+//! The instruments: counters, gauges, latency histograms and span timers.
+//!
+//! Everything here is a plain atomic recorded with `Ordering::Relaxed` —
+//! telemetry needs eventual visibility, not synchronisation, and the relaxed
+//! loads/stores compile to single unlocked instructions on the hot path.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of latency buckets: bucket 0 holds sub-microsecond samples, bucket
+/// `i` (for `i >= 1`) holds samples in `[2^(i-1), 2^i)` microseconds, and the
+/// last bucket saturates everything from ~17 seconds up.
+pub const LATENCY_BUCKETS: usize = 26;
+
+/// Bucket index for a sample of `micros` microseconds.
+///
+/// This is the exact bucketing the serve layer's `stats` op has always used:
+/// the position of the highest set bit, saturated to the last bucket.
+fn bucket_index(micros: u64) -> usize {
+    (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// Inclusive upper bound, in microseconds, of bucket `index`.
+fn bucket_bound(index: usize) -> u64 {
+    (1u64 << index) - 1
+}
+
+/// A monotonically increasing event count.
+///
+/// Handles are shared via `Arc` (see [`crate::Registry`]); recording is a
+/// single relaxed `fetch_add`.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed value that can move in both directions (queue depths, open
+/// connection counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `value`.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket power-of-two-microsecond latency histogram.
+///
+/// Recording is one relaxed `fetch_add` into the bucket owning the sample's
+/// highest set bit; quantiles are answered as the inclusive upper bound of
+/// the bucket containing the requested rank, so `quantile(0.5)` of a
+/// histogram full of 40 µs samples reports 63 µs — a deliberate trade of
+/// resolution for a zero-contention hot path.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one elapsed duration.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one sample of `micros` microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|bucket| bucket.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Upper bound, in microseconds, of the bucket containing the sample at
+    /// rank `fraction` (0.0 ..= 1.0).  Returns 0 for an empty histogram.
+    pub fn quantile(&self, fraction: f64) -> u64 {
+        self.snapshot().quantile(fraction)
+    }
+
+    /// Point-in-time copy of the bucket counts.
+    ///
+    /// Buckets are read individually (not atomically as a set); a snapshot
+    /// taken concurrently with recorders may be mid-update by a sample or
+    /// two, which is fine for telemetry.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|index| self.buckets[index].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s bucket counts.
+///
+/// Snapshots are what travel: over the wire in the `metrics` op, across
+/// nodes when the cluster client aggregates a fleet-wide scrape (bucket-wise
+/// [`merge`](Self::merge)), and into the exposition renderers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Builds a snapshot from raw bucket counts as carried on the wire.
+    ///
+    /// Accepts up to [`LATENCY_BUCKETS`] counts (shorter slices are
+    /// zero-padded, so older peers with fewer buckets still merge); returns
+    /// `None` for longer slices, which cannot be represented.
+    pub fn from_buckets(counts: &[u64]) -> Option<Self> {
+        if counts.len() > LATENCY_BUCKETS {
+            return None;
+        }
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        buckets[..counts.len()].copy_from_slice(counts);
+        Some(Self { buckets })
+    }
+
+    /// The raw per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound, in microseconds, of the bucket containing the sample at
+    /// rank `fraction` (0.0 ..= 1.0).  Returns 0 for an empty snapshot.
+    pub fn quantile(&self, fraction: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * fraction).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (index, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return bucket_bound(index);
+            }
+        }
+        bucket_bound(LATENCY_BUCKETS - 1)
+    }
+
+    /// Adds `other`'s samples bucket-wise (saturating).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+    }
+}
+
+/// Scoped timer recording its lifetime into a [`Histogram`] on drop.
+///
+/// ```
+/// # let histogram = srra_obs::Histogram::new();
+/// {
+///     let _span = srra_obs::SpanTimer::start(&histogram);
+///     // ... timed work ...
+/// }
+/// assert_eq!(histogram.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    histogram: &'a Histogram,
+    started: Instant,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts timing; the elapsed time is recorded when the timer drops.
+    pub fn start(histogram: &'a Histogram) -> Self {
+        Self {
+            histogram,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.histogram.record(self.started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_move_as_told() {
+        let counter = Counter::new();
+        counter.inc();
+        counter.add(4);
+        assert_eq!(counter.get(), 5);
+
+        let gauge = Gauge::new();
+        gauge.inc();
+        gauge.inc();
+        gauge.dec();
+        assert_eq!(gauge.get(), 1);
+        gauge.set(-7);
+        assert_eq!(gauge.get(), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_highest_set_bit() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let histogram = Histogram::new();
+        assert_eq!(histogram.quantile(0.5), 0, "empty histogram answers zero");
+        for _ in 0..90 {
+            histogram.record_micros(40);
+        }
+        for _ in 0..10 {
+            histogram.record_micros(5_000);
+        }
+        assert_eq!(histogram.count(), 100);
+        assert_eq!(
+            histogram.quantile(0.5),
+            63,
+            "40 µs lives in the [32, 64) bucket"
+        );
+        assert_eq!(
+            histogram.quantile(0.99),
+            8_191,
+            "5 ms lives in the [4096, 8192) bucket"
+        );
+    }
+
+    #[test]
+    fn snapshots_merge_bucket_wise() {
+        let a = Histogram::new();
+        a.record_micros(10);
+        let b = Histogram::new();
+        b.record_micros(10);
+        b.record_micros(100_000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.buckets()[bucket_index(10)], 2);
+        assert_eq!(merged.buckets()[bucket_index(100_000)], 1);
+    }
+
+    #[test]
+    fn short_wire_bucket_arrays_zero_pad_and_long_ones_are_rejected() {
+        let snapshot = HistogramSnapshot::from_buckets(&[3, 1]).expect("short is fine");
+        assert_eq!(snapshot.count(), 4);
+        assert_eq!(snapshot.buckets().len(), LATENCY_BUCKETS);
+        assert!(HistogramSnapshot::from_buckets(&[0; LATENCY_BUCKETS + 1]).is_none());
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let histogram = Histogram::new();
+        {
+            let _span = SpanTimer::start(&histogram);
+        }
+        assert_eq!(histogram.count(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! The name → instrument map.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::MetricsSnapshot;
+
+/// A named set of instruments.
+///
+/// `counter` / `gauge` / `histogram` get-or-register by name and return an
+/// `Arc` handle; callers keep the handle and record through it, so the
+/// registry lock is taken only at registration and snapshot time — never on
+/// a recording path.
+///
+/// Two registries matter in practice:
+///
+/// * [`Registry::global`] — one per process, used by library layers (the
+///   explore engine, the sharded store, the wire clients) that outlive any
+///   particular server.
+/// * per-server registries — each `srra_serve::Server` owns one so per-node
+///   request statistics stay per-node even when several servers share a
+///   process (as the tests and the cluster bench do).
+///
+/// Metric names must be non-empty and match `[A-Za-z0-9_]+` (the common
+/// subset of JSON-key-safe and Prometheus-safe); registration panics
+/// otherwise, since a bad name is a programming error, not runtime input.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn assert_name(name: &str) {
+    assert!(
+        !name.is_empty() && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_'),
+        "metric names must be non-empty [A-Za-z0-9_]+, got {name:?}"
+    );
+}
+
+fn get_or_register<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    assert_name(name);
+    if let Some(found) = map.read().expect("metrics registry poisoned").get(name) {
+        return Arc::clone(found);
+    }
+    let mut map = map.write().expect("metrics registry poisoned");
+    Arc::clone(map.entry(name.to_owned()).or_default())
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Returns the counter named `name`, registering it at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_register(&self.counters, name)
+    }
+
+    /// Returns the gauge named `name`, registering it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_register(&self.gauges, name)
+    }
+
+    /// Returns the histogram named `name`, registering it empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_register(&self.histograms, name)
+    }
+
+    /// Point-in-time copy of every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(name, counter)| (name.clone(), counter.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(name, gauge)| (name.clone(), gauge.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(name, histogram)| (name.clone(), histogram.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let registry = Registry::new();
+        let first = registry.counter("hits_total");
+        let second = registry.counter("hits_total");
+        first.inc();
+        second.add(2);
+        assert_eq!(registry.counter("hits_total").get(), 3);
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn snapshots_are_sorted_by_name() {
+        let registry = Registry::new();
+        registry.counter("zeta").inc();
+        registry.counter("alpha").inc();
+        registry.gauge("depth").set(4);
+        registry.histogram("lat_us").record_micros(9);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(snapshot.gauge("depth"), Some(4));
+        assert_eq!(snapshot.histogram("lat_us").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "metric names must be non-empty")]
+    fn bad_names_are_rejected_at_registration() {
+        Registry::new().counter("nope pas");
+    }
+
+    #[test]
+    fn the_global_registry_is_one_instance() {
+        assert!(std::ptr::eq(Registry::global(), Registry::global()));
+    }
+}

@@ -1,0 +1,280 @@
+//! Point-in-time metric sets: merging and exposition.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::HistogramSnapshot;
+
+/// Whether `name` is a legal metric name (`[A-Za-z0-9_]+`, non-empty).
+///
+/// [`crate::Registry`] enforces this at registration; wire decoders use it
+/// to validate names arriving from peers before rendering them back out.
+pub fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty() && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// A point-in-time copy of a [`crate::Registry`], sorted by name.
+///
+/// Snapshots merge — across the per-server and global registries of one
+/// process, and across nodes when the cluster client aggregates a
+/// fleet-wide scrape — and render to one JSON object (the `metrics` op's
+/// reply body) or a Prometheus-style text exposition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram bucket sets, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+fn merge_sorted<T, F: Fn(&mut T, &T)>(mine: &mut Vec<(String, T)>, theirs: &[(String, T)], fold: F)
+where
+    T: Clone,
+{
+    let mut merged: BTreeMap<String, T> = mine.drain(..).collect();
+    for (name, value) in theirs {
+        match merged.get_mut(name) {
+            Some(existing) => fold(existing, value),
+            None => {
+                merged.insert(name.clone(), value.clone());
+            }
+        }
+    }
+    mine.extend(merged);
+}
+
+impl MetricsSnapshot {
+    /// True when no instrument was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Value of the counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, value)| *value)
+    }
+
+    /// Value of the gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, value)| *value)
+    }
+
+    /// Bucket set of the histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, snapshot)| snapshot)
+    }
+
+    /// Folds `other` into `self`: counters and gauges sum by name,
+    /// histograms merge bucket-wise, names only one side knows are kept.
+    /// The result stays sorted by name.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        merge_sorted(&mut self.counters, &other.counters, |mine, theirs| {
+            *mine = mine.saturating_add(*theirs)
+        });
+        merge_sorted(&mut self.gauges, &other.gauges, |mine, theirs| {
+            *mine = mine.saturating_add(*theirs)
+        });
+        merge_sorted(&mut self.histograms, &other.histograms, |mine, theirs| {
+            mine.merge(theirs)
+        });
+    }
+
+    /// Renders the snapshot as one JSON object.
+    ///
+    /// Shape: `{"counters":{..},"gauges":{..},"histograms":{"name":
+    /// {"count":..,"p50_us":..,"p99_us":..,"buckets":[..]}}}` — `count` and
+    /// the quantiles are derived from `buckets` for script convenience;
+    /// `buckets` (trailing zeros trimmed) is the authoritative payload that
+    /// decoders rebuild from.  Metric names satisfy
+    /// [`valid_metric_name`], so they render without escaping.
+    pub fn render_json_into(&self, out: &mut String) {
+        out.push_str("{\"counters\":{");
+        for (index, (name, value)) in self.counters.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (index, (name, value)) in self.gauges.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (index, (name, snapshot)) in self.histograms.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":{\"count\":");
+            out.push_str(&snapshot.count().to_string());
+            out.push_str(",\"p50_us\":");
+            out.push_str(&snapshot.quantile(0.5).to_string());
+            out.push_str(",\"p99_us\":");
+            out.push_str(&snapshot.quantile(0.99).to_string());
+            out.push_str(",\"buckets\":[");
+            let buckets = snapshot.buckets();
+            let used = buckets
+                .iter()
+                .rposition(|&count| count > 0)
+                .map_or(0, |last| last + 1);
+            for (bucket, &count) in buckets[..used].iter().enumerate() {
+                if bucket > 0 {
+                    out.push(',');
+                }
+                out.push_str(&count.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+    }
+
+    /// [`render_json_into`](Self::render_json_into) into a fresh string.
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        self.render_json_into(&mut out);
+        out
+    }
+
+    /// Renders a Prometheus-style text exposition.
+    ///
+    /// Counters and gauges are one `# TYPE` line plus one sample each;
+    /// histograms render as cumulative `name_bucket{le="..."}` samples (the
+    /// `le` bounds are the buckets' inclusive upper bounds in microseconds,
+    /// then `+Inf`) plus `name_count`.  No `name_sum` is emitted — the
+    /// fixed-bucket histograms do not track one.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, value) in &self.counters {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" counter\n");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" gauge\n");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (name, snapshot) in &self.histograms {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" histogram\n");
+            let mut cumulative = 0u64;
+            for (index, &count) in snapshot.buckets().iter().enumerate() {
+                cumulative += count;
+                out.push_str(name);
+                out.push_str("_bucket{le=\"");
+                out.push_str(&((1u64 << index) - 1).to_string());
+                out.push_str("\"} ");
+                out.push_str(&cumulative.to_string());
+                out.push('\n');
+            }
+            out.push_str(name);
+            out.push_str("_bucket{le=\"+Inf\"} ");
+            out.push_str(&cumulative.to_string());
+            out.push('\n');
+            out.push_str(name);
+            out.push_str("_count ");
+            out.push_str(&cumulative.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Registry, LATENCY_BUCKETS};
+
+    fn sample() -> MetricsSnapshot {
+        let registry = Registry::new();
+        registry.counter("requests_total").add(7);
+        registry.gauge("open_connections").set(-2);
+        let latency = registry.histogram("get_latency_us");
+        latency.record_micros(40);
+        latency.record_micros(40);
+        latency.record_micros(5_000);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn json_rendering_carries_buckets_and_derived_quantiles() {
+        let json = sample().render_json();
+        assert!(json.starts_with("{\"counters\":{\"requests_total\":7}"));
+        assert!(json.contains("\"gauges\":{\"open_connections\":-2}"));
+        assert!(json.contains(
+            "\"get_latency_us\":{\"count\":3,\"p50_us\":63,\"p99_us\":8191,\"buckets\":["
+        ));
+        assert!(json.ends_with("]}}}"));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter\nrequests_total 7\n"));
+        assert!(text.contains("# TYPE open_connections gauge\nopen_connections -2\n"));
+        assert!(text.contains("# TYPE get_latency_us histogram\n"));
+        assert!(text.contains("get_latency_us_bucket{le=\"63\"} 2\n"));
+        assert!(text.contains("get_latency_us_bucket{le=\"8191\"} 3\n"));
+        assert!(text.contains("get_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("get_latency_us_count 3\n"));
+        assert_eq!(
+            text.lines()
+                .filter(|line| line.starts_with("get_latency_us_bucket"))
+                .count(),
+            LATENCY_BUCKETS + 1
+        );
+    }
+
+    #[test]
+    fn merging_sums_counters_and_buckets_and_keeps_unshared_names() {
+        let mut mine = sample();
+        let other = Registry::new();
+        other.counter("requests_total").add(3);
+        other.counter("evictions_total").inc();
+        other.histogram("get_latency_us").record_micros(40);
+        mine.merge(&other.snapshot());
+        assert_eq!(mine.counter("requests_total"), Some(10));
+        assert_eq!(mine.counter("evictions_total"), Some(1));
+        assert_eq!(mine.histogram("get_latency_us").map(|h| h.count()), Some(4));
+        assert_eq!(mine.gauge("open_connections"), Some(-2));
+        let names: Vec<&str> = mine.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["evictions_total", "requests_total"], "still sorted");
+    }
+
+    #[test]
+    fn metric_name_validity() {
+        assert!(valid_metric_name("serve_op_get_total"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("bad name"));
+        assert!(!valid_metric_name("bad-name"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the telemetry instruments: histogram record/merge
+//! monotonicity, quantile ordering, bucket-boundary placement, and
+//! concurrent-recorder consistency.
+
+use proptest::prelude::*;
+use srra_obs::{Histogram, HistogramSnapshot, Registry, LATENCY_BUCKETS};
+
+/// Records every sample into a fresh histogram.
+fn filled(samples: &[u64]) -> Histogram {
+    let histogram = Histogram::new();
+    for &micros in samples {
+        histogram.record_micros(micros);
+    }
+    histogram
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Counts are conserved: a histogram holds exactly as many samples as
+    /// were recorded, and merging two snapshots sums their counts bucket by
+    /// bucket.
+    #[test]
+    fn record_and_merge_conserve_counts(
+        a in prop::collection::vec(any::<u64>(), 1..256),
+        b in prop::collection::vec(any::<u64>(), 1..256),
+    ) {
+        let left = filled(&a).snapshot();
+        let right = filled(&b).snapshot();
+        prop_assert_eq!(left.count(), a.len() as u64);
+        prop_assert_eq!(right.count(), b.len() as u64);
+        let mut merged = left.clone();
+        merged.merge(&right);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        for index in 0..LATENCY_BUCKETS {
+            prop_assert_eq!(
+                merged.buckets()[index],
+                left.buckets()[index] + right.buckets()[index]
+            );
+        }
+        let both = filled(&a);
+        for &micros in &b {
+            both.record_micros(micros);
+        }
+        prop_assert_eq!(both.snapshot(), merged, "merge equals recording the union");
+    }
+
+    /// Quantiles are monotone in the requested rank (p50 <= p90 <= p99 <=
+    /// max) and never shrink when more samples arrive.
+    #[test]
+    fn quantiles_are_monotone(samples in prop::collection::vec(any::<u64>(), 1..512)) {
+        let histogram = filled(&samples);
+        let p50 = histogram.quantile(0.5);
+        let p90 = histogram.quantile(0.9);
+        let p99 = histogram.quantile(0.99);
+        let max = histogram.quantile(1.0);
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
+        let largest = samples.iter().copied().max().unwrap_or(0);
+        prop_assert!(max >= largest.min((1u64 << (LATENCY_BUCKETS - 1)) - 1),
+            "the top quantile covers the largest sample (modulo saturation)");
+        histogram.record_micros(u64::MAX);
+        prop_assert!(histogram.quantile(0.99) >= p99, "new slow samples never lower a tail quantile");
+    }
+
+    /// Bucket boundaries: 0 µs is its own bucket, each power of two starts
+    /// the next bucket (2^k lands one bucket above 2^k - 1), and huge
+    /// samples saturate into the last bucket.
+    #[test]
+    fn power_of_two_edges_split_buckets(shift in 1usize..=24) {
+        let edge = 1u64 << shift;
+        let histogram = filled(&[0, 1, edge - 1, edge, u64::MAX]);
+        let buckets = histogram.snapshot();
+        let position = |micros: u64| {
+            (0..LATENCY_BUCKETS).find(|&index| {
+                let fresh = filled(&[micros]).snapshot();
+                fresh.buckets()[index] == 1
+            }).expect("each sample lands in exactly one bucket")
+        };
+        prop_assert_eq!(position(0), 0);
+        prop_assert_eq!(position(1), 1);
+        prop_assert_eq!(position(edge), position(edge - 1) + 1, "2^k opens the next bucket");
+        prop_assert_eq!(position(u64::MAX), LATENCY_BUCKETS - 1, "saturating max");
+        prop_assert_eq!(buckets.count(), 5);
+        // A single-sample histogram's quantile is that sample's bucket upper
+        // bound, which is never below the sample itself (unless saturated).
+        let single = filled(&[edge]);
+        prop_assert!(single.quantile(0.5) >= edge.min((1u64 << (LATENCY_BUCKETS - 1)) - 1));
+        prop_assert!(filled(&[1]).quantile(1.0) >= 1);
+    }
+
+    /// Concurrent recorders through shared registry handles lose nothing:
+    /// the final snapshot holds every thread's every sample.
+    #[test]
+    fn concurrent_recorders_are_consistent(
+        threads in 2usize..=4,
+        per_thread in prop::collection::vec(any::<u64>(), 64),
+    ) {
+        let registry = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let counter = registry.counter("events_total");
+                let latency = registry.histogram("latency_us");
+                let samples = per_thread.clone();
+                scope.spawn(move || {
+                    for micros in samples {
+                        counter.inc();
+                        latency.record_micros(micros);
+                    }
+                });
+            }
+        });
+        let snapshot = registry.snapshot();
+        let expected = (threads * per_thread.len()) as u64;
+        prop_assert_eq!(snapshot.counter("events_total"), Some(expected));
+        prop_assert_eq!(snapshot.histogram("latency_us").map(HistogramSnapshot::count), Some(expected));
+    }
+
+    /// The wire round trip of a bucket array (trailing zeros trimmed, as the
+    /// JSON rendering does) rebuilds an identical snapshot.
+    #[test]
+    fn trimmed_bucket_arrays_round_trip(samples in prop::collection::vec(any::<u64>(), 0..128)) {
+        let snapshot = filled(&samples).snapshot();
+        let used = snapshot.buckets().iter().rposition(|&c| c > 0).map_or(0, |last| last + 1);
+        let rebuilt = HistogramSnapshot::from_buckets(&snapshot.buckets()[..used])
+            .expect("trimmed arrays always fit");
+        prop_assert_eq!(rebuilt, snapshot);
+    }
+}

@@ -22,13 +22,34 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, OnceLock};
 
 use srra_explore::PointRecord;
+use srra_obs::{Counter, MetricsSnapshot, Registry};
 
 use crate::protocol::{
     render_get_request, render_mget_request, render_points_request, render_put_request,
-    PointOutcome, QueryPoint, Request, Response, ServerStats,
+    stamp_trace, trace_suffix, valid_trace_id, PointOutcome, QueryPoint, Request, Response,
+    ServerStats,
 };
+
+/// Handles into [`Registry::global`] for the client-side instruments,
+/// resolved once — recording on the reconnect paths is handle-direct.
+struct ConnectionMetrics {
+    connects: Arc<Counter>,
+    reconnect_retries: Arc<Counter>,
+}
+
+fn connection_metrics() -> &'static ConnectionMetrics {
+    static METRICS: OnceLock<ConnectionMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = Registry::global();
+        ConnectionMetrics {
+            connects: registry.counter("client_connects_total"),
+            reconnect_retries: registry.counter("client_reconnect_retries_total"),
+        }
+    })
+}
 
 /// Errors of the query client.
 #[derive(Debug)]
@@ -98,6 +119,10 @@ pub struct Connection {
     scratch: String,
     /// Scratch buffer for incoming response lines.
     line: String,
+    /// Trace id stamped onto every outgoing request line, when set.
+    trace: Option<String>,
+    /// Trace id echoed on the most recently received reply, if any.
+    last_trace: Option<String>,
 }
 
 /// Whether `err` says the keep-alive socket went stale while idle (server
@@ -122,6 +147,7 @@ fn open_stream(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), ClientEr
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let writer = stream.try_clone()?;
+    connection_metrics().connects.inc();
     Ok((BufReader::new(stream), writer))
 }
 
@@ -140,12 +166,50 @@ impl Connection {
             writer,
             scratch: String::with_capacity(256),
             line: String::with_capacity(256),
+            trace: None,
+            last_trace: None,
         })
     }
 
     /// The `host:port` this connection targets.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Sets (or clears, with `None`) the trace id stamped onto every
+    /// outgoing request line from now on.  The server echoes the id on each
+    /// reply — readable afterwards via [`last_trace`](Connection::last_trace)
+    /// — and attributes its slow-query log lines to it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects ids that are empty, longer than
+    /// [`TRACE_MAX_LEN`](crate::protocol::TRACE_MAX_LEN) bytes, or contain
+    /// characters outside `[A-Za-z0-9._-]`.
+    pub fn set_trace(&mut self, trace: Option<&str>) -> Result<(), ClientError> {
+        match trace {
+            Some(id) if !valid_trace_id(id) => Err(ClientError::Protocol(format!(
+                "invalid trace id `{id}`: want 1-64 bytes of [A-Za-z0-9._-]"
+            ))),
+            Some(id) => {
+                self.trace = Some(id.to_owned());
+                Ok(())
+            }
+            None => {
+                self.trace = None;
+                Ok(())
+            }
+        }
+    }
+
+    /// The trace id currently stamped onto outgoing requests, if any.
+    pub fn trace(&self) -> Option<&str> {
+        self.trace.as_deref()
+    }
+
+    /// The trace id the server echoed on the most recent reply, if any.
+    pub fn last_trace(&self) -> Option<&str> {
+        self.last_trace.as_deref()
     }
 
     /// Replaces the stale socket with a fresh one to the same address.  The
@@ -173,10 +237,19 @@ impl Connection {
         self.send_scratch_line()
     }
 
+    /// Stamps the connection's trace id (when set) onto the request line
+    /// sitting in `scratch` and terminates it with `\n`.
+    fn finish_scratch_line(&mut self) {
+        if let Some(trace) = &self.trace {
+            stamp_trace(&mut self.scratch, trace);
+        }
+        self.scratch.push('\n');
+    }
+
     /// Terminates and writes the request line sitting in `scratch` with one
     /// `write_all`.
     fn send_scratch_line(&mut self) -> Result<(), ClientError> {
-        self.scratch.push('\n');
+        self.finish_scratch_line();
         self.writer.write_all(self.scratch.as_bytes())?;
         Ok(())
     }
@@ -196,7 +269,17 @@ impl Connection {
                 "server closed the connection without answering",
             )));
         }
-        Response::parse(self.line.trim_end()).map_err(ClientError::Protocol)
+        self.line.truncate(self.line.trim_end().len());
+        // Peel an echoed trace id off the reply before parsing, so traced
+        // replies still hit the codec's exact-shape fast paths.
+        self.last_trace = None;
+        let echoed = trace_suffix(&self.line).map(|(start, id)| (start, id.to_owned()));
+        if let Some((start, id)) = echoed {
+            self.last_trace = Some(id);
+            self.line.truncate(start);
+            self.line.push('}');
+        }
+        Response::parse(&self.line).map_err(ClientError::Protocol)
     }
 
     /// Terminates the request line sitting in `scratch`, performs the round
@@ -204,9 +287,10 @@ impl Connection {
     /// replays the identical line exactly once.  Safe because every protocol
     /// op is idempotent and a stale failure means no reply byte arrived.
     fn roundtrip_scratch(&mut self) -> Result<Response, ClientError> {
-        self.scratch.push('\n');
+        self.finish_scratch_line();
         match self.try_roundtrip_scratch() {
             Err(err) if is_stale(&err) => {
+                connection_metrics().reconnect_retries.inc();
                 self.reconnect()?;
                 self.try_roundtrip_scratch()
             }
@@ -234,7 +318,7 @@ impl Connection {
         self.scratch.clear();
         request.render_into(&mut self.scratch);
         if matches!(request, Request::Shutdown) {
-            self.scratch.push('\n');
+            self.finish_scratch_line();
             return self.try_roundtrip_scratch();
         }
         self.roundtrip_scratch()
@@ -264,6 +348,9 @@ impl Connection {
         self.scratch.clear();
         for request in requests {
             request.render_into(&mut self.scratch);
+            if let Some(trace) = &self.trace {
+                stamp_trace(&mut self.scratch, trace);
+            }
             self.scratch.push('\n');
         }
         let replayable = !requests
@@ -271,6 +358,7 @@ impl Connection {
             .any(|request| matches!(request, Request::Shutdown));
         match self.try_pipeline_scratch(requests.len()) {
             Err((_, true)) if replayable => {
+                connection_metrics().reconnect_retries.inc();
                 self.reconnect()?;
                 self.try_pipeline_scratch(requests.len())
                     .map_err(|(err, _)| err)
@@ -381,6 +469,28 @@ impl Connection {
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         let response = self.roundtrip(&Request::Stats)?;
         expect_stats(response)
+    }
+
+    /// Fetches the server's full telemetry snapshot (counters, gauges and
+    /// latency histograms) as structured data.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        let response = self.roundtrip(&Request::Metrics { prometheus: false })?;
+        expect_metrics(response)
+    }
+
+    /// Fetches the server's telemetry in the Prometheus text exposition
+    /// format, ready to serve to a scraper.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let response = self.roundtrip(&Request::Metrics { prometheus: true })?;
+        expect_metrics_text(response)
     }
 
     /// Asks the server to shut down gracefully.  Never retried on a stale
@@ -502,6 +612,24 @@ impl Client {
         self.connect()?.stats()
     }
 
+    /// Fetches the server's full telemetry snapshot as structured data.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn metrics(&self) -> Result<MetricsSnapshot, ClientError> {
+        self.connect()?.metrics()
+    }
+
+    /// Fetches the server's telemetry in the Prometheus text format.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        self.connect()?.metrics_text()
+    }
+
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors
@@ -602,6 +730,28 @@ fn expect_stats(response: Response) -> Result<ServerStats, ClientError> {
         Response::Error { message } => Err(ClientError::Server(message)),
         other => Err(ClientError::Protocol(format!(
             "unexpected response to stats: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the structured `metrics` reply shape.
+fn expect_metrics(response: Response) -> Result<MetricsSnapshot, ClientError> {
+    match response {
+        Response::Metrics(snapshot) => Ok(snapshot),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to metrics: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the Prometheus-text `metrics` reply shape.
+fn expect_metrics_text(response: Response) -> Result<String, ClientError> {
+    match response {
+        Response::MetricsText { text } => Ok(text),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to metrics: {other:?}"
         ))),
     }
 }

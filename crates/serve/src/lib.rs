@@ -22,8 +22,12 @@
 //!    than re-evaluating), batched `mget` / `mexplore` (many lookups or
 //!    points per wire line), `put` (store pre-evaluated records verbatim —
 //!    the cluster replication tee), `ping` (liveness probe), `stats` (with
-//!    per-op latency quantiles), and graceful `shutdown` (which also closes
-//!    idle keep-alive connections so draining never waits on clients).
+//!    per-op latency quantiles), `metrics` (the full [`srra_obs`] telemetry
+//!    snapshot, as structured JSON or Prometheus text exposition), and
+//!    graceful `shutdown` (which also closes idle keep-alive connections so
+//!    draining never waits on clients).  Any request line may carry a
+//!    `trace` id — the server echoes it on the reply and attributes its
+//!    slow-query log lines to it.
 //!
 //! The wire protocol is specified in `docs/serving.md`; [`Request`] /
 //! [`Response`] are its single encode/decode implementation, shared by the
@@ -64,6 +68,9 @@ mod shard;
 
 pub use client::{Client, ClientError, Connection, ExploreReply, MultiExploreReply};
 pub use json::JsonValue;
-pub use protocol::{OpStats, PointOutcome, QueryPoint, Request, Response, ServerStats};
+pub use protocol::{
+    stamp_trace, trace_suffix, valid_trace_id, OpStats, PointOutcome, QueryPoint, Request,
+    Response, ServerStats, TRACE_MAX_LEN,
+};
 pub use server::{canonical_for, device_by_name, ServeError, Server, ServerConfig, ServerReport};
 pub use shard::{CompactOutcome, MergeOutcome, ShardError, ShardedStore};

@@ -21,8 +21,59 @@
 //! lookup itself and the buffer's own growth.
 
 use srra_explore::PointRecord;
+use srra_obs::{valid_metric_name, HistogramSnapshot, MetricsSnapshot};
 
 use crate::json::{render_string, JsonValue};
+
+/// Longest accepted `trace` id, in bytes.
+pub const TRACE_MAX_LEN: usize = 64;
+
+/// Whether `id` is a legal wire trace id: 1 ..= [`TRACE_MAX_LEN`] bytes of
+/// `[A-Za-z0-9._-]`.
+///
+/// The restricted alphabet is what makes trace propagation free on the hot
+/// path: a valid id never needs JSON escaping, so both sides can stamp and
+/// strip the field with plain byte pushes (see [`stamp_trace`] /
+/// [`trace_suffix`]).
+pub fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= TRACE_MAX_LEN
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+}
+
+/// Appends `,"trace":"<id>"` inside the closing brace of the one-object JSON
+/// line in `out`.
+///
+/// Every rendered request and response line ends in `}`, so stamping is one
+/// pop plus a few pushes — no re-render.  Callers guarantee
+/// [`valid_trace_id`]`(id)`.
+pub fn stamp_trace(out: &mut String, id: &str) {
+    debug_assert!(
+        out.ends_with('}'),
+        "stamping requires a rendered JSON object"
+    );
+    debug_assert!(valid_trace_id(id));
+    out.pop();
+    out.push_str(",\"trace\":\"");
+    out.push_str(id);
+    out.push_str("\"}");
+}
+
+/// Recognises a trailing `,"trace":"<id>"}` suffix on a one-object JSON
+/// line, returning the byte offset where the suffix starts and the id.
+///
+/// Sound for any valid JSON line: an unescaped `"` cannot occur inside a
+/// JSON string, so a raw `,"trace":"` directly before the final `"}` can
+/// only be a top-level `trace` member.  Lines where the candidate id fails
+/// [`valid_trace_id`] are left alone and fall through to the full parser.
+pub fn trace_suffix(line: &str) -> Option<(usize, &str)> {
+    let rest = line.strip_suffix("\"}")?;
+    let start = rest.rfind(",\"trace\":\"")?;
+    let id = &rest[start + ",\"trace\":\"".len()..];
+    valid_trace_id(id).then_some((start, id))
+}
 
 /// One design point named by a query (the request-side mirror of
 /// [`srra_explore::DesignPoint`], with everything by name).
@@ -208,6 +259,14 @@ pub enum Request {
     Ping,
     /// Server statistics.
     Stats,
+    /// Telemetry scrape: every instrument of the server's registry merged
+    /// with the process-global one, as JSON or as a Prometheus-style text
+    /// exposition (see `docs/observability.md`).
+    Metrics {
+        /// `false` answers [`Response::Metrics`] (JSON), `true` answers
+        /// [`Response::MetricsText`] (Prometheus-style exposition).
+        prometheus: bool,
+    },
     /// Graceful shutdown: the server acknowledges, stops accepting, drains
     /// in-flight connections and exits.
     Shutdown,
@@ -232,6 +291,10 @@ impl Request {
             Request::Put { records } => render_put_request(out, records),
             Request::Ping => out.push_str(r#"{"op":"ping"}"#),
             Request::Stats => out.push_str(r#"{"op":"stats"}"#),
+            Request::Metrics { prometheus: false } => out.push_str(r#"{"op":"metrics"}"#),
+            Request::Metrics { prometheus: true } => {
+                out.push_str(r#"{"op":"metrics","format":"prometheus"}"#)
+            }
             Request::Shutdown => out.push_str(r#"{"op":"shutdown"}"#),
         }
     }
@@ -308,9 +371,52 @@ impl Request {
             }
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "metrics" => match value.get("format").map(JsonValue::as_str) {
+                None => Ok(Request::Metrics { prometheus: false }),
+                Some(Some("json")) => Ok(Request::Metrics { prometheus: false }),
+                Some(Some("prometheus" | "prom")) => Ok(Request::Metrics { prometheus: true }),
+                Some(other) => Err(format!(
+                    "`metrics` format must be \"json\" or \"prometheus\", got {other:?}"
+                )),
+            },
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         }
+    }
+
+    /// Decodes one request line together with its optional `trace` id.
+    ///
+    /// Clients render the `trace` member last (see [`stamp_trace`]), so the
+    /// common cases — no trace at all, or a traced hot-path `get` — are
+    /// answered without re-framing the line; only traced non-`get` requests
+    /// pay one small copy to strip the suffix before the general parser.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::parse`].
+    pub fn parse_with_trace(line: &str) -> Result<(Self, Option<String>), String> {
+        let Some((start, id)) = trace_suffix(line) else {
+            return Ok((Self::parse(line)?, None));
+        };
+        let trace = Some(id.to_owned());
+        let body = &line[..start];
+        // Traced twin of the hot `get` fast path in [`Request::parse`].
+        if let Some(text) = body.strip_prefix("{\"op\":\"get\",\"canonical\":\"") {
+            if let Some(text) = text.strip_suffix('"') {
+                if !text.contains('\\') && !text.contains('"') {
+                    return Ok((
+                        Request::Get {
+                            canonical: text.to_owned(),
+                        },
+                        trace,
+                    ));
+                }
+            }
+        }
+        let mut stripped = String::with_capacity(body.len() + 1);
+        stripped.push_str(body);
+        stripped.push('}');
+        Ok((Self::parse(&stripped)?, trace))
     }
 }
 
@@ -334,6 +440,13 @@ pub struct OpStats {
 pub struct ServerStats {
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
+    /// Whole seconds since the server started (the human-friendly twin of
+    /// `uptime_ms`; derived from it when talking to a server that predates
+    /// the field).
+    pub uptime_secs: u64,
+    /// The server's `srra-serve` crate version, empty when talking to a
+    /// server that predates the field.
+    pub version: String,
     /// Connections accepted.
     pub connections: u64,
     /// Requests handled (all ops).
@@ -370,6 +483,11 @@ impl ServerStats {
                 JsonValue::Number(self.uptime_ms.to_string()),
             ),
             (
+                "uptime_secs".to_owned(),
+                JsonValue::Number(self.uptime_secs.to_string()),
+            ),
+            ("version".to_owned(), JsonValue::Text(self.version.clone())),
+            (
                 "connections".to_owned(),
                 JsonValue::Number(self.connections.to_string()),
             ),
@@ -389,6 +507,10 @@ impl ServerStats {
             (
                 "records".to_owned(),
                 JsonValue::Number(self.records().to_string()),
+            ),
+            (
+                "shard_count".to_owned(),
+                JsonValue::Number(self.shard_records.len().to_string()),
             ),
             (
                 "shards".to_owned(),
@@ -463,8 +585,22 @@ impl ServerStats {
                 });
             }
         }
+        let uptime_ms = num("uptime_ms")?;
+        // Absent on servers that predate the field (as are `version` and the
+        // redundant `shard_count`): tolerate, deriving what we can.
+        let uptime_secs = value
+            .get("uptime_secs")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(uptime_ms / 1000);
+        let version = value
+            .get("version")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_owned();
         Ok(Self {
-            uptime_ms: num("uptime_ms")?,
+            uptime_ms,
+            uptime_secs,
+            version,
             connections: num("connections")?,
             requests: num("requests")?,
             hits: num("hits")?,
@@ -547,6 +683,16 @@ pub enum Response {
     Pong,
     /// `stats` answer.
     Stats(ServerStats),
+    /// `metrics` answer in JSON form: the merged per-server + process-global
+    /// instrument snapshot.
+    Metrics(MetricsSnapshot),
+    /// `metrics` answer in Prometheus-style text form, carried as one JSON
+    /// string member (the exposition itself is multi-line; the wire line is
+    /// still one line).
+    MetricsText {
+        /// The rendered exposition, `\n`-separated inside the JSON string.
+        text: String,
+    },
     /// `shutdown` acknowledgement.
     ShuttingDown,
     /// Any failure; the connection stays open.
@@ -656,6 +802,16 @@ impl Response {
             Response::Stats(stats) => {
                 out.push_str("{\"ok\":true,\"stats\":");
                 stats.to_value().render_into(out);
+                out.push('}');
+            }
+            Response::Metrics(snapshot) => {
+                out.push_str("{\"ok\":true,\"metrics\":");
+                snapshot.render_json_into(out);
+                out.push('}');
+            }
+            Response::MetricsText { text } => {
+                out.push_str("{\"ok\":true,\"exposition\":");
+                render_string(out, text);
                 out.push('}');
             }
             Response::ShuttingDown => out.push_str(r#"{"ok":true,"shutting_down":true}"#),
@@ -769,11 +925,73 @@ impl Response {
         if let Some(stats) = value.get("stats") {
             return Ok(Response::Stats(ServerStats::from_value(stats)?));
         }
+        if let Some(metrics) = value.get("metrics") {
+            return Ok(Response::Metrics(snapshot_from_value(metrics)?));
+        }
+        if let Some(text) = value.get("exposition").and_then(JsonValue::as_str) {
+            return Ok(Response::MetricsText {
+                text: text.to_owned(),
+            });
+        }
         if value.get("shutting_down").and_then(JsonValue::as_bool) == Some(true) {
             return Ok(Response::ShuttingDown);
         }
         Err("unrecognised response shape".to_owned())
     }
+}
+
+/// Decodes the `metrics` reply body back into a [`MetricsSnapshot`].
+///
+/// Metric names are re-validated on the way in (they render unescaped on
+/// the way out), and histogram bucket arrays may be shorter than the local
+/// bucket count — a trailing-zero-trimmed or older peer's array zero-pads.
+fn snapshot_from_value(value: &JsonValue) -> Result<MetricsSnapshot, String> {
+    let mut snapshot = MetricsSnapshot::default();
+    let entries = |name: &str| -> Result<&[(String, JsonValue)], String> {
+        match value.get(name) {
+            None => Ok(&[]),
+            Some(JsonValue::Object(entries)) => Ok(entries),
+            Some(_) => Err(format!("metrics `{name}` must be an object")),
+        }
+    };
+    for (name, entry) in entries("counters")? {
+        if !valid_metric_name(name) {
+            return Err(format!("illegal metric name {name:?}"));
+        }
+        let count = entry
+            .as_u64()
+            .ok_or_else(|| format!("counter `{name}` must be a non-negative number"))?;
+        snapshot.counters.push((name.clone(), count));
+    }
+    for (name, entry) in entries("gauges")? {
+        if !valid_metric_name(name) {
+            return Err(format!("illegal metric name {name:?}"));
+        }
+        let JsonValue::Number(raw) = entry else {
+            return Err(format!("gauge `{name}` must be a number"));
+        };
+        let level = raw
+            .parse::<i64>()
+            .map_err(|_| format!("gauge `{name}` must be an integer"))?;
+        snapshot.gauges.push((name.clone(), level));
+    }
+    for (name, entry) in entries("histograms")? {
+        if !valid_metric_name(name) {
+            return Err(format!("illegal metric name {name:?}"));
+        }
+        let buckets = entry
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("histogram `{name}` needs a `buckets` array"))?
+            .iter()
+            .map(JsonValue::as_u64)
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| format!("histogram `{name}` buckets must be numbers"))?;
+        let buckets = HistogramSnapshot::from_buckets(&buckets)
+            .ok_or_else(|| format!("histogram `{name}` carries too many buckets"))?;
+        snapshot.histograms.push((name.clone(), buckets));
+    }
+    Ok(snapshot)
 }
 
 /// Parses the `hits`/`evaluated` totals shared by the explore-shaped replies.
@@ -821,6 +1039,8 @@ mod tests {
     fn sample_stats() -> ServerStats {
         ServerStats {
             uptime_ms: 1234,
+            uptime_secs: 1,
+            version: "0.1.0".to_owned(),
             connections: 5,
             requests: 17,
             hits: 10,
@@ -842,6 +1062,16 @@ mod tests {
                 },
             ],
         }
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let registry = srra_obs::Registry::new();
+        registry.counter("serve_requests_total").add(7);
+        registry.gauge("serve_open_connections").set(-1);
+        let latency = registry.histogram("serve_op_get_latency_us");
+        latency.record_micros(40);
+        latency.record_micros(5_000);
+        registry.snapshot()
     }
 
     #[test]
@@ -877,6 +1107,8 @@ mod tests {
             },
             Request::Ping,
             Request::Stats,
+            Request::Metrics { prometheus: false },
+            Request::Metrics { prometheus: true },
             Request::Shutdown,
         ];
         for request in requests {
@@ -936,6 +1168,10 @@ mod tests {
             Response::Stored { stored: 2 },
             Response::Pong,
             Response::Stats(sample_stats()),
+            Response::Metrics(sample_snapshot()),
+            Response::MetricsText {
+                text: "# TYPE serve_requests_total counter\nserve_requests_total 7\n".to_owned(),
+            },
             Response::ShuttingDown,
             Response::Error {
                 message: "unknown kernel `nope`".to_owned(),
@@ -971,6 +1207,100 @@ mod tests {
         };
         assert_eq!(stats.shard_records, vec![1, 2]);
         assert!(stats.ops.is_empty());
+        assert_eq!(stats.uptime_secs, 0, "derived from uptime_ms when absent");
+        assert_eq!(stats.version, "", "absent on old servers");
+    }
+
+    #[test]
+    fn stats_carry_uptime_version_and_shard_count() {
+        let rendered = sample_stats().to_value().render();
+        assert!(rendered.contains("\"uptime_secs\":1"));
+        assert!(rendered.contains("\"version\":\"0.1.0\""));
+        assert!(rendered.contains("\"shard_count\":4"));
+    }
+
+    #[test]
+    fn trace_ids_stamp_and_strip_on_any_line() {
+        let mut line = Request::Stats.render();
+        stamp_trace(&mut line, "sweep-7.a");
+        assert_eq!(line, r#"{"op":"stats","trace":"sweep-7.a"}"#);
+        let (request, trace) = Request::parse_with_trace(&line).unwrap();
+        assert_eq!(request, Request::Stats);
+        assert_eq!(trace.as_deref(), Some("sweep-7.a"));
+
+        // The traced hot-path `get` still decodes, trace included.
+        let mut line = Request::Get {
+            canonical: "kernel=fir;algo=CPA-RA;budget=32".to_owned(),
+        }
+        .render();
+        stamp_trace(&mut line, "t1");
+        let (request, trace) = Request::parse_with_trace(&line).unwrap();
+        assert_eq!(
+            request,
+            Request::Get {
+                canonical: "kernel=fir;algo=CPA-RA;budget=32".to_owned()
+            }
+        );
+        assert_eq!(trace.as_deref(), Some("t1"));
+
+        // Responses stamp the same way; `trace_suffix` locates the id.
+        let mut reply = Response::Pong.render();
+        stamp_trace(&mut reply, "t1");
+        let (start, id) = trace_suffix(&reply).expect("stamped reply carries the id");
+        assert_eq!(id, "t1");
+        assert!(reply[..start].starts_with(r#"{"ok":true"#));
+    }
+
+    #[test]
+    fn untraced_lines_and_bad_ids_have_no_trace() {
+        assert_eq!(
+            Request::parse_with_trace(r#"{"op":"ping"}"#).unwrap(),
+            (Request::Ping, None)
+        );
+        // A canonical that *contains* the marker text is escaped on the wire,
+        // so the suffix scanner never fires inside a string.
+        let tricky = Request::Get {
+            canonical: "x\",\"trace\":\"oops".to_owned(),
+        };
+        let line = tricky.render();
+        assert_eq!(trace_suffix(&line), None);
+        assert_eq!(Request::parse_with_trace(&line).unwrap(), (tricky, None));
+        // Over-long or ill-charactered ids are not trace suffixes.
+        assert!(!valid_trace_id(""));
+        assert!(!valid_trace_id(&"x".repeat(TRACE_MAX_LEN + 1)));
+        assert!(!valid_trace_id("no spaces"));
+        assert!(valid_trace_id("ok-id_1.2"));
+    }
+
+    #[test]
+    fn metrics_requests_validate_their_format() {
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics","format":"prom"}"#).unwrap(),
+            Request::Metrics { prometheus: true }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics","format":"json"}"#).unwrap(),
+            Request::Metrics { prometheus: false }
+        );
+        assert!(Request::parse(r#"{"op":"metrics","format":"xml"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"metrics","format":3}"#).is_err());
+    }
+
+    #[test]
+    fn metrics_replies_reject_illegal_names_and_oversized_buckets() {
+        assert!(Response::parse(r#"{"ok":true,"metrics":{"counters":{"bad name":1}}}"#).is_err());
+        assert!(Response::parse(r#"{"ok":true,"metrics":{"gauges":{"g":1.5}}}"#).is_err());
+        let buckets = vec!["1"; srra_obs::LATENCY_BUCKETS + 1].join(",");
+        let line = format!(
+            r#"{{"ok":true,"metrics":{{"histograms":{{"h":{{"buckets":[{buckets}]}}}}}}}}"#
+        );
+        assert!(Response::parse(&line).is_err());
+        // Short bucket arrays (older peer, or trailing zeros trimmed) pad.
+        let line = r#"{"ok":true,"metrics":{"histograms":{"h":{"buckets":[0,2]}}}}"#;
+        let Response::Metrics(snapshot) = Response::parse(line).unwrap() else {
+            panic!("expected metrics");
+        };
+        assert_eq!(snapshot.histogram("h").map(|h| h.count()), Some(2));
     }
 
     #[test]

@@ -27,12 +27,12 @@
 //!   never waits for clients (the cluster router keeps connections open
 //!   indefinitely) to hang up first.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use srra_core::{AllocatorRegistry, CompiledKernel};
@@ -40,8 +40,11 @@ use srra_explore::{evaluate_point, DesignPoint, PointRecord};
 use srra_fpga::DeviceModel;
 use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
+use srra_obs::{Counter, Gauge, Histogram, Registry};
 
-use crate::protocol::{OpStats, PointOutcome, QueryPoint, Request, Response, ServerStats};
+use crate::protocol::{
+    stamp_trace, OpStats, PointOutcome, QueryPoint, Request, Response, ServerStats,
+};
 use crate::shard::{ShardError, ShardedStore};
 
 /// Errors starting or running a [`Server`].
@@ -87,35 +90,56 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Worker threads serving connections.
     pub workers: usize,
+    /// Threshold of the slow-query log in microseconds; 0 disables it.  A
+    /// request (or a single on-demand evaluation) at or over the threshold
+    /// logs one stderr line carrying its op, shard and trace id, so a slow
+    /// `mexplore` is attributable without a debugger attached.
+    pub slow_query_us: u64,
+    /// Interval of the opt-in periodic stats-reporter thread in seconds; 0
+    /// (the default) runs no reporter.  The reporter prints one-line
+    /// progress summaries to stderr, event-manager style.
+    pub report_interval_secs: u64,
 }
 
 impl ServerConfig {
     /// A loopback/ephemeral-port configuration over `cache_dir` with 4 shards
-    /// and 4 workers.
+    /// and 4 workers (no slow-query log, no reporter).
     pub fn ephemeral(cache_dir: impl Into<PathBuf>) -> Self {
         Self {
             addr: "127.0.0.1:0".to_owned(),
             cache_dir: cache_dir.into(),
             shards: 4,
             workers: 4,
+            slow_query_us: 0,
+            report_interval_secs: 0,
         }
     }
 }
 
-/// The in-flight table: keys currently being evaluated by some worker.
+/// The in-flight table: keys currently being evaluated by some worker, each
+/// carrying the claimant request's trace id (when it had one) so waiters can
+/// attribute their stall.
 #[derive(Debug, Default)]
 struct Inflight {
-    keys: Mutex<HashSet<u64>>,
+    keys: Mutex<HashMap<u64, Option<String>>>,
     done: Condvar,
 }
 
 impl Inflight {
-    /// Claims `key` for evaluation; `false` means another worker holds it.
-    fn claim(&self, key: u64) -> bool {
-        self.keys
+    /// Claims `key` for evaluation on behalf of `trace`; `false` means
+    /// another worker holds it.
+    fn claim(&self, key: u64, trace: Option<&str>) -> bool {
+        let mut keys = self
+            .keys
             .lock()
-            .expect("no worker panics while holding the in-flight lock")
-            .insert(key)
+            .expect("no worker panics while holding the in-flight lock");
+        match keys.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(trace.map(str::to_owned));
+                true
+            }
+        }
     }
 
     /// Releases `key` and wakes every waiter.
@@ -130,18 +154,24 @@ impl Inflight {
     }
 
     /// Blocks until `key` is not claimed (returns immediately if it already
-    /// is not).
-    fn wait_released(&self, key: u64) {
+    /// is not), returning the trace id of the claimant that was waited on,
+    /// if it had one.
+    fn wait_released(&self, key: u64) -> Option<String> {
         let mut keys = self
             .keys
             .lock()
             .expect("no worker panics while holding the in-flight lock");
-        while keys.contains(&key) {
+        let mut claimant = None;
+        while let Some(trace) = keys.get(&key) {
+            if claimant.is_none() {
+                claimant.clone_from(trace);
+            }
             keys = self
                 .done
                 .wait(keys)
                 .expect("no worker panics while holding the in-flight lock");
         }
+        claimant
     }
 }
 
@@ -156,82 +186,79 @@ enum Op {
     Put,
     Ping,
     Stats,
+    Metrics,
     Shutdown,
     Invalid,
 }
 
 /// Wire names of the ops, indexed by `Op as usize`.
-const OP_NAMES: [&str; 9] = [
-    "get", "mget", "explore", "mexplore", "put", "ping", "stats", "shutdown", "invalid",
+const OP_NAMES: [&str; 10] = [
+    "get", "mget", "explore", "mexplore", "put", "ping", "stats", "metrics", "shutdown", "invalid",
 ];
 
-/// Latency buckets: bucket `i` (i ≥ 1) covers `[2^(i-1), 2^i)` microseconds,
-/// bucket 0 holds sub-microsecond requests.  26 buckets reach ~33 s, far
-/// beyond any real service time; slower requests clamp into the last bucket.
-const LATENCY_BUCKETS: usize = 26;
-
-/// A fixed-bucket, lock-free latency histogram (power-of-two microseconds).
-#[derive(Debug, Default)]
-struct Histogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-}
-
-impl Histogram {
-    fn record(&self, elapsed: Duration) {
-        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        let index = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[index].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The value (bucket upper bound in µs) below which `fraction` of the
-    /// recorded samples fall; 0 when nothing was recorded.
-    fn quantile(&self, fraction: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|bucket| bucket.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * fraction).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (index, count) in counts.iter().enumerate() {
-            seen += count;
-            if seen >= target {
-                // Upper bound of bucket i: 2^i - 1 µs (bucket 0 → 0 µs).
-                return (1u64 << index) - 1;
-            }
-        }
-        (1u64 << (LATENCY_BUCKETS - 1)) - 1
-    }
-}
-
-/// Count + latency histogram of one op.
-#[derive(Debug, Default)]
+/// Count + latency histogram of one op (handles into the server registry).
+#[derive(Debug)]
 struct OpCounter {
-    count: AtomicU64,
-    latency: Histogram,
+    count: Arc<Counter>,
+    latency: Arc<Histogram>,
 }
 
-/// Monotonic counters exposed through `stats`.
-#[derive(Debug, Default)]
+/// The server's instruments: handles into its per-server [`Registry`], so
+/// every count below is also scrapeable through the `metrics` op under the
+/// `serve_` prefix.  Recording is handle-direct (no name lookup, no lock) —
+/// the same discipline the private atomics had before they moved here.
+#[derive(Debug)]
 struct Counters {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evaluated: AtomicU64,
+    connections: Arc<Counter>,
+    requests: Arc<Counter>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evaluated: Arc<Counter>,
+    /// Requests carrying a `trace` id.
+    traced_requests: Arc<Counter>,
+    /// Requests (or single evaluations) at or over the slow-query threshold.
+    slow_queries: Arc<Counter>,
+    /// Misses that claimed the in-flight table and evaluated themselves.
+    inflight_claims: Arc<Counter>,
+    /// Misses that blocked on another worker's in-flight evaluation.
+    inflight_waits: Arc<Counter>,
+    /// Currently open client connections.
+    open_connections: Arc<Gauge>,
+    /// Request-line decode time (codec parse, per request).
+    codec_parse_us: Arc<Histogram>,
+    /// Response-line encode time (codec render, per request).
+    codec_render_us: Arc<Histogram>,
     /// Per-op accounting, indexed by `Op as usize`.
     ops: [OpCounter; OP_NAMES.len()],
 }
 
 impl Counters {
+    /// Registers every instrument in `registry`.
+    fn register(registry: &Registry) -> Self {
+        Self {
+            connections: registry.counter("serve_connections_total"),
+            requests: registry.counter("serve_requests_total"),
+            hits: registry.counter("serve_hits_total"),
+            misses: registry.counter("serve_misses_total"),
+            evaluated: registry.counter("serve_evaluated_total"),
+            traced_requests: registry.counter("serve_traced_requests_total"),
+            slow_queries: registry.counter("serve_slow_queries_total"),
+            inflight_claims: registry.counter("serve_inflight_claims_total"),
+            inflight_waits: registry.counter("serve_inflight_waits_total"),
+            open_connections: registry.gauge("serve_open_connections"),
+            codec_parse_us: registry.histogram("serve_codec_parse_us"),
+            codec_render_us: registry.histogram("serve_codec_render_us"),
+            ops: std::array::from_fn(|index| OpCounter {
+                count: registry.counter(&format!("serve_op_{}_total", OP_NAMES[index])),
+                latency: registry.histogram(&format!("serve_op_{}_latency_us", OP_NAMES[index])),
+            }),
+        }
+    }
+
     /// Records one handled request of `op` that took `elapsed` to serve.
     fn record_op(&self, op: Op, elapsed: Duration) {
         let counter = &self.ops[op as usize];
-        counter.count.fetch_add(1, Ordering::Relaxed);
+        counter.count.inc();
         counter.latency.record(elapsed);
     }
 
@@ -242,7 +269,7 @@ impl Counters {
             .zip(&self.ops)
             .map(|(name, counter)| OpStats {
                 op: (*name).to_owned(),
-                count: counter.count.load(Ordering::Relaxed),
+                count: counter.count.get(),
                 p50_us: counter.latency.quantile(0.50),
                 p99_us: counter.latency.quantile(0.99),
             })
@@ -255,7 +282,13 @@ struct ServerState {
     store: ShardedStore,
     kernels: HashMap<String, CompiledKernel>,
     inflight: Inflight,
+    /// This server's instrument registry; the `metrics` op merges it with
+    /// [`Registry::global`] (where the explore engine, the sharded store and
+    /// the wire clients record).
+    registry: Registry,
     counters: Counters,
+    /// Slow-query log threshold in microseconds; 0 disables the log.
+    slow_query_us: u64,
     shutdown: AtomicBool,
     started: Instant,
     /// Read-shutdown handles of the currently open connections, keyed by a
@@ -279,6 +312,7 @@ impl ServerState {
             .lock()
             .expect("no worker panics while holding the connection table lock")
             .insert(id, handle);
+        self.counters.open_connections.inc();
         if self.shutdown.load(Ordering::SeqCst) {
             let _ = stream.shutdown(std::net::Shutdown::Read);
         }
@@ -291,6 +325,7 @@ impl ServerState {
             .lock()
             .expect("no worker panics while holding the connection table lock")
             .remove(&id);
+        self.counters.open_connections.dec();
     }
 
     /// Wakes every open connection's worker by shutting down the socket read
@@ -369,6 +404,7 @@ pub struct Server {
     local_addr: SocketAddr,
     state: ServerState,
     workers: usize,
+    report_interval: Duration,
 }
 
 impl Server {
@@ -387,6 +423,8 @@ impl Server {
         for spec in paper_suite() {
             kernels.insert(spec.kernel.name().to_owned(), spec.compiled());
         }
+        let registry = Registry::new();
+        let counters = Counters::register(&registry);
         Ok(Self {
             listener,
             local_addr,
@@ -394,13 +432,16 @@ impl Server {
                 store,
                 kernels,
                 inflight: Inflight::default(),
-                counters: Counters::default(),
+                registry,
+                counters,
+                slow_query_us: config.slow_query_us,
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
                 open_connections: Mutex::new(HashMap::new()),
                 next_connection_id: AtomicU64::new(0),
             },
             workers: config.workers.max(1),
+            report_interval: Duration::from_secs(config.report_interval_secs),
         })
     }
 
@@ -422,6 +463,7 @@ impl Server {
             local_addr,
             state,
             workers,
+            report_interval,
         } = self;
         let (sender, receiver) = mpsc::channel::<TcpStream>();
         let receiver = Mutex::new(receiver);
@@ -440,51 +482,94 @@ impl Server {
                     }
                 });
             }
-            for incoming in listener.incoming() {
-                if state_ref.shutdown.load(Ordering::SeqCst) {
-                    break; // The wake-up connection is dropped unserved.
-                }
-                match incoming {
-                    Ok(stream) => {
-                        state_ref
-                            .counters
-                            .connections
-                            .fetch_add(1, Ordering::Relaxed);
-                        if sender.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                    // Transient accept-level failures (peer reset before the
-                    // accept, interrupted syscall) concern one connection,
-                    // not the listener — keep serving.
-                    Err(err)
-                        if matches!(
-                            err.kind(),
-                            std::io::ErrorKind::ConnectionAborted
-                                | std::io::ErrorKind::ConnectionReset
-                                | std::io::ErrorKind::Interrupted
-                                | std::io::ErrorKind::WouldBlock
-                        ) => {}
-                    Err(err) => return Err(err.into()),
-                }
+            if !report_interval.is_zero() {
+                scope.spawn(move || run_reporter(state_ref, report_interval));
             }
+            // The accept loop runs inside a closure so *every* exit — clean
+            // shutdown, worker-channel teardown, fatal listener error — falls
+            // through to the shutdown-flag store below; the reporter thread
+            // polls that flag and would otherwise pin the scope open forever
+            // on the error path.
+            let accepting = || -> Result<(), ServeError> {
+                for incoming in listener.incoming() {
+                    if state_ref.shutdown.load(Ordering::SeqCst) {
+                        break; // The wake-up connection is dropped unserved.
+                    }
+                    match incoming {
+                        Ok(stream) => {
+                            state_ref.counters.connections.inc();
+                            if sender.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        // Transient accept-level failures (peer reset before
+                        // the accept, interrupted syscall) concern one
+                        // connection, not the listener — keep serving.
+                        Err(err)
+                            if matches!(
+                                err.kind(),
+                                std::io::ErrorKind::ConnectionAborted
+                                    | std::io::ErrorKind::ConnectionReset
+                                    | std::io::ErrorKind::Interrupted
+                                    | std::io::ErrorKind::WouldBlock
+                            ) => {}
+                        Err(err) => return Err(err.into()),
+                    }
+                }
+                Ok(())
+            };
+            let outcome = accepting();
+            state_ref.shutdown.store(true, Ordering::SeqCst);
             drop(sender);
-            Ok(())
+            outcome
         })?;
         let stats = snapshot_stats(&state)?;
         Ok(ServerReport { stats })
     }
 }
 
+/// The opt-in periodic stats reporter: one summary line to stderr every
+/// `interval`, sleeping in short slices so shutdown is never delayed by a
+/// long interval.
+fn run_reporter(state: &ServerState, interval: Duration) {
+    let mut next = Instant::now() + interval;
+    let mut last_requests = 0u64;
+    while !state.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+        if Instant::now() < next {
+            continue;
+        }
+        next += interval;
+        let requests = state.counters.requests.get();
+        let get_latency = &state.counters.ops[Op::Get as usize].latency;
+        eprintln!(
+            "srra-serve report: uptime_secs={} requests={} (+{}) hits={} misses={} evaluated={} open_connections={} get_p50_us={} get_p99_us={}",
+            state.started.elapsed().as_secs(),
+            requests,
+            requests - last_requests,
+            state.counters.hits.get(),
+            state.counters.misses.get(),
+            state.counters.evaluated.get(),
+            state.counters.open_connections.get(),
+            get_latency.quantile(0.50),
+            get_latency.quantile(0.99),
+        );
+        last_requests = requests;
+    }
+}
+
 /// Builds the current [`ServerStats`] from the shared state.
 fn snapshot_stats(state: &ServerState) -> Result<ServerStats, ServeError> {
+    let uptime = state.started.elapsed();
     Ok(ServerStats {
-        uptime_ms: state.started.elapsed().as_millis() as u64,
-        connections: state.counters.connections.load(Ordering::Relaxed),
-        requests: state.counters.requests.load(Ordering::Relaxed),
-        hits: state.counters.hits.load(Ordering::Relaxed),
-        misses: state.counters.misses.load(Ordering::Relaxed),
-        evaluated: state.counters.evaluated.load(Ordering::Relaxed),
+        uptime_ms: uptime.as_millis() as u64,
+        uptime_secs: uptime.as_secs(),
+        version: env!("CARGO_PKG_VERSION").to_owned(),
+        connections: state.counters.connections.get(),
+        requests: state.counters.requests.get(),
+        hits: state.counters.hits.get(),
+        misses: state.counters.misses.get(),
+        evaluated: state.counters.evaluated.get(),
         shard_records: state.store.shard_sizes()?,
         ops: state.counters.op_stats(),
     })
@@ -538,20 +623,38 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
             continue;
         }
         let started = Instant::now();
-        state.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, op, shutdown) = match Request::parse(request_line) {
+        state.counters.requests.inc();
+        let parsed = Request::parse_with_trace(request_line);
+        state.counters.codec_parse_us.record(started.elapsed());
+        let trace = match &parsed {
+            Ok((_, trace)) => {
+                if trace.is_some() {
+                    state.counters.traced_requests.inc();
+                }
+                trace.clone()
+            }
+            Err(_) => None,
+        };
+        let trace_ref = trace.as_deref();
+        let (response, op, shutdown) = match parsed {
             Err(message) => (Response::Error { message }, Op::Invalid, false),
-            Ok(Request::Get { canonical }) => (handle_get(state, &canonical), Op::Get, false),
-            Ok(Request::MultiGet { canonicals }) => {
+            Ok((Request::Get { canonical }, _)) => (handle_get(state, &canonical), Op::Get, false),
+            Ok((Request::MultiGet { canonicals }, _)) => {
                 (handle_mget(state, &canonicals), Op::MultiGet, false)
             }
-            Ok(Request::Explore { points }) => (handle_explore(state, &points), Op::Explore, false),
-            Ok(Request::MultiExplore { points }) => {
-                (handle_mexplore(state, &points), Op::MultiExplore, false)
-            }
-            Ok(Request::Put { records }) => (handle_put(state, &records), Op::Put, false),
-            Ok(Request::Ping) => (Response::Pong, Op::Ping, false),
-            Ok(Request::Stats) => (
+            Ok((Request::Explore { points }, _)) => (
+                handle_explore(state, &points, trace_ref),
+                Op::Explore,
+                false,
+            ),
+            Ok((Request::MultiExplore { points }, _)) => (
+                handle_mexplore(state, &points, trace_ref),
+                Op::MultiExplore,
+                false,
+            ),
+            Ok((Request::Put { records }, _)) => (handle_put(state, &records), Op::Put, false),
+            Ok((Request::Ping, _)) => (Response::Pong, Op::Ping, false),
+            Ok((Request::Stats, _)) => (
                 match snapshot_stats(state) {
                     Ok(stats) => Response::Stats(stats),
                     Err(err) => Response::Error {
@@ -561,11 +664,24 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
                 Op::Stats,
                 false,
             ),
-            Ok(Request::Shutdown) => (Response::ShuttingDown, Op::Shutdown, true),
+            Ok((Request::Metrics { prometheus }, _)) => {
+                (handle_metrics(state, prometheus), Op::Metrics, false)
+            }
+            Ok((Request::Shutdown, _)) => (Response::ShuttingDown, Op::Shutdown, true),
         };
+        let render_started = Instant::now();
         rendered.clear();
         response.render_into(&mut rendered);
+        // Echo the request's trace id in the reply, rendered last so clients
+        // strip it the same cheap way the server did.
+        if let Some(trace) = trace_ref {
+            stamp_trace(&mut rendered, trace);
+        }
         rendered.push('\n');
+        state
+            .counters
+            .codec_render_us
+            .record(render_started.elapsed());
         let mut sent = writer.write_all(rendered.as_bytes());
         // Defer the flush only while the read buffer still holds a complete
         // *non-blank* request line — one guaranteed to produce another
@@ -585,7 +701,17 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
         if sent.is_ok() && !another_request_buffered {
             sent = writer.flush();
         }
-        state.counters.record_op(op, started.elapsed());
+        let elapsed = started.elapsed();
+        state.counters.record_op(op, elapsed);
+        if state.slow_query_us > 0 && elapsed.as_micros() >= u128::from(state.slow_query_us) {
+            state.counters.slow_queries.inc();
+            eprintln!(
+                "srra-serve slow-query: op={} elapsed_us={} trace={}",
+                OP_NAMES[op as usize],
+                elapsed.as_micros(),
+                trace_ref.unwrap_or("-"),
+            );
+        }
         if shutdown {
             let _ = writer.flush();
             state.shutdown.store(true, Ordering::SeqCst);
@@ -603,16 +729,31 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
     }
 }
 
+/// Answers a `metrics` scrape: this server's registry merged with the
+/// process-global one (explore engine, sharded store, wire clients), as JSON
+/// or as a Prometheus-style text exposition.
+fn handle_metrics(state: &ServerState, prometheus: bool) -> Response {
+    let mut snapshot = state.registry.snapshot();
+    snapshot.merge(&Registry::global().snapshot());
+    if prometheus {
+        Response::MetricsText {
+            text: snapshot.render_prometheus(),
+        }
+    } else {
+        Response::Metrics(snapshot)
+    }
+}
+
 /// Answers a `get`: pure lookup, never evaluates.
 fn handle_get(state: &ServerState, canonical: &str) -> Response {
     let key = srra_explore::fnv1a_64(canonical.as_bytes());
     match state.store.get_record(key, canonical) {
         Ok(Some(record)) => {
-            state.counters.hits.fetch_add(1, Ordering::Relaxed);
+            state.counters.hits.inc();
             Response::Found { record }
         }
         Ok(None) => {
-            state.counters.misses.fetch_add(1, Ordering::Relaxed);
+            state.counters.misses.inc();
             Response::NotFound
         }
         Err(err) => Response::Error {
@@ -629,11 +770,11 @@ fn handle_mget(state: &ServerState, canonicals: &[String]) -> Response {
         let key = srra_explore::fnv1a_64(canonical.as_bytes());
         match state.store.get_record(key, canonical) {
             Ok(Some(record)) => {
-                state.counters.hits.fetch_add(1, Ordering::Relaxed);
+                state.counters.hits.inc();
                 records.push(Some(record));
             }
             Ok(None) => {
-                state.counters.misses.fetch_add(1, Ordering::Relaxed);
+                state.counters.misses.inc();
                 records.push(None);
             }
             Err(err) => {
@@ -681,12 +822,12 @@ fn handle_put(state: &ServerState, records: &[PointRecord]) -> Response {
 
 /// Answers an `mexplore` batch: like `explore`, but a point that fails to
 /// resolve yields a per-point error instead of failing the whole batch.
-fn handle_mexplore(state: &ServerState, points: &[QueryPoint]) -> Response {
+fn handle_mexplore(state: &ServerState, points: &[QueryPoint], trace: Option<&str>) -> Response {
     let mut outcomes = Vec::with_capacity(points.len());
     let mut hits = 0;
     let mut evaluated = 0;
     for point in points {
-        match answer_point(state, point) {
+        match answer_point(state, point, trace) {
             Ok((record, was_hit)) => {
                 if was_hit {
                     hits += 1;
@@ -710,12 +851,12 @@ fn handle_mexplore(state: &ServerState, points: &[QueryPoint]) -> Response {
 
 /// Answers an `explore` batch: hits from the shards, misses evaluated exactly
 /// once (across all concurrent clients) and written back.
-fn handle_explore(state: &ServerState, points: &[QueryPoint]) -> Response {
+fn handle_explore(state: &ServerState, points: &[QueryPoint], trace: Option<&str>) -> Response {
     let mut records = Vec::with_capacity(points.len());
     let mut hits = 0;
     let mut evaluated = 0;
     for point in points {
-        match answer_point(state, point) {
+        match answer_point(state, point, trace) {
             Ok((record, was_hit)) => {
                 if was_hit {
                     hits += 1;
@@ -736,7 +877,11 @@ fn handle_explore(state: &ServerState, points: &[QueryPoint]) -> Response {
 
 /// Resolves and answers one point; the boolean is `true` when the record came
 /// from the store without this request evaluating it.
-fn answer_point(state: &ServerState, point: &QueryPoint) -> Result<(PointRecord, bool), String> {
+fn answer_point(
+    state: &ServerState,
+    point: &QueryPoint,
+    trace: Option<&str>,
+) -> Result<(PointRecord, bool), String> {
     let kernel = state.kernels.get(&point.kernel).ok_or_else(|| {
         format!(
             "unknown kernel `{}`; expected example, fir, dec_fir, mat, imi, pat or bic",
@@ -761,19 +906,31 @@ fn answer_point(state: &ServerState, point: &QueryPoint) -> Result<(PointRecord,
     loop {
         match state.store.get_record(key, &canonical) {
             Ok(Some(record)) => {
-                state.counters.hits.fetch_add(1, Ordering::Relaxed);
+                state.counters.hits.inc();
                 return Ok((record, first_try));
             }
             Ok(None) => {}
             Err(err) => return Err(err.to_string()),
         }
-        if state.inflight.claim(key) {
-            let outcome = evaluate_claimed(state, kernel, &design_point, key, &canonical);
+        if state.inflight.claim(key, trace) {
+            state.counters.inflight_claims.inc();
+            let outcome = evaluate_claimed(state, kernel, &design_point, key, &canonical, trace);
             state.inflight.release(key);
             return outcome;
         }
         // Another worker is evaluating this key: wait for it, then re-read.
-        state.inflight.wait_released(key);
+        state.counters.inflight_waits.inc();
+        let wait_started = Instant::now();
+        let claimant = state.inflight.wait_released(key);
+        let waited = wait_started.elapsed();
+        if state.slow_query_us > 0 && waited.as_micros() >= u128::from(state.slow_query_us) {
+            eprintln!(
+                "srra-serve slow-wait: canonical={canonical} waited_us={} trace={} claimant_trace={}",
+                waited.as_micros(),
+                trace.unwrap_or("-"),
+                claimant.as_deref().unwrap_or("-"),
+            );
+        }
         first_try = false;
     }
 }
@@ -789,19 +946,33 @@ fn evaluate_claimed(
     design_point: &DesignPoint,
     key: u64,
     canonical: &str,
+    trace: Option<&str>,
 ) -> Result<(PointRecord, bool), String> {
     match state.store.get_record(key, canonical) {
         Ok(Some(record)) => {
-            state.counters.hits.fetch_add(1, Ordering::Relaxed);
+            state.counters.hits.inc();
             Ok((record, false))
         }
         Ok(None) => {
+            let eval_started = Instant::now();
             let record = evaluate_point(kernel, design_point);
+            let eval_elapsed = eval_started.elapsed();
+            if state.slow_query_us > 0
+                && eval_elapsed.as_micros() >= u128::from(state.slow_query_us)
+            {
+                state.counters.slow_queries.inc();
+                eprintln!(
+                    "srra-serve slow-eval: canonical={canonical} shard={} elapsed_us={} trace={}",
+                    state.store.route(key),
+                    eval_elapsed.as_micros(),
+                    trace.unwrap_or("-"),
+                );
+            }
             if let Err(err) = state.store.put_record(&record) {
                 return Err(err.to_string());
             }
-            state.counters.misses.fetch_add(1, Ordering::Relaxed);
-            state.counters.evaluated.fetch_add(1, Ordering::Relaxed);
+            state.counters.misses.inc();
+            state.counters.evaluated.inc();
             Ok((record, false))
         }
         Err(err) => Err(err.to_string()),

@@ -19,9 +19,33 @@
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 use srra_explore::{JsonlError, JsonlStore, PointRecord, ResultStore, StoreBase};
+use srra_obs::{Counter, Histogram, Registry};
+
+/// Handles into [`Registry::global`] for the shard-level instruments,
+/// resolved once so the hot read path never takes the registry's name map.
+struct ShardMetrics {
+    reads: Arc<Counter>,
+    writes: Arc<Counter>,
+    read_wait: Arc<Histogram>,
+    write_wait: Arc<Histogram>,
+}
+
+fn shard_metrics() -> &'static ShardMetrics {
+    static METRICS: OnceLock<ShardMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = Registry::global();
+        ShardMetrics {
+            reads: registry.counter("store_shard_reads_total"),
+            writes: registry.counter("store_shard_writes_total"),
+            read_wait: registry.histogram("store_shard_read_wait_us"),
+            write_wait: registry.histogram("store_shard_write_wait_us"),
+        }
+    })
+}
 
 /// Errors of the sharded backend.
 #[derive(Debug)]
@@ -218,16 +242,26 @@ impl ShardedStore {
     /// Shared read guard on the shard `key` routes to: concurrent with other
     /// readers of the same shard, excluded only by an in-flight append.
     fn shard_read(&self, key: u64) -> RwLockReadGuard<'_, JsonlStore> {
-        self.shards[self.route(key)]
+        let metrics = shard_metrics();
+        let waited = Instant::now();
+        let guard = self.shards[self.route(key)]
             .read()
-            .expect("no shard user panics while holding the lock")
+            .expect("no shard user panics while holding the lock");
+        metrics.read_wait.record(waited.elapsed());
+        metrics.reads.inc();
+        guard
     }
 
     /// Exclusive write guard on the shard `key` routes to.
     fn shard_write(&self, key: u64) -> RwLockWriteGuard<'_, JsonlStore> {
-        self.shards[self.route(key)]
+        let metrics = shard_metrics();
+        let waited = Instant::now();
+        let guard = self.shards[self.route(key)]
             .write()
-            .expect("no shard user panics while holding the lock")
+            .expect("no shard user panics while holding the lock");
+        metrics.write_wait.record(waited.elapsed());
+        metrics.writes.inc();
+        guard
     }
 
     /// Looks up the record for `key`, verifying `canonical` (shared-reference

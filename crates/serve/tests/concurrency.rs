@@ -71,13 +71,7 @@ fn concurrent_mixed_workload_is_correct_and_evaluates_each_miss_once() {
     let distinct = truth.len();
     assert_eq!(distinct, 12);
 
-    let server = Server::bind(&ServerConfig {
-        addr: "127.0.0.1:0".to_owned(),
-        cache_dir: dir.clone(),
-        shards: 4,
-        workers: 4,
-    })
-    .expect("server binds");
+    let server = Server::bind(&ServerConfig::ephemeral(dir.clone())).expect("server binds");
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || server.run().expect("server runs"));
 
@@ -172,10 +166,8 @@ fn concurrent_mixed_workload_is_correct_and_evaluates_each_miss_once() {
     assert_eq!(on_disk, distinct, "all evaluated records persisted");
 
     let warm = Server::bind(&ServerConfig {
-        addr: "127.0.0.1:0".to_owned(),
-        cache_dir: dir.clone(),
-        shards: 4,
         workers: 2,
+        ..ServerConfig::ephemeral(dir.clone())
     })
     .expect("warm server binds");
     let warm_addr = warm.local_addr().to_string();

@@ -1,0 +1,145 @@
+//! End-to-end telemetry over a live socket: trace ids round-trip
+//! client → server → reply, the `metrics` op answers structured JSON and
+//! Prometheus text with non-zero counters after a mixed workload, and the
+//! slow-query threshold turns requests into `serve_slow_queries_total`.
+
+use std::path::PathBuf;
+
+use srra_serve::{Connection, QueryPoint, Server, ServerConfig};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srra-serve-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn traces_round_trip_and_metrics_expose_the_workload() {
+    let dir = scratch_dir("trace");
+    let server = Server::bind(&ServerConfig {
+        shards: 2,
+        workers: 2,
+        ..ServerConfig::ephemeral(dir.clone())
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut connection = Connection::connect(&addr).expect("connect");
+
+    // Untraced requests echo nothing.
+    connection.ping().expect("ping");
+    assert_eq!(connection.last_trace(), None);
+
+    // A traced mixed get/mexplore workload: every reply echoes the id that
+    // was stamped on its request, across op shapes and the reconnecting
+    // round-trip path.
+    connection
+        .set_trace(Some("req-alpha.1"))
+        .expect("valid trace id");
+    let miss = connection
+        .get("kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560")
+        .expect("get");
+    assert!(miss.is_none(), "cold shard misses");
+    assert_eq!(connection.last_trace(), Some("req-alpha.1"));
+
+    let points = vec![
+        QueryPoint::new("fir", "cpa", 32),
+        QueryPoint::new("fir", "fr", 32),
+    ];
+    connection.set_trace(Some("req-alpha.2")).expect("valid");
+    let explored = connection.mexplore(&points).expect("mexplore");
+    assert_eq!(explored.outcomes.len(), 2);
+    assert_eq!(explored.evaluated, 2);
+    assert_eq!(connection.last_trace(), Some("req-alpha.2"));
+
+    // Clearing the trace stops the stamping (and therefore the echo).
+    connection.set_trace(None).expect("clearing is fine");
+    let hit = connection
+        .get("kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560")
+        .expect("warm get");
+    assert!(hit.is_some(), "evaluated above");
+    assert_eq!(connection.last_trace(), None);
+
+    // Bad ids are rejected client-side, before any bytes move.
+    assert!(connection.set_trace(Some("")).is_err());
+    assert!(connection.set_trace(Some("has space")).is_err());
+    assert!(connection.set_trace(Some(&"x".repeat(65))).is_err());
+
+    // The structured metrics snapshot reflects the workload above.
+    let snapshot = connection.metrics().expect("metrics");
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+    assert!(counter("serve_requests_total") >= 4, "{snapshot:?}");
+    assert!(counter("serve_op_get_total") >= 2);
+    assert!(counter("serve_op_mexplore_total") >= 1);
+    assert!(counter("serve_traced_requests_total") >= 2);
+    assert!(counter("serve_hits_total") >= 1);
+    assert!(counter("serve_misses_total") >= 1);
+    assert!(counter("serve_evaluated_total") >= 2);
+    // Global instruments flow through the same scrape (the in-process server
+    // shares this process's global registry, so only non-zero is asserted).
+    assert!(counter("explore_evaluations_total") >= 1);
+    assert!(counter("store_shard_reads_total") >= 1);
+    assert!(counter("client_connects_total") >= 1);
+    assert!(
+        snapshot.gauge("serve_open_connections").unwrap_or(0) >= 1,
+        "this keep-alive connection is open"
+    );
+    let get_latency = snapshot
+        .histogram("serve_op_get_latency_us")
+        .expect("get latency histogram present");
+    assert!(get_latency.count() >= 2);
+    assert!(get_latency.quantile(0.5) <= get_latency.quantile(0.99));
+
+    // The Prometheus exposition is well-formed text over the same data.
+    let text = connection.metrics_text().expect("metrics --prom");
+    assert!(
+        text.contains("# TYPE serve_requests_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("# TYPE serve_open_connections gauge"));
+    assert!(text.contains("# TYPE serve_op_get_latency_us histogram"));
+    assert!(text.contains("serve_op_get_latency_us_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("serve_op_get_latency_us_count"));
+    assert!(
+        !text.contains("serve_requests_total 0\n"),
+        "the workload counters are non-zero: {text}"
+    );
+
+    connection.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn slow_query_threshold_counts_and_logs_slow_requests() {
+    let dir = scratch_dir("slow");
+    // A 0 µs threshold is off; 1 µs makes effectively every evaluating
+    // request "slow", so the counter must move after one cold explore.
+    let server = Server::bind(&ServerConfig {
+        shards: 2,
+        workers: 2,
+        slow_query_us: 1,
+        ..ServerConfig::ephemeral(dir.clone())
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut connection = Connection::connect(&addr).expect("connect");
+    connection.set_trace(Some("slow-probe")).expect("valid");
+    let explored = connection
+        .mexplore(&[QueryPoint::new("mat", "cpa", 16)])
+        .expect("mexplore");
+    assert_eq!(explored.evaluated, 1);
+
+    let snapshot = connection.metrics().expect("metrics");
+    assert!(
+        snapshot.counter("serve_slow_queries_total").unwrap_or(0) >= 1,
+        "a cold evaluation takes well over 1 µs: {snapshot:?}"
+    );
+
+    connection.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

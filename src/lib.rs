@@ -16,6 +16,8 @@
 //! * [`srra_kernels`] — the six evaluation kernels,
 //! * [`srra_explore`] — parallel design-space exploration, result caching and
 //!   Pareto frontiers,
+//! * [`srra_obs`] — process-wide metrics registry (counters, gauges, latency
+//!   histograms) and telemetry snapshots behind the serving stack,
 //! * [`srra_serve`] — the sharded result store and the TCP query-serving
 //!   front end over the exploration cache,
 //! * [`srra_cluster`] — consistent-hash routing, replication and failover
@@ -64,6 +66,7 @@ pub use srra_explore;
 pub use srra_fpga;
 pub use srra_ir;
 pub use srra_kernels;
+pub use srra_obs;
 pub use srra_reuse;
 pub use srra_serve;
 
@@ -78,6 +81,7 @@ pub mod prelude {
     pub use srra_explore::{DesignSpace, Exploration, Explorer, JsonlStore, MemoryStore};
     pub use srra_fpga::{DeviceModel, HardwareDesign};
     pub use srra_ir::{ArrayRef, Kernel, LoopNest};
+    pub use srra_obs::{MetricsSnapshot, Registry};
     pub use srra_reuse::ReuseAnalysis;
     pub use srra_serve::{Client, Connection, QueryPoint, Server, ServerConfig, ShardedStore};
 }
