@@ -5,10 +5,11 @@
 #   3. doc warnings as errors (RUSTDOCFLAGS="-D warnings" cargo doc --no-deps)
 #   4. tier-1 verification (cargo build --release && cargo test -q)
 #   5. serve smoke test    (srra serve + srra query against a live socket,
-#                           incl. one pipelined keep-alive connection)
+#                           incl. one pipelined keep-alive connection and
+#                           the same ops over the binary wire codec)
 #   6. cluster smoke test  (two srra serve nodes + consistent-hash routed
-#                           mget/explore through srra cluster; both nodes
-#                           must receive traffic)
+#                           mget/explore through srra cluster, JSON and
+#                           binary; both nodes must receive traffic)
 #   7. metrics smoke test  (traffic-driven telemetry scrape: JSON snapshot
 #                           with non-zero counters + well-formed Prometheus
 #                           exposition, folded into the steps above)
@@ -80,6 +81,19 @@ sed -n '4p' "$PIPE_OUT" | grep -Eq '"get":\{"count":[1-9]'
 sed -n '4p' "$PIPE_OUT" | grep -Eq '"mget":\{"count":[1-9]'
 sed -n '4p' "$PIPE_OUT" | grep -Eq '"mexplore":\{"count":[1-9]'
 sed -n '4p' "$PIPE_OUT" | grep -Eq '"explore":\{"count":[1-9]'
+# Binary wire codec: the same ops over `--binary` print identical JSON
+# output (the server detects the codec per frame on the shared listener).
+"$SRRA" query --addr "$ADDR" --binary get fir cpa 32 | grep -q '"found":true'
+BPIPE_OUT="$SMOKE_DIR/pipe-binary.out"
+{
+  echo '{"op":"get","canonical":"'"$FIR_CANON"'"}'
+  echo '{"op":"mget","canonicals":["'"$FIR_CANON"'","kernel=nope"]}'
+} | "$SRRA" query --addr "$ADDR" --binary pipe > "$BPIPE_OUT"
+[ "$(wc -l < "$BPIPE_OUT")" -eq 2 ] || { echo "serve smoke: binary pipe reply count"; exit 1; }
+sed -n '1p' "$BPIPE_OUT" | grep -q '"found":true'
+sed -n '2p' "$BPIPE_OUT" | grep -q '"got":\[{.*,null\]'
+cmp -s <(sed -n '1,2p' "$PIPE_OUT") "$BPIPE_OUT" \
+  || { echo "serve smoke: binary and JSON replies differ"; exit 1; }
 # Metrics smoke: after the mixed get/mget/mexplore traffic above, the JSON
 # snapshot reports non-zero serve counters and the exploration-stage globals.
 METRICS_OUT="$SMOKE_DIR/metrics.json"
@@ -96,6 +110,14 @@ grep -Eq '"store_shard_reads_total":[1-9]' "$METRICS_OUT" \
   || { echo "metrics smoke: shard counters missing"; exit 1; }
 grep -q '"histograms":{' "$METRICS_OUT" \
   || { echo "metrics smoke: histograms missing"; exit 1; }
+# Both codec counters saw traffic (JSON queries above, binary get + pipe).
+grep -Eq '"serve_codec_binary_total":[1-9]' "$METRICS_OUT" \
+  || { echo "metrics smoke: binary codec counter is zero"; exit 1; }
+grep -Eq '"serve_codec_json_total":[1-9]' "$METRICS_OUT" \
+  || { echo "metrics smoke: json codec counter is zero"; exit 1; }
+# The startup re-hydration histogram is registered and scraped.
+grep -q '"store_rehydrate_us"' "$METRICS_OUT" \
+  || { echo "metrics smoke: rehydrate histogram missing"; exit 1; }
 # The Prometheus exposition is well-formed: typed families, cumulative
 # buckets ending at +Inf, and a non-zero requests sample.
 PROM_OUT="$SMOKE_DIR/metrics.prom"
@@ -114,12 +136,14 @@ wait "$SERVE_PID"
 SERVE_PID=""
 grep -q "srra-serve stopped" "$SMOKE_DIR/serve.out"
 [ ! -e "$SMOKE_DIR/cache/LOCK" ] || { echo "serve smoke: LOCK left behind"; exit 1; }
-# The evaluated records landed in the shard files.  (grep reads the files
-# itself: a `cat | grep -q` pipeline can trip pipefail when grep exits on
-# the first match while cat is still writing the remaining shards.)
-grep -q '"kernel":"fir"' "$SMOKE_DIR"/cache/shard-*.jsonl \
+# The evaluated records landed in the binary segment shard files: the
+# canonical strings sit as raw UTF-8 bytes inside the record payloads, so a
+# binary-tolerant grep finds them.  (grep reads the files itself: a
+# `cat | grep -q` pipeline can trip pipefail when grep exits on the first
+# match while cat is still writing the remaining shards.)
+grep -aq 'kernel=fir;' "$SMOKE_DIR"/cache/shard-*.seg \
   || { echo "serve smoke: shards are empty"; exit 1; }
-grep -q '"kernel":"mat"' "$SMOKE_DIR"/cache/shard-*.jsonl \
+grep -aq 'kernel=mat;' "$SMOKE_DIR"/cache/shard-*.seg \
   || { echo "serve smoke: mexplore record missing"; exit 1; }
 
 echo "==> cluster smoke test"
@@ -168,6 +192,12 @@ grep -q '"total_evaluated":36' "$SMOKE_DIR/cluster-stats.out" \
 # Liveness probe answers for both nodes.
 [ "$("$SRRA" cluster --nodes "$NODES" ping | grep -c '"up":true')" -eq 2 ] \
   || { echo "cluster smoke: ping"; exit 1; }
+# Binary cluster round-trip: the same warm mget over `--binary` prints
+# byte-identical output.
+"$SRRA" cluster --nodes "$NODES" --binary mget $CLUSTER_AXES \
+  > "$SMOKE_DIR/cluster-mget-binary.out"
+cmp -s "$SMOKE_DIR/cluster-mget.out" "$SMOKE_DIR/cluster-mget-binary.out" \
+  || { echo "cluster smoke: binary mget output differs"; exit 1; }
 # Cluster-wide metrics scrape: both nodes answer, and the merged snapshot
 # carries the routed traffic (36 evaluations summed across the nodes).
 "$SRRA" cluster --nodes "$NODES" metrics > "$SMOKE_DIR/cluster-metrics.out"
@@ -177,6 +207,12 @@ grep -Eq '"serve_evaluated_total":3[6-9]' "$SMOKE_DIR/cluster-metrics.out" \
   || { echo "cluster smoke: merged evaluation counter"; exit 1; }
 grep -Eq '"client_connects_total":[1-9]' "$SMOKE_DIR/cluster-metrics.out" \
   || { echo "cluster smoke: client-side counters missing"; exit 1; }
+# Both codec counters are non-zero across the fleet: the JSON ops above and
+# the binary mget round-trip each left their mark.
+grep -Eq '"serve_codec_binary_total":[1-9]' "$SMOKE_DIR/cluster-metrics.out" \
+  || { echo "cluster smoke: binary codec counter is zero"; exit 1; }
+grep -Eq '"serve_codec_json_total":[1-9]' "$SMOKE_DIR/cluster-metrics.out" \
+  || { echo "cluster smoke: json codec counter is zero"; exit 1; }
 # Graceful shutdown of both nodes.
 "$SRRA" query --addr "$ADDR_A" shutdown | grep -q '"shutting_down":true'
 "$SRRA" query --addr "$ADDR_B" shutdown | grep -q '"shutting_down":true'

@@ -1,4 +1,5 @@
-//! Multi-client query-serving benchmark behind `BENCH_3.json` / `BENCH_4.json`.
+//! Multi-client query-serving benchmark behind `BENCH_3.json` / `BENCH_4.json`
+//! / `BENCH_7.json`.
 //!
 //! Usage:
 //!
@@ -6,9 +7,11 @@
 //! cargo run --release -p srra-bench --bin serve_bench [-- <clients>]
 //! ```
 //!
-//! Starts an in-process `srra-serve` server over a scratch shard directory
-//! and drives it with concurrent clients over real loopback TCP, seven
-//! phases over the same 240-point grid as BENCH_2:
+//! Runs the whole suite once per wire codec — JSON lines and the
+//! length-prefixed binary codec — each against its own in-process
+//! `srra-serve` server over a fresh scratch shard directory, so both codecs
+//! get a true cold phase.  Per codec, seven phases over the same 240-point
+//! grid as BENCH_2, driven by concurrent clients over real loopback TCP:
 //!
 //! 1. **cold explore** — connection-per-request, empty shards, every point
 //!    evaluated on demand (exactly once across all racing clients);
@@ -20,20 +23,22 @@
 //!    sequential request/response rounds (isolates the connection setup
 //!    cost);
 //! 5. **warm get pipelined** — one persistent connection per client, request
-//!    lines written in windows before reading any reply;
-//! 6. **warm mget** — batched lookups, many canonicals per wire line;
-//! 7. **warm mexplore** — batched explore, many points per wire line.
+//!    frames written in windows before reading any reply;
+//! 6. **warm mget** — batched lookups, many canonicals per wire op;
+//! 7. **warm mexplore** — batched explore, many points per wire op.
 //!
 //! Every phase walks the full grid once per client, rotated by client index
 //! so concurrent clients hammer different shards at any instant.  Reports
-//! per-phase throughput (grid points answered per second) and p50/p99
-//! per-point latency as JSON on stdout; for the pipelined/batched phases the
-//! per-point latency is the window/batch round-trip time divided by its size.
+//! per-codec, per-phase throughput (grid points answered per second) and
+//! p50/p99 per-point latency as JSON on stdout; for the pipelined/batched
+//! phases the per-point latency is the window/batch round-trip time divided
+//! by its size.
 
 use std::time::Instant;
 
 use srra_serve::{
     Client, Connection, PointOutcome, QueryPoint, Request, Response, Server, ServerConfig,
+    ServerStats,
 };
 
 /// Requests per pipeline window / canonicals per mget / points per mexplore.
@@ -65,6 +70,24 @@ fn rotation(points: &[QueryPoint], index: usize, clients: usize) -> Vec<QueryPoi
         .collect()
 }
 
+/// Dials one keep-alive connection speaking the suite's codec.
+fn dial(addr: &str, binary: bool) -> Connection {
+    if binary {
+        Connection::connect_binary(addr).expect("connects")
+    } else {
+        Connection::connect(addr).expect("connects")
+    }
+}
+
+/// A connection-per-request client speaking the suite's codec.
+fn one_shot_client(addr: &str, binary: bool) -> Client {
+    if binary {
+        Client::new_binary(addr.to_owned())
+    } else {
+        Client::new(addr.to_owned())
+    }
+}
+
 /// Fans `clients` workers out, runs `work` in each (receiving its rotated
 /// grid), and returns (wall seconds, sorted per-point latencies in µs).
 fn fan_out<F>(clients: usize, points: &[QueryPoint], work: F) -> (f64, Vec<u64>)
@@ -92,9 +115,15 @@ where
 
 /// Connection-per-request phase (the BENCH_3 baseline shape): one fresh
 /// socket per request, `get` or single-point `explore`.
-fn run_oneshot(addr: &str, clients: usize, points: &[QueryPoint], get: bool) -> (f64, Vec<u64>) {
+fn run_oneshot(
+    addr: &str,
+    clients: usize,
+    points: &[QueryPoint],
+    get: bool,
+    binary: bool,
+) -> (f64, Vec<u64>) {
     fan_out(clients, points, |local| {
-        let client = Client::new(addr.to_owned());
+        let client = one_shot_client(addr, binary);
         let mut latencies = Vec::with_capacity(local.len());
         for point in &local {
             let sent = Instant::now();
@@ -119,9 +148,14 @@ fn run_oneshot(addr: &str, clients: usize, points: &[QueryPoint], get: bool) -> 
 /// Keep-alive phase: one persistent connection per client, sequential `get`
 /// round trips — pure request latency with the connection setup amortised
 /// away.
-fn run_keepalive_get(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64, Vec<u64>) {
+fn run_keepalive_get(
+    addr: &str,
+    clients: usize,
+    points: &[QueryPoint],
+    binary: bool,
+) -> (f64, Vec<u64>) {
     fan_out(clients, points, |local| {
-        let mut connection = Connection::connect(addr).expect("connects");
+        let mut connection = dial(addr, binary);
         let mut latencies = Vec::with_capacity(local.len());
         for point in &local {
             let canonical = srra_serve::canonical_for(point).expect("grid resolves");
@@ -136,11 +170,16 @@ fn run_keepalive_get(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64,
     })
 }
 
-/// Pipelined phase: windows of [`BATCH`] `get` request lines written before
-/// any reply is read; per-point latency is the window time / window size.
-fn run_pipelined_get(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64, Vec<u64>) {
+/// Pipelined phase: windows of [`BATCH`] `get` requests written before any
+/// reply is read; per-point latency is the window time / window size.
+fn run_pipelined_get(
+    addr: &str,
+    clients: usize,
+    points: &[QueryPoint],
+    binary: bool,
+) -> (f64, Vec<u64>) {
     fan_out(clients, points, |local| {
-        let mut connection = Connection::connect(addr).expect("connects");
+        let mut connection = dial(addr, binary);
         let mut latencies = Vec::with_capacity(local.len());
         for window in local.chunks(BATCH) {
             let requests: Vec<Request> = window
@@ -164,10 +203,10 @@ fn run_pipelined_get(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64,
     })
 }
 
-/// Batched-lookup phase: [`BATCH`] canonicals per `mget` line.
-fn run_mget(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64, Vec<u64>) {
+/// Batched-lookup phase: [`BATCH`] canonicals per `mget` op.
+fn run_mget(addr: &str, clients: usize, points: &[QueryPoint], binary: bool) -> (f64, Vec<u64>) {
     fan_out(clients, points, |local| {
-        let mut connection = Connection::connect(addr).expect("connects");
+        let mut connection = dial(addr, binary);
         let mut latencies = Vec::with_capacity(local.len());
         for window in local.chunks(BATCH) {
             let canonicals: Vec<String> = window
@@ -184,10 +223,15 @@ fn run_mget(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64, Vec<u64>
     })
 }
 
-/// Batched-explore phase: [`BATCH`] points per `mexplore` line.
-fn run_mexplore(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64, Vec<u64>) {
+/// Batched-explore phase: [`BATCH`] points per `mexplore` op.
+fn run_mexplore(
+    addr: &str,
+    clients: usize,
+    points: &[QueryPoint],
+    binary: bool,
+) -> (f64, Vec<u64>) {
     fan_out(clients, points, |local| {
-        let mut connection = Connection::connect(addr).expect("connects");
+        let mut connection = dial(addr, binary);
         let mut latencies = Vec::with_capacity(local.len());
         for window in local.chunks(BATCH) {
             let sent = Instant::now();
@@ -206,27 +250,17 @@ fn run_mexplore(addr: &str, clients: usize, points: &[QueryPoint]) -> (f64, Vec<
     })
 }
 
-fn percentile(sorted: &[u64], fraction: f64) -> u64 {
-    let index = ((sorted.len() as f64 - 1.0) * fraction).round() as usize;
-    sorted[index]
-}
-
-fn phase_json(name: &str, requests: usize, wall: f64, latencies: &[u64]) -> String {
-    format!(
-        "    \"{name}\": {{\"requests\":{requests},\"wall_ms\":{:.1},\"throughput_rps\":{:.0},\"p50_us\":{},\"p99_us\":{}}}",
-        wall * 1e3,
-        requests as f64 / wall,
-        percentile(latencies, 0.50),
-        percentile(latencies, 0.99)
-    )
-}
-
-fn main() {
-    let clients: usize = std::env::args()
-        .nth(1)
-        .map(|raw| raw.parse().expect("client count is a number"))
-        .unwrap_or(4);
-    let dir = std::env::temp_dir().join(format!("srra-serve-bench-{}", std::process::id()));
+/// One full seven-phase suite over its own server and fresh shard directory,
+/// speaking one codec end to end.  Returns the per-phase measurements and
+/// the server's final statistics.
+#[allow(clippy::type_complexity)]
+fn run_suite(
+    clients: usize,
+    points: &[QueryPoint],
+    binary: bool,
+) -> (Vec<(&'static str, (f64, Vec<u64>))>, ServerStats) {
+    let codec = if binary { "binary" } else { "json" };
+    let dir = std::env::temp_dir().join(format!("srra-serve-bench-{codec}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
     let server = Server::bind(&ServerConfig {
@@ -237,25 +271,35 @@ fn main() {
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || server.run().expect("server runs"));
 
-    let points = grid();
-    let requests = clients * points.len();
-    let phases = [
-        ("cold_explore", run_oneshot(&addr, clients, &points, false)),
-        ("warm_explore", run_oneshot(&addr, clients, &points, false)),
-        ("warm_get", run_oneshot(&addr, clients, &points, true)),
+    let phases = vec![
+        (
+            "cold_explore",
+            run_oneshot(&addr, clients, points, false, binary),
+        ),
+        (
+            "warm_explore",
+            run_oneshot(&addr, clients, points, false, binary),
+        ),
+        (
+            "warm_get",
+            run_oneshot(&addr, clients, points, true, binary),
+        ),
         (
             "warm_get_keepalive",
-            run_keepalive_get(&addr, clients, &points),
+            run_keepalive_get(&addr, clients, points, binary),
         ),
         (
             "warm_get_pipelined",
-            run_pipelined_get(&addr, clients, &points),
+            run_pipelined_get(&addr, clients, points, binary),
         ),
-        ("warm_mget", run_mget(&addr, clients, &points)),
-        ("warm_mexplore", run_mexplore(&addr, clients, &points)),
+        ("warm_mget", run_mget(&addr, clients, points, binary)),
+        (
+            "warm_mexplore",
+            run_mexplore(&addr, clients, points, binary),
+        ),
     ];
 
-    let client = Client::new(addr);
+    let client = one_shot_client(&addr, binary);
     let stats = client.stats().expect("stats");
     assert_eq!(
         stats.evaluated as usize,
@@ -269,20 +313,40 @@ fn main() {
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");
     std::fs::remove_dir_all(&dir).expect("scratch dir removed");
+    (phases, stats)
+}
 
-    println!("{{");
-    println!(
-        "  \"grid_points\": {}, \"clients\": {clients}, \"shards\": 4, \"batch\": {BATCH},",
-        points.len()
-    );
-    println!("  \"phases\": {{");
-    for (index, (name, (wall, latencies))) in phases.iter().enumerate() {
+fn percentile(sorted: &[u64], fraction: f64) -> u64 {
+    let index = ((sorted.len() as f64 - 1.0) * fraction).round() as usize;
+    sorted[index]
+}
+
+fn phase_json(name: &str, requests: usize, wall: f64, latencies: &[u64]) -> String {
+    format!(
+        "      \"{name}\": {{\"requests\":{requests},\"wall_ms\":{:.1},\"throughput_rps\":{:.0},\"p50_us\":{},\"p99_us\":{}}}",
+        wall * 1e3,
+        requests as f64 / wall,
+        percentile(latencies, 0.50),
+        percentile(latencies, 0.99)
+    )
+}
+
+fn print_codec(
+    name: &str,
+    requests: usize,
+    phases: &[(&'static str, (f64, Vec<u64>))],
+    stats: &ServerStats,
+    last: bool,
+) {
+    println!("    \"{name}\": {{");
+    println!("      \"phases\": {{");
+    for (index, (phase, (wall, latencies))) in phases.iter().enumerate() {
         let comma = if index + 1 < phases.len() { "," } else { "" };
-        println!("{}{comma}", phase_json(name, requests, *wall, latencies));
+        println!("{}{comma}", phase_json(phase, requests, *wall, latencies));
     }
-    println!("  }},");
+    println!("      }},");
     println!(
-        "  \"server_totals\": {{\"requests\":{},\"hits\":{},\"evaluated\":{},\"shard_records\":{:?},",
+        "      \"server_totals\": {{\"requests\":{},\"hits\":{},\"evaluated\":{},\"shard_records\":{:?},",
         stats.requests, stats.hits, stats.evaluated, stats.shard_records
     );
     let mut ops = String::new();
@@ -295,6 +359,29 @@ fn main() {
             entry.op, entry.count, entry.p50_us, entry.p99_us
         ));
     }
-    println!("    \"ops\":{{{ops}}}}}");
+    println!("        \"ops\":{{{ops}}}}}");
+    println!("    }}{}", if last { "" } else { "," });
+}
+
+fn main() {
+    let clients: usize = std::env::args()
+        .nth(1)
+        .map(|raw| raw.parse().expect("client count is a number"))
+        .unwrap_or(4);
+    let points = grid();
+    let requests = clients * points.len();
+
+    let (json_phases, json_stats) = run_suite(clients, &points, false);
+    let (binary_phases, binary_stats) = run_suite(clients, &points, true);
+
+    println!("{{");
+    println!(
+        "  \"grid_points\": {}, \"clients\": {clients}, \"shards\": 4, \"batch\": {BATCH},",
+        points.len()
+    );
+    println!("  \"codecs\": {{");
+    print_codec("json", requests, &json_phases, &json_stats, false);
+    print_codec("binary", requests, &binary_phases, &binary_stats, true);
+    println!("  }}");
     println!("}}");
 }

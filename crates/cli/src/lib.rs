@@ -34,7 +34,9 @@ use srra_explore::{
 use srra_fpga::DeviceModel;
 use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
-use srra_serve::{Connection, QueryPoint, Request, Response, Server, ServerConfig, ShardedStore};
+use srra_serve::{
+    ClientError, Connection, QueryPoint, Request, Response, Server, ServerConfig, ShardedStore,
+};
 
 /// Usage text printed for `srra help` and on argument errors.
 ///
@@ -75,8 +77,12 @@ pub fn usage() -> &'static str {
     --workers <n>                serving threads (default: all CPUs)\n\
     --slow-query-us <n>          log requests slower than n µs to stderr (default: off)\n\
     --report-interval <secs>     periodic stats report to stderr (default: off)\n\
-  query --addr <host:port> <op>  queries against a running server; prints\n\
+  query --addr <host:port> [--binary] <op>\n\
+                                 queries against a running server; prints\n\
                                  the raw JSON response line(s) (see docs/serving.md)\n\
+    --binary                     speak the length-prefixed binary wire codec\n\
+                                 instead of JSON lines (same output; the server\n\
+                                 auto-detects the codec per frame)\n\
     get <kernel> <algo> <N> [--latency <n>] [--device <d>]\n\
     explore [axis flags as for explore]     (--batch uses one mexplore line)\n\
     stats | shutdown\n\
@@ -85,9 +91,10 @@ pub fn usage() -> &'static str {
     pipe                         read raw request lines from stdin, pipeline\n\
                                  them over ONE keep-alive connection, print\n\
                                  the reply lines in request order\n\
-  cluster --nodes <a:p,b:p,...> [--replicas <R>] [--vnodes <V>] <op>\n\
+  cluster --nodes <a:p,b:p,...> [--replicas <R>] [--vnodes <V>] [--binary] <op>\n\
                                  consistent-hash routed queries over several\n\
-                                 serve nodes (see docs/cluster.md)\n\
+                                 serve nodes (see docs/cluster.md); --binary\n\
+                                 uses the binary codec on every node connection\n\
     get <kernel> <algo> <N> [--latency <n>] [--device <d>]\n\
     mget [axis flags as for explore]        routed batched lookups\n\
     explore [axis flags as for explore]     routed batched explore (+tee to\n\
@@ -633,8 +640,25 @@ fn parse_query_points(args: &[String]) -> Result<Vec<QueryPoint>, CliError> {
     Ok(points)
 }
 
+/// Dials `addr` with the codec the user picked (`--binary` or JSON lines).
+fn query_connect(addr: &str, binary: bool) -> Result<Connection, ClientError> {
+    if binary {
+        Connection::connect_binary(addr)
+    } else {
+        Connection::connect(addr)
+    }
+}
+
 fn cmd_query(args: &[String]) -> Result<String, CliError> {
-    let (addr, rest) = match args {
+    // `--binary` is positionally free: it selects the wire codec and every
+    // other argument keeps its meaning.
+    let binary = args.iter().any(|flag| flag == "--binary");
+    let args: Vec<String> = args
+        .iter()
+        .filter(|flag| *flag != "--binary")
+        .cloned()
+        .collect();
+    let (addr, rest) = match &args[..] {
         [flag, addr, rest @ ..] if flag == "--addr" => (addr.clone(), rest),
         _ => {
             return Err(CliError(format!(
@@ -645,7 +669,7 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
     };
     if let [op] = rest {
         if op == "pipe" {
-            return cmd_query_pipe(&addr, std::io::stdin().lock());
+            return cmd_query_pipe(&addr, binary, std::io::stdin().lock());
         }
     }
     let request = match rest {
@@ -682,7 +706,7 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
                 }
             };
             let mut connection =
-                Connection::connect(&addr).map_err(|err| CliError(format!("query: {err}")))?;
+                query_connect(&addr, binary).map_err(|err| CliError(format!("query: {err}")))?;
             return if prom {
                 connection.metrics_text()
             } else {
@@ -699,7 +723,7 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
             )))
         }
     };
-    let response = Connection::connect(&addr)
+    let response = query_connect(&addr, binary)
         .and_then(|mut connection| connection.roundtrip(&request))
         .map_err(|err| CliError(format!("query: {err}")))?;
     Ok(response.render())
@@ -727,9 +751,13 @@ const PIPE_WINDOW_BYTES: usize = 8 * 1024;
 /// request backlog never exceeds one window.  (The reply text itself is
 /// accumulated — the CLI contract returns one string — so output stays
 /// proportional to the replies.)
-fn cmd_query_pipe(addr: &str, input: impl std::io::BufRead) -> Result<String, CliError> {
+fn cmd_query_pipe(
+    addr: &str,
+    binary: bool,
+    input: impl std::io::BufRead,
+) -> Result<String, CliError> {
     let mut connection =
-        Connection::connect(addr).map_err(|err| CliError(format!("query: {err}")))?;
+        query_connect(addr, binary).map_err(|err| CliError(format!("query: {err}")))?;
     let mut window: Vec<Request> = Vec::with_capacity(PIPE_WINDOW);
     let mut out = String::new();
     let mut flush_window = |window: &mut Vec<Request>, out: &mut String| -> Result<(), CliError> {
@@ -848,6 +876,7 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
     let mut nodes: Option<Vec<String>> = None;
     let mut replicas = 1usize;
     let mut vnodes = srra_cluster::Ring::DEFAULT_VNODES;
+    let mut binary = false;
     let mut rest: &[String] = &[];
     let mut iter_index = 0;
     while iter_index < args.len() {
@@ -887,6 +916,10 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
                     .ok_or_else(|| CliError(format!("invalid --vnodes value `{raw}`")))?;
                 iter_index += 2;
             }
+            "--binary" => {
+                binary = true;
+                iter_index += 1;
+            }
             _ => {
                 rest = &args[iter_index..];
                 break;
@@ -898,7 +931,8 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| CliError(format!("cluster needs --nodes <a:p,b:p,...>\n{}", usage())))?;
     let config = ClusterConfig::new(nodes)
         .with_replicas(replicas)
-        .with_vnodes(vnodes);
+        .with_vnodes(vnodes)
+        .with_binary(binary);
     let mut cluster =
         ClusterClient::connect(&config).map_err(|err| CliError(format!("cluster: {err}")))?;
     match rest {
@@ -1311,7 +1345,7 @@ mod tests {
             "{\"op\":\"mget\",\"canonicals\":[\"kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560\",\"nope\"]}\n",
             "{\"op\":\"stats\"}\n",
         );
-        let out = cmd_query_pipe(&addr, input.as_bytes()).unwrap();
+        let out = cmd_query_pipe(&addr, false, input.as_bytes()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3, "{out}");
         assert!(lines[0].starts_with("{\"ok\":true,\"records\":["), "{out}");
@@ -1321,9 +1355,27 @@ mod tests {
         );
         assert!(lines[2].contains("\"ops\":{"), "{out}");
 
+        // The same pipe over the binary codec: stdin stays JSON lines, only
+        // the wire format changes, and the data-bearing replies (not the
+        // stats line, whose latency digests move between runs) come back
+        // byte-identical to the JSON-codec run.
+        let binary_out = cmd_query_pipe(&addr, true, input.as_bytes()).unwrap();
+        let binary_lines: Vec<&str> = binary_out.lines().collect();
+        assert_eq!(binary_lines.len(), 3, "{binary_out}");
+        assert_eq!(binary_lines[..2], lines[..2], "{binary_out}");
+        assert!(binary_lines[2].contains("\"ops\":{"), "{binary_out}");
+
+        // `--binary get` speaks the binary codec and prints the same JSON.
+        let hit = run(&args(&[
+            "query", "--addr", &addr, "--binary", "get", "fir", "cpa", "32",
+        ]))
+        .unwrap();
+        assert!(hit.contains("\"found\":true"), "{hit}");
+        assert!(hit.contains("\"kernel\":\"fir\""), "{hit}");
+
         // Malformed or empty stdin fails client-side, before any bytes move.
-        assert!(cmd_query_pipe(&addr, "not json\n".as_bytes()).is_err());
-        assert!(cmd_query_pipe(&addr, "".as_bytes()).is_err());
+        assert!(cmd_query_pipe(&addr, false, "not json\n".as_bytes()).is_err());
+        assert!(cmd_query_pipe(&addr, false, "".as_bytes()).is_err());
 
         let down = run(&args(&["query", "--addr", &addr, "shutdown"])).unwrap();
         assert!(down.contains("shutting_down"));
@@ -1377,6 +1429,11 @@ mod tests {
         let got = cluster(&[&["mget"], &axes[..]].concat()).unwrap();
         assert!(got.starts_with("{\"ok\":true,\"got\":["), "{got}");
         assert!(!got.contains("null"), "{got}");
+
+        // The same warm mget over the binary codec routes identically and
+        // prints byte-identical output.
+        let binary_got = cluster(&[&["--binary", "mget"], &axes[..]].concat()).unwrap();
+        assert_eq!(binary_got, got);
 
         // Single get against a replicated record.
         let hit = cluster(&["get", "fir", "cpa", "8"]).unwrap();

@@ -100,6 +100,10 @@ pub struct ClusterConfig {
     pub replicas: usize,
     /// Virtual nodes per physical node.
     pub vnodes: usize,
+    /// Speak the length-prefixed binary wire codec to every node instead of
+    /// JSON lines (the nodes auto-detect per frame, so a mixed fleet of
+    /// binary and JSON clients is fine).
+    pub binary: bool,
 }
 
 impl ClusterConfig {
@@ -114,6 +118,7 @@ impl ClusterConfig {
             nodes: nodes.into_iter().map(Into::into).collect(),
             replicas: 1,
             vnodes: Ring::DEFAULT_VNODES,
+            binary: false,
         }
     }
 
@@ -130,6 +135,14 @@ impl ClusterConfig {
         self.vnodes = vnodes;
         self
     }
+
+    /// Selects the binary wire codec for every node connection (including
+    /// the replication tees).
+    #[must_use]
+    pub fn with_binary(mut self, binary: bool) -> Self {
+        self.binary = binary;
+        self
+    }
 }
 
 /// One node's client-side state: the cached keep-alive connection and the
@@ -137,6 +150,8 @@ impl ClusterConfig {
 #[derive(Debug)]
 struct Node {
     addr: String,
+    /// Dial connections in binary-codec mode.
+    binary: bool,
     connection: Option<Connection>,
     /// `Some(instant)` while the node is marked down; no connect attempt is
     /// made before it.
@@ -148,9 +163,10 @@ struct Node {
 }
 
 impl Node {
-    fn new(addr: String) -> Self {
+    fn new(addr: String, binary: bool) -> Self {
         Self {
             addr,
+            binary,
             connection: None,
             down_until: None,
             backoff: BACKOFF_INITIAL,
@@ -194,7 +210,12 @@ impl Node {
             )));
         }
         if self.connection.is_none() {
-            match Connection::connect(&self.addr) {
+            let dialled = if self.binary {
+                Connection::connect_binary(&self.addr)
+            } else {
+                Connection::connect(&self.addr)
+            };
+            match dialled {
                 Ok(connection) => self.connection = Some(connection),
                 Err(err) => {
                     if is_io(&err) {
@@ -363,7 +384,11 @@ impl ClusterClient {
             )));
         }
         let mut client = Self {
-            nodes: ring.nodes().iter().cloned().map(Node::new).collect(),
+            nodes: ring
+                .nodes()
+                .iter()
+                .map(|addr| Node::new(addr.clone(), config.binary))
+                .collect(),
             ring,
             replicas: config.replicas,
         };

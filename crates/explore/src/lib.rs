@@ -17,8 +17,11 @@
 //!
 //! evaluated in parallel by a work-stealing thread pool and deduplicated
 //! through a content-addressed [`ResultStore`] (FNV-hashed design-point keys)
-//! with in-memory ([`MemoryStore`]) and persistent JSON-lines ([`JsonlStore`])
-//! backends.  On top of the raw records it extracts multi-objective Pareto
+//! with in-memory ([`MemoryStore`]), persistent JSON-lines ([`JsonlStore`])
+//! and fixed-header binary segment ([`SegmentStore`]) backends — the latter
+//! encoding records through the [`WireSerde`] trait ([`codec`]), the same
+//! length-prefixed serialisation the serve layer's binary wire codec uses.
+//! On top of the raw records it extracts multi-objective Pareto
 //! frontiers (total cycles × slices × registers) and per-kernel best-allocator
 //! summaries.
 //!
@@ -43,14 +46,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod engine;
 mod pareto;
 mod render;
+mod segment;
 mod space;
 mod store;
 
+pub use codec::{WireError, WireSerde};
 pub use engine::{evaluate_point, Exploration, Explorer};
 pub use pareto::{best_allocators, dominates, pareto_frontier, BestAllocator};
 pub use render::{exploration_csv, render_best_allocators, render_exploration, render_frontier};
+pub use segment::{SegmentStore, MAX_SEGMENT_RECORD_LEN, SEGMENT_MAGIC};
 pub use space::{fnv1a_64, DesignPoint, DesignSpace};
 pub use store::{JsonlError, JsonlStore, MemoryStore, PointRecord, ResultStore, StoreBase};

@@ -365,11 +365,11 @@ pub trait ResultStore: StoreBase {
 /// The shared per-key index of the in-memory backends: a small vector of
 /// records per FNV key (almost always length 1; longer only under a genuine
 /// 64-bit hash collision).
-type KeyIndex = HashMap<u64, Vec<PointRecord>>;
+pub(crate) type KeyIndex = HashMap<u64, Vec<PointRecord>>;
 
 /// Inserts into a [`KeyIndex`], deduplicating by canonical string; returns
 /// whether the record was fresh.
-fn index_insert(index: &mut KeyIndex, record: &PointRecord) -> bool {
+pub(crate) fn index_insert(index: &mut KeyIndex, record: &PointRecord) -> bool {
     let bucket = index.entry(record.key).or_default();
     if bucket.iter().any(|held| held.canonical == record.canonical) {
         return false;
@@ -379,7 +379,7 @@ fn index_insert(index: &mut KeyIndex, record: &PointRecord) -> bool {
 }
 
 /// Looks a canonical string up in a [`KeyIndex`].
-fn index_get(index: &KeyIndex, key: u64, canonical: &str) -> Option<PointRecord> {
+pub(crate) fn index_get(index: &KeyIndex, key: u64, canonical: &str) -> Option<PointRecord> {
     index
         .get(&key)?
         .iter()

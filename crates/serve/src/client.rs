@@ -24,14 +24,27 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, OnceLock};
 
+use srra_explore::codec::WireError;
 use srra_explore::PointRecord;
 use srra_obs::{Counter, MetricsSnapshot, Registry};
 
+use crate::binary::{
+    encode_get_frame, encode_mget_frame, encode_points_frame, encode_put_frame,
+    encode_request_frame, read_frame, FrameError,
+};
 use crate::protocol::{
     render_get_request, render_mget_request, render_points_request, render_put_request,
     stamp_trace, trace_suffix, valid_trace_id, PointOutcome, QueryPoint, Request, Response,
     ServerStats,
 };
+
+/// Lifts a codec failure into the client error space.
+fn wire_err(err: WireError) -> ClientError {
+    match err {
+        WireError::Io(err) => ClientError::Io(err),
+        WireError::Corrupt(message) => ClientError::Protocol(message),
+    }
+}
 
 /// Handles into [`Registry::global`] for the client-side instruments,
 /// resolved once — recording on the reconnect paths is handle-direct.
@@ -115,10 +128,17 @@ pub struct Connection {
     addr: String,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Whether this connection speaks the binary frame codec instead of
+    /// JSON lines (chosen at connect time; the server negotiates per frame).
+    binary: bool,
     /// Scratch buffer for rendering outgoing request lines.
     scratch: String,
     /// Scratch buffer for incoming response lines.
     line: String,
+    /// Scratch buffer for outgoing binary frames.
+    frame: Vec<u8>,
+    /// Scratch buffer for incoming binary frame payloads.
+    payload: Vec<u8>,
     /// Trace id stamped onto every outgoing request line, when set.
     trace: Option<String>,
     /// Trace id echoed on the most recently received reply, if any.
@@ -159,13 +179,32 @@ impl Connection {
     ///
     /// Connection failures and unresolvable addresses.
     pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        Self::connect_with_codec(addr, false)
+    }
+
+    /// Like [`connect`](Connection::connect), but the connection speaks the
+    /// length-prefixed binary codec (`docs/serving.md`) instead of JSON
+    /// lines — same protocol, same server port, no text parse on either
+    /// side's hot path.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures and unresolvable addresses.
+    pub fn connect_binary(addr: &str) -> Result<Self, ClientError> {
+        Self::connect_with_codec(addr, true)
+    }
+
+    fn connect_with_codec(addr: &str, binary: bool) -> Result<Self, ClientError> {
         let (reader, writer) = open_stream(addr)?;
         Ok(Self {
             addr: addr.to_owned(),
             reader,
             writer,
+            binary,
             scratch: String::with_capacity(256),
             line: String::with_capacity(256),
+            frame: Vec::with_capacity(256),
+            payload: Vec::with_capacity(256),
             trace: None,
             last_trace: None,
         })
@@ -174,6 +213,11 @@ impl Connection {
     /// The `host:port` this connection targets.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Whether this connection speaks the binary frame codec.
+    pub fn is_binary(&self) -> bool {
+        self.binary
     }
 
     /// Sets (or clears, with `None`) the trace id stamped onto every
@@ -222,8 +266,8 @@ impl Connection {
         Ok(())
     }
 
-    /// Writes one request line (trailing `\n` included) with a single
-    /// `write_all`, without waiting for the reply.
+    /// Writes one request (a terminated line, or one binary frame) with a
+    /// single `write_all`, without waiting for the reply.
     ///
     /// Pair each `send` with a later [`receive`](Connection::receive): the
     /// server replies in request order.
@@ -232,6 +276,13 @@ impl Connection {
     ///
     /// Socket-level failures.
     pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        if self.binary {
+            self.frame.clear();
+            encode_request_frame(&mut self.frame, self.trace.as_deref(), request)
+                .map_err(wire_err)?;
+            self.writer.write_all(&self.frame)?;
+            return Ok(());
+        }
         self.scratch.clear();
         request.render_into(&mut self.scratch);
         self.send_scratch_line()
@@ -254,13 +305,17 @@ impl Connection {
         Ok(())
     }
 
-    /// Reads and decodes the next response line.
+    /// Reads and decodes the next response (line or binary frame, matching
+    /// this connection's codec).
     ///
     /// # Errors
     ///
     /// Socket-level failures ([`std::io::ErrorKind::UnexpectedEof`] when the
-    /// connection closes before the reply) and malformed response lines.
+    /// connection closes before the reply) and malformed responses.
     pub fn receive(&mut self) -> Result<Response, ClientError> {
+        if self.binary {
+            return self.receive_frame();
+        }
         self.line.clear();
         self.reader.read_line(&mut self.line)?;
         if self.line.is_empty() {
@@ -282,46 +337,82 @@ impl Connection {
         Response::parse(&self.line).map_err(ClientError::Protocol)
     }
 
-    /// Terminates the request line sitting in `scratch`, performs the round
-    /// trip, and — when the socket turns out to be stale — reconnects and
-    /// replays the identical line exactly once.  Safe because every protocol
-    /// op is idempotent and a stale failure means no reply byte arrived.
-    fn roundtrip_scratch(&mut self) -> Result<Response, ClientError> {
-        self.finish_scratch_line();
-        match self.try_roundtrip_scratch() {
+    /// The binary twin of the line-based `receive`: reads one reply frame
+    /// and decodes it, recording the echoed trace id.
+    fn receive_frame(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.reader, &mut self.payload) {
+            Ok(()) => {}
+            Err(FrameError::Io(err)) => return Err(ClientError::Io(err)),
+            Err(err) => return Err(ClientError::Protocol(err.to_string())),
+        }
+        let (response, trace) =
+            crate::binary::decode_payload::<Response>(&self.payload).map_err(wire_err)?;
+        self.last_trace = trace;
+        Ok(response)
+    }
+
+    /// Completes the request prepared in the active codec's scratch buffer
+    /// (JSON: stamps the trace and terminates the line; binary: the frame is
+    /// already complete), performs the round trip, and — when the socket
+    /// turns out to be stale — reconnects and replays the identical bytes
+    /// exactly once.  Safe because every protocol op is idempotent and a
+    /// stale failure means no reply byte arrived.
+    fn roundtrip_prepared(&mut self) -> Result<Response, ClientError> {
+        if !self.binary {
+            self.finish_scratch_line();
+        }
+        match self.try_roundtrip_prepared() {
             Err(err) if is_stale(&err) => {
                 connection_metrics().reconnect_retries.inc();
                 self.reconnect()?;
-                self.try_roundtrip_scratch()
+                self.try_roundtrip_prepared()
             }
             other => other,
         }
     }
 
-    /// One attempt of [`roundtrip_scratch`](Connection::roundtrip_scratch):
-    /// writes the already-terminated `scratch` line and reads one reply.
-    fn try_roundtrip_scratch(&mut self) -> Result<Response, ClientError> {
-        self.writer.write_all(self.scratch.as_bytes())?;
+    /// One attempt of [`roundtrip_prepared`](Connection::roundtrip_prepared):
+    /// writes the prepared request bytes and reads one reply.
+    fn try_roundtrip_prepared(&mut self) -> Result<Response, ClientError> {
+        if self.binary {
+            self.writer.write_all(&self.frame)?;
+        } else {
+            self.writer.write_all(self.scratch.as_bytes())?;
+        }
         self.receive()
     }
 
-    /// Sends one request line and reads its response line, transparently
-    /// reconnecting and retrying once if the idle socket had gone stale
-    /// (broken pipe / connection reset / immediate EOF).  `shutdown` is the
-    /// one non-idempotent op, so it is never retried — reconnect-and-replay
+    /// Prepares `request` in the active codec's scratch buffer (trace baked
+    /// into binary frames; JSON lines get theirs in `finish_scratch_line`).
+    fn prepare_request(&mut self, request: &Request) -> Result<(), ClientError> {
+        if self.binary {
+            self.frame.clear();
+            encode_request_frame(&mut self.frame, self.trace.as_deref(), request).map_err(wire_err)
+        } else {
+            self.scratch.clear();
+            request.render_into(&mut self.scratch);
+            Ok(())
+        }
+    }
+
+    /// Sends one request and reads its response, transparently reconnecting
+    /// and retrying once if the idle socket had gone stale (broken pipe /
+    /// connection reset / immediate EOF).  `shutdown` is the one
+    /// non-idempotent op, so it is never retried — reconnect-and-replay
     /// could stop a server that was restarted between the two attempts.
     ///
     /// # Errors
     ///
     /// Socket-level failures and malformed responses.
     pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.scratch.clear();
-        request.render_into(&mut self.scratch);
+        self.prepare_request(request)?;
         if matches!(request, Request::Shutdown) {
-            self.finish_scratch_line();
-            return self.try_roundtrip_scratch();
+            if !self.binary {
+                self.finish_scratch_line();
+            }
+            return self.try_roundtrip_prepared();
         }
-        self.roundtrip_scratch()
+        self.roundtrip_prepared()
     }
 
     /// Pipelines a batch: renders *all* request lines into one buffer, sends
@@ -345,22 +436,30 @@ impl Connection {
     /// reply is returned in place, not promoted to an `Err` — pipelined
     /// batches are position-addressed.
     pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
-        self.scratch.clear();
-        for request in requests {
-            request.render_into(&mut self.scratch);
-            if let Some(trace) = &self.trace {
-                stamp_trace(&mut self.scratch, trace);
+        if self.binary {
+            self.frame.clear();
+            for request in requests {
+                encode_request_frame(&mut self.frame, self.trace.as_deref(), request)
+                    .map_err(wire_err)?;
             }
-            self.scratch.push('\n');
+        } else {
+            self.scratch.clear();
+            for request in requests {
+                request.render_into(&mut self.scratch);
+                if let Some(trace) = &self.trace {
+                    stamp_trace(&mut self.scratch, trace);
+                }
+                self.scratch.push('\n');
+            }
         }
         let replayable = !requests
             .iter()
             .any(|request| matches!(request, Request::Shutdown));
-        match self.try_pipeline_scratch(requests.len()) {
+        match self.try_pipeline_prepared(requests.len()) {
             Err((_, true)) if replayable => {
                 connection_metrics().reconnect_retries.inc();
                 self.reconnect()?;
-                self.try_pipeline_scratch(requests.len())
+                self.try_pipeline_prepared(requests.len())
                     .map_err(|(err, _)| err)
             }
             Err((err, _)) => Err(err),
@@ -369,11 +468,19 @@ impl Connection {
     }
 
     /// One attempt of [`pipeline`](Connection::pipeline): writes the whole
-    /// pre-rendered window from `scratch`, then reads `count` replies.  The
-    /// error's boolean says whether a retry is safe: `true` only while no
-    /// reply byte has been consumed.
-    fn try_pipeline_scratch(&mut self, count: usize) -> Result<Vec<Response>, (ClientError, bool)> {
-        if let Err(err) = self.writer.write_all(self.scratch.as_bytes()) {
+    /// pre-rendered window (lines or frames), then reads `count` replies.
+    /// The error's boolean says whether a retry is safe: `true` only while
+    /// no reply byte has been consumed.
+    fn try_pipeline_prepared(
+        &mut self,
+        count: usize,
+    ) -> Result<Vec<Response>, (ClientError, bool)> {
+        let written = if self.binary {
+            self.writer.write_all(&self.frame)
+        } else {
+            self.writer.write_all(self.scratch.as_bytes())
+        };
+        if let Err(err) = written {
             let err = ClientError::Io(err);
             let retryable = is_stale(&err);
             return Err((err, retryable));
@@ -397,10 +504,16 @@ impl Connection {
     ///
     /// Connection failures, malformed responses and server-side errors.
     pub fn get(&mut self, canonical: &str) -> Result<Option<PointRecord>, ClientError> {
-        // Rendered from the borrowed canonical — no owned Request, no clone.
-        self.scratch.clear();
-        render_get_request(&mut self.scratch, canonical);
-        expect_get(self.roundtrip_scratch()?)
+        // Encoded from the borrowed canonical — no owned Request, no clone.
+        if self.binary {
+            self.frame.clear();
+            encode_get_frame(&mut self.frame, self.trace.as_deref(), canonical)
+                .map_err(wire_err)?;
+        } else {
+            self.scratch.clear();
+            render_get_request(&mut self.scratch, canonical);
+        }
+        expect_get(self.roundtrip_prepared()?)
     }
 
     /// Looks a batch of canonical strings up in one request/reply pair.
@@ -409,9 +522,15 @@ impl Connection {
     ///
     /// Connection failures, malformed responses and server-side errors.
     pub fn mget(&mut self, canonicals: &[String]) -> Result<Vec<Option<PointRecord>>, ClientError> {
-        self.scratch.clear();
-        render_mget_request(&mut self.scratch, canonicals);
-        expect_mget(self.roundtrip_scratch()?)
+        if self.binary {
+            self.frame.clear();
+            encode_mget_frame(&mut self.frame, self.trace.as_deref(), canonicals)
+                .map_err(wire_err)?;
+        } else {
+            self.scratch.clear();
+            render_mget_request(&mut self.scratch, canonicals);
+        }
+        expect_mget(self.roundtrip_prepared()?)
     }
 
     /// Answers a batch of design points (hits from the shards, misses
@@ -421,9 +540,15 @@ impl Connection {
     ///
     /// Connection failures, malformed responses and server-side errors.
     pub fn explore(&mut self, points: &[QueryPoint]) -> Result<ExploreReply, ClientError> {
-        self.scratch.clear();
-        render_points_request(&mut self.scratch, "explore", points);
-        expect_explore(self.roundtrip_scratch()?)
+        if self.binary {
+            self.frame.clear();
+            encode_points_frame(&mut self.frame, self.trace.as_deref(), false, points)
+                .map_err(wire_err)?;
+        } else {
+            self.scratch.clear();
+            render_points_request(&mut self.scratch, "explore", points);
+        }
+        expect_explore(self.roundtrip_prepared()?)
     }
 
     /// Answers a batch of design points with per-point outcomes: a point that
@@ -434,9 +559,15 @@ impl Connection {
     ///
     /// Connection failures, malformed responses and server-side errors.
     pub fn mexplore(&mut self, points: &[QueryPoint]) -> Result<MultiExploreReply, ClientError> {
-        self.scratch.clear();
-        render_points_request(&mut self.scratch, "mexplore", points);
-        expect_mexplore(self.roundtrip_scratch()?)
+        if self.binary {
+            self.frame.clear();
+            encode_points_frame(&mut self.frame, self.trace.as_deref(), true, points)
+                .map_err(wire_err)?;
+        } else {
+            self.scratch.clear();
+            render_points_request(&mut self.scratch, "mexplore", points);
+        }
+        expect_mexplore(self.roundtrip_prepared()?)
     }
 
     /// Stores pre-evaluated records verbatim (the cluster replication tee);
@@ -446,9 +577,14 @@ impl Connection {
     ///
     /// Connection failures, malformed responses and server-side errors.
     pub fn put(&mut self, records: &[PointRecord]) -> Result<u64, ClientError> {
-        self.scratch.clear();
-        render_put_request(&mut self.scratch, records);
-        expect_stored(self.roundtrip_scratch()?)
+        if self.binary {
+            self.frame.clear();
+            encode_put_frame(&mut self.frame, self.trace.as_deref(), records).map_err(wire_err)?;
+        } else {
+            self.scratch.clear();
+            render_put_request(&mut self.scratch, records);
+        }
+        expect_stored(self.roundtrip_prepared()?)
     }
 
     /// Trivial health probe: round-trips a `ping` line.
@@ -516,12 +652,24 @@ impl Connection {
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    binary: bool,
 }
 
 impl Client {
-    /// A client for the server at `addr` (`host:port`).
+    /// A client for the server at `addr` (`host:port`), speaking JSON lines.
     pub fn new(addr: impl Into<String>) -> Self {
-        Self { addr: addr.into() }
+        Self {
+            addr: addr.into(),
+            binary: false,
+        }
+    }
+
+    /// A client for the server at `addr` speaking the binary frame codec.
+    pub fn new_binary(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            binary: true,
+        }
     }
 
     /// The server address this client talks to.
@@ -529,13 +677,18 @@ impl Client {
         &self.addr
     }
 
-    /// Opens a persistent keep-alive [`Connection`] to this client's server.
+    /// Opens a persistent keep-alive [`Connection`] to this client's server,
+    /// in this client's codec.
     ///
     /// # Errors
     ///
     /// Connection failures and unresolvable addresses.
     pub fn connect(&self) -> Result<Connection, ClientError> {
-        Connection::connect(&self.addr)
+        if self.binary {
+            Connection::connect_binary(&self.addr)
+        } else {
+            Connection::connect(&self.addr)
+        }
     }
 
     /// Sends one request line and reads one response line over a fresh

@@ -5,16 +5,22 @@
 //! point in a content-addressed [`srra_explore::ResultStore`].  This crate
 //! scales that substrate in two layers:
 //!
-//! 1. [`ShardedStore`] — the cache split over N JSONL shard files (records
-//!    routed by `key % N`), each shard behind its own read/write lock so any
-//!    number of concurrent warm lookups proceed in parallel against the
-//!    in-memory index (appends briefly exclude their own shard only), plus a
-//!    lock file guarding the directory against concurrent processes.
-//!    [`ShardedStore::merge_file`] folds a legacy single-file cache into the
-//!    shards and [`ShardedStore::compact`] deduplicates and re-routes dirty
-//!    shards, retiring the old single-writer caveat.
+//! 1. [`ShardedStore`] — the cache split over N fixed-header binary segment
+//!    files (records routed by `key % N`; see
+//!    [`srra_explore::SegmentStore`] for the on-disk record grammar), each
+//!    shard behind its own read/write lock so any number of concurrent warm
+//!    lookups proceed in parallel against the in-memory index (appends
+//!    briefly exclude their own shard only), plus a lock file guarding the
+//!    directory against concurrent processes.  Legacy JSONL shard
+//!    directories open unchanged (the `.jsonl` siblings are folded in
+//!    read-only); [`ShardedStore::merge_file`] folds a legacy single-file
+//!    cache into the shards and [`ShardedStore::compact`] deduplicates,
+//!    re-routes and rewrites dirty or legacy shards to pure segment form.
 //! 2. [`Server`] — a thread-pool TCP front end (`std::net` only, no async
-//!    runtime) speaking a line-delimited JSON protocol: `get` a record by
+//!    runtime) speaking two interchangeable wire codecs — line-delimited
+//!    JSON and a length-prefixed binary framing, negotiated per frame by
+//!    the first byte ([`BINARY_MAGIC`] vs anything else) so clients of both
+//!    kinds share one listener.  The ops: `get` a record by
 //!    canonical design-point string, `explore` a batch of points (hits
 //!    answered from the shards, misses evaluated through the
 //!    [`srra_explore::evaluate_point`] seam exactly once — concurrent
@@ -30,9 +36,12 @@
 //!    slow-query log lines to it.
 //!
 //! The wire protocol is specified in `docs/serving.md`; [`Request`] /
-//! [`Response`] are its single encode/decode implementation, shared by the
-//! server and the clients.  [`Connection`] is the keep-alive, pipelining
-//! client used on hot paths; [`Client`] is the one-shot wrapper around it.
+//! [`Response`] are its single shape definition, with the JSON encoding in
+//! this crate's `json`/`protocol` modules and the binary encoding in
+//! `binary` (over the [`srra_explore::WireSerde`] trait).  [`Connection`]
+//! is the keep-alive, pipelining client used on hot paths
+//! ([`Connection::connect_binary`] for the binary codec); [`Client`] is the
+//! one-shot wrapper around it.
 //!
 //! # Quickstart
 //!
@@ -60,12 +69,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod binary;
 mod client;
 mod json;
 mod protocol;
 mod server;
 mod shard;
 
+pub use binary::{
+    decode_payload, encode_request_frame, encode_response_frame, read_frame, FrameError,
+    BINARY_MAGIC, MAX_FRAME_LEN,
+};
 pub use client::{Client, ClientError, Connection, ExploreReply, MultiExploreReply};
 pub use json::JsonValue;
 pub use protocol::{

@@ -42,6 +42,10 @@ use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
 use srra_obs::{Counter, Gauge, Histogram, Registry};
 
+use crate::binary::{
+    decode_payload, encode_response_frame, holds_complete_request, read_frame, FrameError,
+    BINARY_MAGIC,
+};
 use crate::protocol::{
     stamp_trace, OpStats, PointOutcome, QueryPoint, Request, Response, ServerStats,
 };
@@ -228,6 +232,10 @@ struct Counters {
     codec_parse_us: Arc<Histogram>,
     /// Response-line encode time (codec render, per request).
     codec_render_us: Arc<Histogram>,
+    /// Requests that arrived as binary frames.
+    codec_binary: Arc<Counter>,
+    /// Requests that arrived as JSON lines.
+    codec_json: Arc<Counter>,
     /// Per-op accounting, indexed by `Op as usize`.
     ops: [OpCounter; OP_NAMES.len()],
 }
@@ -248,6 +256,8 @@ impl Counters {
             open_connections: registry.gauge("serve_open_connections"),
             codec_parse_us: registry.histogram("serve_codec_parse_us"),
             codec_render_us: registry.histogram("serve_codec_render_us"),
+            codec_binary: registry.counter("serve_codec_binary_total"),
+            codec_json: registry.counter("serve_codec_json_total"),
             ops: std::array::from_fn(|index| OpCounter {
                 count: registry.counter(&format!("serve_op_{}_total", OP_NAMES[index])),
                 latency: registry.histogram(&format!("serve_op_{}_latency_us", OP_NAMES[index])),
@@ -599,6 +609,11 @@ fn serve_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAd
 }
 
 /// The request/response loop of [`serve_connection`].
+///
+/// The codec is negotiated per request by sniffing the first buffered byte:
+/// [`BINARY_MAGIC`] selects the binary frame codec, anything else the JSON
+/// line codec — so one connection may freely interleave both, and existing
+/// JSON clients keep working unchanged.
 fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr: SocketAddr) {
     // Replies are latency-sensitive single lines: never let Nagle hold them.
     let _ = stream.set_nodelay(true);
@@ -609,23 +624,69 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
     let mut reader = BufReader::new(stream);
     let mut line = String::with_capacity(256);
     let mut rendered = String::with_capacity(256);
+    let mut payload: Vec<u8> = Vec::with_capacity(256);
+    let mut frame: Vec<u8> = Vec::with_capacity(256);
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // Clean EOF.
-            Ok(_) => {}
-            Err(_) => return, // Peer vanished mid-line.
+        // Sniff the codec of the next request off the first buffered byte
+        // (this is also where an idle keep-alive connection blocks).
+        let binary = match reader.fill_buf() {
+            Ok([]) => return, // Clean EOF.
+            Ok(buffered) => buffered[0] == BINARY_MAGIC,
+            Err(_) => return,
+        };
+        let started;
+        let parsed: Result<(Request, Option<String>), String>;
+        if binary {
+            match read_frame(&mut reader, &mut payload) {
+                Ok(()) => {}
+                Err(FrameError::BadLength(len)) => {
+                    // The next frame boundary is unknowable: answer once with
+                    // a binary error frame, then close the connection.
+                    state.counters.requests.inc();
+                    state.counters.codec_binary.inc();
+                    state.counters.record_op(Op::Invalid, Duration::ZERO);
+                    frame.clear();
+                    let reply = Response::Error {
+                        message: FrameError::BadLength(len).to_string(),
+                    };
+                    if encode_response_frame(&mut frame, None, &reply).is_ok() {
+                        let _ = writer.write_all(&frame);
+                        let _ = writer.flush();
+                    }
+                    return;
+                }
+                // Peer vanished mid-frame; `BadMagic` is unreachable after
+                // the sniff above.
+                Err(FrameError::Io(_) | FrameError::BadMagic(_)) => return,
+            }
+            started = Instant::now();
+            state.counters.requests.inc();
+            state.counters.codec_binary.inc();
+            // A payload that fails to decode is recoverable: the frame
+            // boundary was already consumed, so answer the error and keep
+            // the connection (no desync).
+            parsed = decode_payload::<Request>(&payload).map_err(|err| err.to_string());
+            state.counters.codec_parse_us.record(started.elapsed());
+        } else {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => return, // Clean EOF.
+                Ok(_) => {}
+                Err(_) => return, // Peer vanished mid-line.
+            }
+            // Strip the line terminator (read_line keeps it): the codec's
+            // fast paths match the exact rendered framing, terminator
+            // excluded.
+            let request_line = line.trim_end_matches(['\n', '\r']);
+            if request_line.trim().is_empty() {
+                continue;
+            }
+            started = Instant::now();
+            state.counters.requests.inc();
+            state.counters.codec_json.inc();
+            parsed = Request::parse_with_trace(request_line);
+            state.counters.codec_parse_us.record(started.elapsed());
         }
-        // Strip the line terminator (read_line keeps it): the codec's
-        // fast paths match the exact rendered framing, terminator excluded.
-        let request_line = line.trim_end_matches(['\n', '\r']);
-        if request_line.trim().is_empty() {
-            continue;
-        }
-        let started = Instant::now();
-        state.counters.requests.inc();
-        let parsed = Request::parse_with_trace(request_line);
-        state.counters.codec_parse_us.record(started.elapsed());
         let trace = match &parsed {
             Ok((_, trace)) => {
                 if trace.is_some() {
@@ -670,35 +731,45 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
             Ok((Request::Shutdown, _)) => (Response::ShuttingDown, Op::Shutdown, true),
         };
         let render_started = Instant::now();
-        rendered.clear();
-        response.render_into(&mut rendered);
-        // Echo the request's trace id in the reply, rendered last so clients
-        // strip it the same cheap way the server did.
-        if let Some(trace) = trace_ref {
-            stamp_trace(&mut rendered, trace);
-        }
-        rendered.push('\n');
+        let reply_bytes: &[u8] = if binary {
+            // Echo the request's trace id on the reply frame.
+            frame.clear();
+            if encode_response_frame(&mut frame, trace_ref, &response).is_err() {
+                // Unreachable for server-built replies under the frame cap,
+                // but never leave a binary client without its reply frame.
+                frame.clear();
+                let _ = encode_response_frame(
+                    &mut frame,
+                    None,
+                    &Response::Error {
+                        message: "reply exceeded the binary frame cap".to_owned(),
+                    },
+                );
+            }
+            &frame
+        } else {
+            rendered.clear();
+            response.render_into(&mut rendered);
+            // Echo the request's trace id in the reply, rendered last so
+            // clients strip it the same cheap way the server did.
+            if let Some(trace) = trace_ref {
+                stamp_trace(&mut rendered, trace);
+            }
+            rendered.push('\n');
+            rendered.as_bytes()
+        };
         state
             .counters
             .codec_render_us
             .record(render_started.elapsed());
-        let mut sent = writer.write_all(rendered.as_bytes());
+        let mut sent = writer.write_all(reply_bytes);
         // Defer the flush only while the read buffer still holds a complete
-        // *non-blank* request line — one guaranteed to produce another
+        // request of either codec — one guaranteed to produce another
         // response before this worker can block on the socket again, so the
         // reply bytes ride along with that response's flush.  A buffered
-        // blank line alone produces no response (it is skipped above), so
-        // deferring on it would strand this reply in the BufWriter.
-        let buffered = reader.buffer();
-        let another_request_buffered = buffered
-            .iter()
-            .rposition(|&byte| byte == b'\n')
-            .is_some_and(|last| {
-                buffered[..last]
-                    .iter()
-                    .any(|byte| !byte.is_ascii_whitespace())
-            });
-        if sent.is_ok() && !another_request_buffered {
+        // blank line or partial frame alone produces no response, so
+        // deferring on one would strand this reply in the BufWriter.
+        if sent.is_ok() && !holds_complete_request(reader.buffer()) {
             sent = writer.flush();
         }
         let elapsed = started.elapsed();

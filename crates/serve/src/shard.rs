@@ -1,17 +1,21 @@
-//! [`ShardedStore`]: a result store split across N JSONL shard files.
+//! [`ShardedStore`]: a result store split across N binary segment shard
+//! files.
 //!
 //! Records are routed to shard `key % N`.  Each shard is an independent
-//! [`JsonlStore`] behind its own **read/write lock**: lookups hit the shard's
-//! in-memory key→records index under a shared read guard, so any number of
-//! concurrent warm `get`s proceed in parallel without touching the filesystem
-//! and without contending with each other; appends take the exclusive write
-//! guard and tee the record to the shard's JSONL file.  A lock file in the
-//! cache directory keeps concurrent *processes* from interleaving appends.
-//! [`merge_file`]
-//! folds a legacy single-file cache into the shards and [`compact`] rewrites
-//! shards in place, dropping duplicate lines and re-routing records that sit
-//! in the wrong shard — together these retire the old "`JsonlStore` is
-//! single-writer" caveat.
+//! [`SegmentStore`] behind its own **read/write lock**: lookups hit the
+//! shard's in-memory key→records index under a shared read guard, so any
+//! number of concurrent warm `get`s proceed in parallel without touching the
+//! filesystem and without contending with each other; appends take the
+//! exclusive write guard and tee the record to the shard's segment file
+//! (fixed-header binary records — startup re-hydration is a sequential
+//! scan, not a JSON parse).  A legacy `shard-NNN.jsonl` sibling, when
+//! present, is folded into the index read-only so pre-segment cache
+//! directories work unmodified; [`compact`] rewrites everything into pure
+//! segment form and retires the JSONL files.  A lock file in the cache
+//! directory keeps concurrent *processes* from interleaving appends.
+//! [`merge_file`] folds a legacy single-file cache into the shards and
+//! [`compact`] also drops duplicate disk records and re-routes records that
+//! sit in the wrong shard.
 //!
 //! [`merge_file`]: ShardedStore::merge_file
 //! [`compact`]: ShardedStore::compact
@@ -22,7 +26,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
-use srra_explore::{JsonlError, JsonlStore, PointRecord, ResultStore, StoreBase};
+use srra_explore::{JsonlError, JsonlStore, PointRecord, ResultStore, SegmentStore, StoreBase};
 use srra_obs::{Counter, Histogram, Registry};
 
 /// Handles into [`Registry::global`] for the shard-level instruments,
@@ -32,6 +36,10 @@ struct ShardMetrics {
     writes: Arc<Counter>,
     read_wait: Arc<Histogram>,
     write_wait: Arc<Histogram>,
+    /// Wall time of one full store open (all shards re-hydrated).
+    rehydrate: Arc<Histogram>,
+    /// Torn/corrupt trailing segment records truncated away at open.
+    torn_segments: Arc<Counter>,
 }
 
 fn shard_metrics() -> &'static ShardMetrics {
@@ -43,6 +51,8 @@ fn shard_metrics() -> &'static ShardMetrics {
             writes: registry.counter("store_shard_writes_total"),
             read_wait: registry.histogram("store_shard_read_wait_us"),
             write_wait: registry.histogram("store_shard_write_wait_us"),
+            rehydrate: registry.histogram("store_rehydrate_us"),
+            torn_segments: registry.counter("store_torn_segments_total"),
         }
     })
 }
@@ -155,7 +165,8 @@ pub struct CompactOutcome {
     pub rerouted: usize,
 }
 
-/// A [`ResultStore`] sharded over `N` JSONL files under one cache directory.
+/// A [`ResultStore`] sharded over `N` binary segment files under one cache
+/// directory (legacy JSONL shard files are read transparently).
 ///
 /// Routing is `key % N`.  All read/write methods take `&self` (each shard sits
 /// behind its own `RwLock`), so one `ShardedStore` can be shared across server
@@ -166,12 +177,18 @@ pub struct CompactOutcome {
 #[derive(Debug)]
 pub struct ShardedStore {
     dir: PathBuf,
-    shards: Vec<RwLock<JsonlStore>>,
+    shards: Vec<RwLock<SegmentStore>>,
     _lock: DirLock,
 }
 
-/// File name of shard `index`.
+/// Segment file name of shard `index`.
 fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:03}.seg")
+}
+
+/// Legacy JSONL file name of shard `index` — read-side fallback only; new
+/// appends always go to the segment file and `compact` retires the JSONL.
+fn legacy_file_name(index: usize) -> String {
     format!("shard-{index:03}.jsonl")
 }
 
@@ -198,10 +215,21 @@ impl ShardedStore {
                 requested: shard_count,
             });
         }
+        let metrics = shard_metrics();
+        let rehydrate_started = Instant::now();
         let mut shards = Vec::with_capacity(shard_count);
+        let mut torn = 0;
         for index in 0..shard_count {
-            let store = JsonlStore::open(dir.join(shard_file_name(index)))?;
+            let store = SegmentStore::open_with_legacy(
+                dir.join(shard_file_name(index)),
+                Some(dir.join(legacy_file_name(index))),
+            )?;
+            torn += store.torn_records();
             shards.push(RwLock::new(store));
+        }
+        metrics.rehydrate.record(rehydrate_started.elapsed());
+        if torn > 0 {
+            metrics.torn_segments.add(torn as u64);
         }
         Ok(Self {
             dir,
@@ -210,18 +238,24 @@ impl ShardedStore {
         })
     }
 
-    /// The shard files already present under `dir`, sorted by name.
-    fn existing_shard_files(dir: &Path) -> Result<Vec<PathBuf>, ShardError> {
-        let mut files = Vec::new();
+    /// The distinct shard file stems (either extension) already present
+    /// under `dir`, sorted — a shard counts as present whether it exists as
+    /// a segment file, a legacy JSONL file, or both.
+    fn existing_shard_files(dir: &Path) -> Result<Vec<String>, ShardError> {
+        let mut stems = std::collections::BTreeSet::new();
         for entry in std::fs::read_dir(dir)? {
             let path = entry?.path();
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.starts_with("shard-") && name.ends_with(".jsonl") {
-                files.push(path);
+            if let Some(stem) = name
+                .strip_suffix(".seg")
+                .or_else(|| name.strip_suffix(".jsonl"))
+            {
+                if stem.starts_with("shard-") {
+                    stems.insert(stem.to_owned());
+                }
             }
         }
-        files.sort();
-        Ok(files)
+        Ok(stems.into_iter().collect())
     }
 
     /// The cache directory.
@@ -241,7 +275,7 @@ impl ShardedStore {
 
     /// Shared read guard on the shard `key` routes to: concurrent with other
     /// readers of the same shard, excluded only by an in-flight append.
-    fn shard_read(&self, key: u64) -> RwLockReadGuard<'_, JsonlStore> {
+    fn shard_read(&self, key: u64) -> RwLockReadGuard<'_, SegmentStore> {
         let metrics = shard_metrics();
         let waited = Instant::now();
         let guard = self.shards[self.route(key)]
@@ -253,7 +287,7 @@ impl ShardedStore {
     }
 
     /// Exclusive write guard on the shard `key` routes to.
-    fn shard_write(&self, key: u64) -> RwLockWriteGuard<'_, JsonlStore> {
+    fn shard_write(&self, key: u64) -> RwLockWriteGuard<'_, SegmentStore> {
         let metrics = shard_metrics();
         let waited = Instant::now();
         let guard = self.shards[self.route(key)]
@@ -334,8 +368,10 @@ impl ShardedStore {
         Ok(outcome)
     }
 
-    /// Rewrites every shard file: drops duplicate disk lines and moves records
-    /// into the shard their key routes to.
+    /// Rewrites every shard into pure segment form: drops duplicate disk
+    /// records, moves records into the shard their key routes to, and
+    /// retires legacy JSONL shard files (their records now live in the
+    /// segments).
     ///
     /// Takes `&mut self` — compaction is exclusive by construction, no reader
     /// or writer can observe a half-rewritten shard.  Each shard is written to
@@ -348,16 +384,21 @@ impl ShardedStore {
     /// in between is a valid store).
     pub fn compact(&mut self) -> Result<CompactOutcome, ShardError> {
         let shard_count = self.shards.len();
-        // Drain: collect every record, remembering which shard file held it,
-        // and count raw disk lines to report dropped duplicates.
+        // Drain: collect every record, remembering which shard held it, and
+        // count raw disk records (segment records plus legacy JSONL lines)
+        // to report dropped duplicates.
         let mut routed: Vec<Vec<PointRecord>> = vec![Vec::new(); shard_count];
-        let mut disk_lines = 0;
+        let mut disk_records = 0;
         let mut kept = 0;
         let mut rerouted = 0;
         for (index, slot) in self.shards.iter_mut().enumerate() {
             let shard = slot.get_mut().expect("compact holds the only reference");
-            let raw = std::fs::read_to_string(shard.path())?;
-            disk_lines += raw.lines().filter(|line| !line.trim().is_empty()).count();
+            disk_records += shard.segment_records();
+            let legacy = self.dir.join(legacy_file_name(index));
+            if legacy.exists() {
+                let raw = std::fs::read_to_string(&legacy)?;
+                disk_records += raw.lines().filter(|line| !line.trim().is_empty()).count();
+            }
             for record in shard.records() {
                 let target = (record.key % shard_count as u64) as usize;
                 let bucket = &mut routed[target];
@@ -374,22 +415,22 @@ impl ShardedStore {
                 bucket.push(record.clone());
             }
         }
-        // Rewrite: temp file + atomic rename, then reopen the shard handles.
+        // Rewrite: temp file + atomic rename, retire the legacy JSONL, then
+        // reopen the shard handles.
         for (index, records) in routed.iter().enumerate() {
             let path = self.dir.join(shard_file_name(index));
             let tmp = self.dir.join(format!("{}.tmp", shard_file_name(index)));
-            let mut text = String::new();
-            for record in records {
-                text.push_str(&record.to_json_line());
-                text.push('\n');
-            }
-            std::fs::write(&tmp, text)?;
+            SegmentStore::write_records(&tmp, records.iter())?;
             std::fs::rename(&tmp, &path)?;
-            self.shards[index] = RwLock::new(JsonlStore::open(&path)?);
+            let legacy = self.dir.join(legacy_file_name(index));
+            if legacy.exists() {
+                std::fs::remove_file(&legacy)?;
+            }
+            self.shards[index] = RwLock::new(SegmentStore::open(&path)?);
         }
         Ok(CompactOutcome {
             kept,
-            duplicates_dropped: disk_lines - kept,
+            duplicates_dropped: disk_records - kept,
             rerouted,
         })
     }
@@ -558,15 +599,15 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let a = record_for("kernel=fir;algo=CPA-RA;budget=1");
         let b = record_for("kernel=fir;algo=CPA-RA;budget=2");
-        // Hand-build a dirty directory: record `a` duplicated in its own
-        // shard file, record `b` sitting in the wrong shard.
+        // Hand-build a dirty *legacy* directory: record `a` duplicated in
+        // its own JSONL shard file, record `b` sitting in the wrong shard.
         let route = |r: &PointRecord| (r.key % 2) as usize;
         let wrong = 1 - route(&b);
         let mut shard_lines = [String::new(), String::new()];
         shard_lines[route(&a)].push_str(&format!("{}\n{}\n", a.to_json_line(), a.to_json_line()));
         shard_lines[wrong].push_str(&format!("{}\n", b.to_json_line()));
-        std::fs::write(dir.join(shard_file_name(0)), &shard_lines[0]).unwrap();
-        std::fs::write(dir.join(shard_file_name(1)), &shard_lines[1]).unwrap();
+        std::fs::write(dir.join(legacy_file_name(0)), &shard_lines[0]).unwrap();
+        std::fs::write(dir.join(legacy_file_name(1)), &shard_lines[1]).unwrap();
 
         let mut store = ShardedStore::open(&dir, 2).unwrap();
         // Before compaction lookups go through routing only, so the record
@@ -596,16 +637,17 @@ mod tests {
             Some(b.clone())
         );
         assert_eq!(store.len().unwrap(), 2);
-        // And the files are clean: total lines equal total records.
-        let mut lines = 0;
-        for index in 0..2 {
-            lines += std::fs::read_to_string(dir.join(shard_file_name(index)))
-                .unwrap()
-                .lines()
-                .count();
-        }
-        assert_eq!(lines, 2);
+        // The legacy JSONL files are retired and the segments are clean:
+        // raw disk records equal held records.
         drop(store);
+        let mut disk_records = 0;
+        for index in 0..2 {
+            assert!(!dir.join(legacy_file_name(index)).exists());
+            let shard = SegmentStore::open(dir.join(shard_file_name(index))).unwrap();
+            assert_eq!(shard.torn_records(), 0);
+            disk_records += shard.segment_records();
+        }
+        assert_eq!(disk_records, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

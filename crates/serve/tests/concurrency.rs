@@ -155,13 +155,16 @@ fn concurrent_mixed_workload_is_correct_and_evaluates_each_miss_once() {
     let report = handle.join().expect("server thread");
     assert_eq!(report.stats.evaluated, distinct as u64);
 
-    // The shards are non-empty on disk and a *fresh* server over the same
-    // directory answers the whole workload without a single evaluation.
-    let on_disk: usize = std::fs::read_dir(&dir)
-        .unwrap()
-        .filter_map(Result::ok)
-        .filter(|e| e.file_name().to_string_lossy().starts_with("shard-"))
-        .map(|e| std::fs::read_to_string(e.path()).unwrap().lines().count())
+    // The shards are non-empty on disk (binary segment files, scanned
+    // record by record) and a *fresh* server over the same directory
+    // answers the whole workload without a single evaluation.
+    let on_disk: usize = (0..4)
+        .map(|index| {
+            let path = dir.join(format!("shard-{index:03}.seg"));
+            let shard = srra_explore::SegmentStore::open(&path).expect("segment shard opens");
+            assert_eq!(shard.torn_records(), 0);
+            shard.segment_records()
+        })
         .sum();
     assert_eq!(on_disk, distinct, "all evaluated records persisted");
 

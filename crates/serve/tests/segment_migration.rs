@@ -1,0 +1,213 @@
+//! Migration coverage for the binary segment shards: a legacy JSONL cache
+//! directory re-hydrates unmodified, `compact` rewrites it to pure segment
+//! form (deleting the JSONL files), a restart over the rewritten directory is
+//! byte-identical, and a torn trailing segment record is truncated and
+//! counted instead of panicking.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use srra_explore::{fnv1a_64, PointRecord, SegmentStore};
+use srra_serve::ShardedStore;
+
+const SHARDS: usize = 2;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srra-seg-migrate-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn record_for(index: u64) -> PointRecord {
+    let canonical = format!("kernel=fir;algo=CPA-RA;budget={index};latency=2;device=XCV1000");
+    PointRecord {
+        key: fnv1a_64(canonical.as_bytes()),
+        canonical,
+        kernel: "fir".to_owned(),
+        algorithm: "CPA-RA".to_owned(),
+        version: "v3".to_owned(),
+        budget: index,
+        ram_latency: 2,
+        device: "XCV1000-BG560".to_owned(),
+        feasible: true,
+        fits: true,
+        registers_used: index + 1,
+        total_cycles: index * 1000,
+        compute_cycles: index * 900,
+        memory_cycles: index * 90,
+        transfer_cycles: index * 10,
+        clock_period_ns: index as f64 + 0.5,
+        execution_time_us: index as f64 * 3.25,
+        slices: index * 7,
+        block_rams: index % 5,
+        distribution: format!("a:{index} b:1"),
+    }
+}
+
+/// Writes `records` as a legacy JSONL shard directory, routed like the
+/// sharded store routes (`key % SHARDS`).
+fn write_legacy_dir(dir: &Path, records: &[PointRecord]) {
+    std::fs::create_dir_all(dir).unwrap();
+    let mut shards: Vec<String> = vec![String::new(); SHARDS];
+    for record in records {
+        let shard = (record.key % SHARDS as u64) as usize;
+        record.write_json_line(&mut shards[shard]);
+        shards[shard].push('\n');
+    }
+    for (index, text) in shards.iter().enumerate() {
+        std::fs::write(dir.join(format!("shard-{index:03}.jsonl")), text).unwrap();
+    }
+}
+
+fn shard_files(dir: &Path, suffix: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.starts_with("shard-") && name.ends_with(suffix))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn legacy_jsonl_dirs_rehydrate_compact_to_segments_and_restart_byte_identically() {
+    const RECORDS: u64 = 32;
+    let dir = scratch_dir("legacy");
+    let records: Vec<PointRecord> = (0..RECORDS).map(record_for).collect();
+    write_legacy_dir(&dir, &records);
+    let legacy_before: Vec<Vec<u8>> = shard_files(&dir, ".jsonl")
+        .iter()
+        .map(|path| std::fs::read(path).unwrap())
+        .collect();
+
+    // An unmodified legacy directory opens and answers every record; reads
+    // leave the JSONL files byte-identical (they are fallback, not rewritten
+    // on open).
+    {
+        let store = ShardedStore::open(&dir, SHARDS).unwrap();
+        for record in &records {
+            let found = store
+                .get_record(record.key, &record.canonical)
+                .unwrap()
+                .expect("legacy record resolves");
+            assert_eq!(found.to_json_line(), record.to_json_line());
+            // Duplicate puts dedupe against the legacy records too.
+            assert!(!store.put_record(record).unwrap());
+        }
+        assert_eq!(
+            store.shard_sizes().unwrap().iter().sum::<usize>(),
+            RECORDS as usize
+        );
+    }
+    let legacy_after: Vec<Vec<u8>> = shard_files(&dir, ".jsonl")
+        .iter()
+        .map(|path| std::fs::read(path).unwrap())
+        .collect();
+    assert_eq!(legacy_before, legacy_after, "open must not rewrite JSONL");
+
+    // `compact` rewrites everything into pure segment form and removes the
+    // legacy files.
+    {
+        let mut store = ShardedStore::open(&dir, SHARDS).unwrap();
+        let outcome = store.compact().unwrap();
+        assert_eq!(outcome.kept, RECORDS as usize);
+        assert_eq!(outcome.duplicates_dropped, 0);
+        for record in &records {
+            let found = store
+                .get_record(record.key, &record.canonical)
+                .unwrap()
+                .expect("compacted record resolves");
+            assert_eq!(found.to_json_line(), record.to_json_line());
+        }
+    }
+    assert!(
+        shard_files(&dir, ".jsonl").is_empty(),
+        "compact deletes the legacy JSONL shards"
+    );
+    let segments = shard_files(&dir, ".seg");
+    assert_eq!(segments.len(), SHARDS);
+    let seg_before: Vec<Vec<u8>> = segments
+        .iter()
+        .map(|path| std::fs::read(path).unwrap())
+        .collect();
+
+    // Restart over the rewritten directory: every record resolves and the
+    // segment files stay byte-identical (re-hydration is read-only).
+    {
+        let store = ShardedStore::open(&dir, SHARDS).unwrap();
+        for record in &records {
+            let found = store
+                .get_record(record.key, &record.canonical)
+                .unwrap()
+                .expect("restart resolves every record");
+            assert_eq!(found.to_json_line(), record.to_json_line());
+            assert!(!store.put_record(record).unwrap());
+        }
+    }
+    let seg_after: Vec<Vec<u8>> = shard_files(&dir, ".seg")
+        .iter()
+        .map(|path| std::fs::read(path).unwrap())
+        .collect();
+    assert_eq!(seg_before, seg_after, "restart must not rewrite segments");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_torn_trailing_segment_is_truncated_and_counted_not_a_panic() {
+    const RECORDS: u64 = 8;
+    let dir = scratch_dir("torn");
+    {
+        let store = ShardedStore::open(&dir, SHARDS).unwrap();
+        for index in 0..RECORDS {
+            assert!(store.put_record(&record_for(index)).unwrap());
+        }
+    }
+
+    // Tear the tail of shard 0: a record header promising more payload than
+    // the file holds (a crash mid-append).
+    let victim = dir.join("shard-000.seg");
+    let clean_len = std::fs::metadata(&victim).unwrap().len();
+    {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&victim)
+            .unwrap();
+        file.write_all(&200u32.to_le_bytes()).unwrap();
+        file.write_all(&0xDEAD_BEEFu64.to_le_bytes()).unwrap();
+        file.write_all(b"only a few payload bytes").unwrap();
+    }
+
+    let torn_before = srra_obs::Registry::global()
+        .snapshot()
+        .counter("store_torn_segments_total")
+        .unwrap_or(0);
+    let store = ShardedStore::open(&dir, SHARDS).unwrap();
+    for index in 0..RECORDS {
+        let expected = record_for(index);
+        let found = store
+            .get_record(expected.key, &expected.canonical)
+            .unwrap()
+            .expect("intact records survive the torn tail");
+        assert_eq!(found.to_json_line(), expected.to_json_line());
+    }
+    let torn_after = srra_obs::Registry::global()
+        .snapshot()
+        .counter("store_torn_segments_total")
+        .unwrap_or(0);
+    assert_eq!(torn_after - torn_before, 1, "the torn record is counted");
+    drop(store);
+
+    // The torn bytes were truncated away: the file is back to its clean
+    // length and a direct segment scan agrees nothing is torn any more.
+    assert_eq!(std::fs::metadata(&victim).unwrap().len(), clean_len);
+    let shard = SegmentStore::open(&victim).unwrap();
+    assert_eq!(shard.torn_records(), 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

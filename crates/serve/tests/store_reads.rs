@@ -116,9 +116,9 @@ fn restart_rehydrates_the_index_byte_identically() {
         }
     } // Drop releases the LOCK file, simulating a clean restart.
 
-    // Snapshot the shard files before the reopen so the test can prove the
-    // restart touched nothing.
-    let shard_bytes = |dir: &PathBuf| -> Vec<(String, String)> {
+    // Snapshot the shard files (binary segment form) before the reopen so
+    // the test can prove the restart touched nothing.
+    let shard_bytes = |dir: &PathBuf| -> Vec<(String, Vec<u8>)> {
         let mut files: Vec<_> = std::fs::read_dir(dir)
             .unwrap()
             .filter_map(Result::ok)
@@ -135,7 +135,7 @@ fn restart_rehydrates_the_index_byte_identically() {
             .map(|path| {
                 (
                     path.file_name().unwrap().to_string_lossy().into_owned(),
-                    std::fs::read_to_string(&path).unwrap(),
+                    std::fs::read(&path).unwrap(),
                 )
             })
             .collect()
@@ -143,9 +143,12 @@ fn restart_rehydrates_the_index_byte_identically() {
     let before = shard_bytes(&dir);
     assert_eq!(before.len(), 4);
     assert_eq!(
-        before
-            .iter()
-            .map(|(_, text)| text.lines().count())
+        (0..4)
+            .map(|index| {
+                srra_explore::SegmentStore::open(dir.join(format!("shard-{index:03}.seg")))
+                    .unwrap()
+                    .segment_records()
+            })
             .sum::<usize>(),
         RECORDS as usize
     );
