@@ -13,6 +13,10 @@
 #   7. metrics smoke test  (traffic-driven telemetry scrape: JSON snapshot
 #                           with non-zero counters + well-formed Prometheus
 #                           exposition, folded into the steps above)
+#   8. trace smoke test    (traced workloads against both steps: span
+#                           waterfalls fetched after the fact via the trace
+#                           op, slow-query pinning, histogram exemplars and
+#                           the merged cluster-wide waterfall)
 #
 # Run from the repository root: ./ci.sh
 set -euo pipefail
@@ -45,7 +49,10 @@ cleanup_smoke() {
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup_smoke EXIT
+# --slow-query-us 1 makes every evaluating request "slow", so the traced
+# explore below must land in the flight recorder's pinned set.
 "$SRRA" serve --addr 127.0.0.1:0 --shards 4 --cache-dir "$SMOKE_DIR/cache" \
+  --slow-query-us 1 \
   > "$SMOKE_DIR/serve.out" 2> "$SMOKE_DIR/serve.err" &
 SERVE_PID=$!
 ADDR=""
@@ -94,6 +101,28 @@ sed -n '1p' "$BPIPE_OUT" | grep -q '"found":true'
 sed -n '2p' "$BPIPE_OUT" | grep -q '"got":\[{.*,null\]'
 cmp -s <(sed -n '1,2p' "$PIPE_OUT") "$BPIPE_OUT" \
   || { echo "serve smoke: binary and JSON replies differ"; exit 1; }
+# Trace smoke: stamp a trace id on a cold explore, then fetch its span
+# waterfall after the fact through the trace op.  The root spans the whole
+# request; the engine stages and the render show up as indented children.
+"$SRRA" query --addr "$ADDR" --trace ci.trace.1 explore \
+  --kernel imi --algos cpa --budgets 8 \
+  | grep -q '"evaluated":1' || { echo "trace smoke: traced explore"; exit 1; }
+TRACE_OUT="$SMOKE_DIR/trace.out"
+"$SRRA" query --addr "$ADDR" trace ci.trace.1 > "$TRACE_OUT"
+grep -Eq '^trace ci\.trace\.1: [1-9][0-9]* span' "$TRACE_OUT" \
+  || { echo "trace smoke: no spans retained"; exit 1; }
+grep -q '^explore +' "$TRACE_OUT" \
+  || { echo "trace smoke: root span missing"; exit 1; }
+grep -q '^  engine.allocation +' "$TRACE_OUT" \
+  || { echo "trace smoke: engine stage child missing"; exit 1; }
+grep -q '^  render +' "$TRACE_OUT" \
+  || { echo "trace smoke: render child missing"; exit 1; }
+# The forced-slow traced request was logged with its top stage spans...
+grep -q 'slow-query.*trace=ci.trace.1.*spans=' "$SMOKE_DIR/serve.err" \
+  || { echo "trace smoke: slow-query log missing span note"; exit 1; }
+# ...and an unknown id answers an empty waterfall, not an error.
+"$SRRA" query --addr "$ADDR" trace ci.never.sent \
+  | grep -q 'no spans retained' || { echo "trace smoke: unknown id"; exit 1; }
 # Metrics smoke: after the mixed get/mget/mexplore traffic above, the JSON
 # snapshot reports non-zero serve counters and the exploration-stage globals.
 METRICS_OUT="$SMOKE_DIR/metrics.json"
@@ -118,6 +147,9 @@ grep -Eq '"serve_codec_json_total":[1-9]' "$METRICS_OUT" \
 # The startup re-hydration histogram is registered and scraped.
 grep -q '"store_rehydrate_us"' "$METRICS_OUT" \
   || { echo "metrics smoke: rehydrate histogram missing"; exit 1; }
+# The slow traced explore above was pinned into the flight recorder.
+grep -Eq '"serve_pinned_traces_total":[1-9]' "$METRICS_OUT" \
+  || { echo "metrics smoke: slow trace was not pinned"; exit 1; }
 # The Prometheus exposition is well-formed: typed families, cumulative
 # buckets ending at +Inf, and a non-zero requests sample.
 PROM_OUT="$SMOKE_DIR/metrics.prom"
@@ -130,6 +162,11 @@ grep -q 'serve_op_get_latency_us_bucket{le="+Inf"}' "$PROM_OUT" \
   || { echo "metrics smoke: exposition +Inf bucket"; exit 1; }
 grep -Eq '^serve_requests_total [1-9]' "$PROM_OUT" \
   || { echo "metrics smoke: exposition sample is zero"; exit 1; }
+grep -q '^# HELP serve_requests_total ' "$PROM_OUT" \
+  || { echo "metrics smoke: exposition HELP line"; exit 1; }
+# The traced request left its id on the latency bucket it landed in.
+grep -q 'trace_id="ci.trace.1"' "$PROM_OUT" \
+  || { echo "metrics smoke: exemplar missing"; exit 1; }
 # Graceful shutdown: ack on the wire, clean exit, summary line, lock released.
 "$SRRA" query --addr "$ADDR" shutdown | grep -q '"shutting_down":true'
 wait "$SERVE_PID"
@@ -213,6 +250,22 @@ grep -Eq '"serve_codec_binary_total":[1-9]' "$SMOKE_DIR/cluster-metrics.out" \
   || { echo "cluster smoke: binary codec counter is zero"; exit 1; }
 grep -Eq '"serve_codec_json_total":[1-9]' "$SMOKE_DIR/cluster-metrics.out" \
   || { echo "cluster smoke: json codec counter is zero"; exit 1; }
+# Cluster trace smoke: a traced cold explore fans out under ONE trace id;
+# afterwards `cluster trace` scrapes both flight recorders and merges the
+# per-node subtrees into a single waterfall with engine-stage children.
+"$SRRA" cluster --nodes "$NODES" --trace ci.cluster.t1 explore \
+  --kernel imi,bic --algos cpa,fr --budgets 8,16,32,64 2>/dev/null \
+  | grep -q '"evaluated":16' || { echo "cluster smoke: traced explore"; exit 1; }
+CLUSTER_TRACE_OUT="$SMOKE_DIR/cluster-trace.out"
+"$SRRA" cluster --nodes "$NODES" trace ci.cluster.t1 > "$CLUSTER_TRACE_OUT"
+[ "$(grep -c '"scraped":true' "$CLUSTER_TRACE_OUT")" -eq 2 ] \
+  || { echo "cluster smoke: trace scrape"; exit 1; }
+grep -Eq '^trace ci\.cluster\.t1: [1-9][0-9]* span' "$CLUSTER_TRACE_OUT" \
+  || { echo "cluster smoke: merged waterfall empty"; exit 1; }
+grep -q '^mexplore +' "$CLUSTER_TRACE_OUT" \
+  || { echo "cluster smoke: routed root span missing"; exit 1; }
+grep -q '^  engine.allocation +' "$CLUSTER_TRACE_OUT" \
+  || { echo "cluster smoke: engine stage child missing"; exit 1; }
 # Graceful shutdown of both nodes.
 "$SRRA" query --addr "$ADDR_A" shutdown | grep -q '"shutting_down":true'
 "$SRRA" query --addr "$ADDR_B" shutdown | grep -q '"shutting_down":true'

@@ -36,6 +36,7 @@ use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
 use srra_serve::{
     ClientError, Connection, QueryPoint, Request, Response, Server, ServerConfig, ShardedStore,
+    Span,
 };
 
 /// Usage text printed for `srra help` and on argument errors.
@@ -83,11 +84,16 @@ pub fn usage() -> &'static str {
     --binary                     speak the length-prefixed binary wire codec\n\
                                  instead of JSON lines (same output; the server\n\
                                  auto-detects the codec per frame)\n\
+    --trace <id>                 stamp every request with a trace id: the server\n\
+                                 records a span tree for it, readable afterwards\n\
+                                 via `trace <id>` (see docs/observability.md)\n\
     get <kernel> <algo> <N> [--latency <n>] [--device <d>]\n\
     explore [axis flags as for explore]     (--batch uses one mexplore line)\n\
     stats | shutdown\n\
     metrics [--prom]             full telemetry snapshot (JSON, or Prometheus\n\
                                  text exposition with --prom; see docs/observability.md)\n\
+    trace <id>                   span waterfall the server's flight recorder\n\
+                                 retains for a trace id\n\
     pipe                         read raw request lines from stdin, pipeline\n\
                                  them over ONE keep-alive connection, print\n\
                                  the reply lines in request order\n\
@@ -102,6 +108,10 @@ pub fn usage() -> &'static str {
     stats                        one JSON line per node plus a totals line\n\
     ping                         probe every node's liveness\n\
     metrics                      scrape every node, print the merged telemetry\n\
+    trace <id>                   scrape every node's flight recorder, print the\n\
+                                 merged cluster-wide span waterfall\n\
+    --trace <id>                 stamp every routed request with one trace id\n\
+                                 across all per-node sub-batches\n\
   help                           show this text"
         )
     })
@@ -649,15 +659,98 @@ fn query_connect(addr: &str, binary: bool) -> Result<Connection, ClientError> {
     }
 }
 
+/// Splits an optional `--trace <id>` pair out of `args`; the remaining
+/// arguments come back in order.  Shared by `srra query` and `srra cluster`.
+fn take_trace_flag(args: &[String]) -> Result<(Option<String>, Vec<String>), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut trace = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--trace" {
+            let id = iter
+                .next()
+                .ok_or_else(|| CliError("--trace needs a value".into()))?;
+            trace = Some(id.clone());
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((trace, rest))
+}
+
+/// Renders a span list as an indented waterfall: one line per span with its
+/// offset from the trace's earliest span, its duration and its annotations,
+/// children nested under their parents in start order.  A span whose parent
+/// is absent (evicted from the ring, or held by an unreachable node) prints
+/// at the root level rather than disappearing.
+fn render_waterfall(spans: &[Span]) -> String {
+    use std::collections::{BTreeMap, BTreeSet};
+    let ids: BTreeSet<u64> = spans.iter().map(|span| span.span_id).collect();
+    let base = spans.iter().map(|span| span.start_us).min().unwrap_or(0);
+    let mut children: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+    let mut roots: Vec<&Span> = Vec::new();
+    for span in spans {
+        if span.parent_id != 0 && ids.contains(&span.parent_id) {
+            children.entry(span.parent_id).or_default().push(span);
+        } else {
+            roots.push(span);
+        }
+    }
+    roots.sort_by_key(|span| (span.start_us, span.span_id));
+    for list in children.values_mut() {
+        list.sort_by_key(|span| (span.start_us, span.span_id));
+    }
+    let mut out = String::new();
+    let mut stack: Vec<(&Span, usize)> = roots.iter().rev().map(|span| (*span, 0)).collect();
+    while let Some((span, depth)) = stack.pop() {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!(
+            "{} +{}us {}us",
+            span.name,
+            span.start_us.saturating_sub(base),
+            span.dur_us
+        ));
+        for (key, value) in &span.annotations {
+            out.push_str(&format!(" {key}={value}"));
+        }
+        out.push('\n');
+        if let Some(kids) = children.get(&span.span_id) {
+            stack.extend(kids.iter().rev().map(|span| (*span, depth + 1)));
+        }
+    }
+    out
+}
+
+/// The text of one `trace <id>` reply: a headline plus the waterfall, or a
+/// clear "nothing retained" line for unknown/evicted ids.
+fn render_trace_output(id: &str, spans: &[Span]) -> String {
+    if spans.is_empty() {
+        return format!("trace {id}: no spans retained");
+    }
+    let mut out = format!("trace {id}: {} span(s)\n", spans.len());
+    out.push_str(&render_waterfall(spans));
+    out.trim_end().to_owned()
+}
+
 fn cmd_query(args: &[String]) -> Result<String, CliError> {
-    // `--binary` is positionally free: it selects the wire codec and every
-    // other argument keeps its meaning.
+    // `--binary` and `--trace <id>` are positionally free: they select the
+    // wire codec / stamp a trace id and every other argument keeps its
+    // meaning.
     let binary = args.iter().any(|flag| flag == "--binary");
     let args: Vec<String> = args
         .iter()
         .filter(|flag| *flag != "--binary")
         .cloned()
         .collect();
+    let (trace, args) = take_trace_flag(&args)?;
+    let connect = |addr: &str| -> Result<Connection, CliError> {
+        let mut connection =
+            query_connect(addr, binary).map_err(|err| CliError(format!("query: {err}")))?;
+        connection
+            .set_trace(trace.as_deref())
+            .map_err(|err| CliError(format!("query: {err}")))?;
+        Ok(connection)
+    };
     let (addr, rest) = match &args[..] {
         [flag, addr, rest @ ..] if flag == "--addr" => (addr.clone(), rest),
         _ => {
@@ -669,7 +762,7 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
     };
     if let [op] = rest {
         if op == "pipe" {
-            return cmd_query_pipe(&addr, binary, std::io::stdin().lock());
+            return cmd_query_pipe(connect(&addr)?, std::io::stdin().lock());
         }
     }
     let request = match rest {
@@ -705,8 +798,7 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
                     )))
                 }
             };
-            let mut connection =
-                query_connect(&addr, binary).map_err(|err| CliError(format!("query: {err}")))?;
+            let mut connection = connect(&addr)?;
             return if prom {
                 connection.metrics_text()
             } else {
@@ -715,16 +807,24 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
             .map(|text| text.trim_end().to_owned())
             .map_err(|err| CliError(format!("query: {err}")));
         }
+        [op, id] if op == "trace" => {
+            // The waterfall is multi-line text, like the Prometheus path:
+            // print it directly instead of the single-line JSON envelope.
+            let spans = connect(&addr)?
+                .trace_spans(id)
+                .map_err(|err| CliError(format!("query: {err}")))?;
+            return Ok(render_trace_output(id, &spans));
+        }
         _ => {
             return Err(CliError(format!(
-                "query expects get/explore/stats/metrics/shutdown/pipe, got `{}`\n{}",
+                "query expects get/explore/stats/metrics/trace/shutdown/pipe, got `{}`\n{}",
                 rest.join(" "),
                 usage()
             )))
         }
     };
-    let response = query_connect(&addr, binary)
-        .and_then(|mut connection| connection.roundtrip(&request))
+    let response = connect(&addr)?
+        .roundtrip(&request)
         .map_err(|err| CliError(format!("query: {err}")))?;
     Ok(response.render())
 }
@@ -752,12 +852,9 @@ const PIPE_WINDOW_BYTES: usize = 8 * 1024;
 /// accumulated — the CLI contract returns one string — so output stays
 /// proportional to the replies.)
 fn cmd_query_pipe(
-    addr: &str,
-    binary: bool,
+    mut connection: Connection,
     input: impl std::io::BufRead,
 ) -> Result<String, CliError> {
-    let mut connection =
-        query_connect(addr, binary).map_err(|err| CliError(format!("query: {err}")))?;
     let mut window: Vec<Request> = Vec::with_capacity(PIPE_WINDOW);
     let mut out = String::new();
     let mut flush_window = |window: &mut Vec<Request>, out: &mut String| -> Result<(), CliError> {
@@ -877,6 +974,7 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
     let mut replicas = 1usize;
     let mut vnodes = srra_cluster::Ring::DEFAULT_VNODES;
     let mut binary = false;
+    let mut trace: Option<String> = None;
     let mut rest: &[String] = &[];
     let mut iter_index = 0;
     while iter_index < args.len() {
@@ -920,6 +1018,10 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
                 binary = true;
                 iter_index += 1;
             }
+            "--trace" => {
+                trace = Some(value("--trace")?);
+                iter_index += 2;
+            }
             _ => {
                 rest = &args[iter_index..];
                 break;
@@ -935,6 +1037,9 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
         .with_binary(binary);
     let mut cluster =
         ClusterClient::connect(&config).map_err(|err| CliError(format!("cluster: {err}")))?;
+    cluster
+        .set_trace(trace.as_deref())
+        .map_err(|err| CliError(format!("cluster: {err}")))?;
     match rest {
         [op, kernel, algo, budget, opts @ ..] if op == "get" => {
             let point = parse_get_point(kernel, algo, budget, opts)?;
@@ -1024,8 +1129,21 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
             out.push_str(&combined.render_json());
             Ok(out)
         }
+        [op, id] if op == "trace" => {
+            let scraped = cluster.trace(id);
+            let mut out = String::new();
+            for (addr, spans) in &scraped.nodes {
+                out.push_str(&format!(
+                    "{{\"addr\":\"{addr}\",\"scraped\":{},\"spans\":{}}}\n",
+                    spans.is_some(),
+                    spans.as_ref().map_or(0, Vec::len)
+                ));
+            }
+            out.push_str(&render_trace_output(id, &scraped.merged));
+            Ok(out)
+        }
         _ => Err(CliError(format!(
-            "cluster expects get/mget/explore/stats/ping/metrics, got `{}`\n{}",
+            "cluster expects get/mget/explore/stats/ping/metrics/trace, got `{}`\n{}",
             rest.join(" "),
             usage()
         ))),
@@ -1345,7 +1463,7 @@ mod tests {
             "{\"op\":\"mget\",\"canonicals\":[\"kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560\",\"nope\"]}\n",
             "{\"op\":\"stats\"}\n",
         );
-        let out = cmd_query_pipe(&addr, false, input.as_bytes()).unwrap();
+        let out = cmd_query_pipe(query_connect(&addr, false).unwrap(), input.as_bytes()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3, "{out}");
         assert!(lines[0].starts_with("{\"ok\":true,\"records\":["), "{out}");
@@ -1359,7 +1477,8 @@ mod tests {
         // the wire format changes, and the data-bearing replies (not the
         // stats line, whose latency digests move between runs) come back
         // byte-identical to the JSON-codec run.
-        let binary_out = cmd_query_pipe(&addr, true, input.as_bytes()).unwrap();
+        let binary_out =
+            cmd_query_pipe(query_connect(&addr, true).unwrap(), input.as_bytes()).unwrap();
         let binary_lines: Vec<&str> = binary_out.lines().collect();
         assert_eq!(binary_lines.len(), 3, "{binary_out}");
         assert_eq!(binary_lines[..2], lines[..2], "{binary_out}");
@@ -1374,11 +1493,61 @@ mod tests {
         assert!(hit.contains("\"kernel\":\"fir\""), "{hit}");
 
         // Malformed or empty stdin fails client-side, before any bytes move.
-        assert!(cmd_query_pipe(&addr, false, "not json\n".as_bytes()).is_err());
-        assert!(cmd_query_pipe(&addr, false, "".as_bytes()).is_err());
+        assert!(cmd_query_pipe(
+            query_connect(&addr, false).unwrap(),
+            "not json\n".as_bytes()
+        )
+        .is_err());
+        assert!(cmd_query_pipe(query_connect(&addr, false).unwrap(), "".as_bytes()).is_err());
 
         let down = run(&args(&["query", "--addr", &addr, "shutdown"])).unwrap();
         assert!(down.contains("shutting_down"));
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn query_trace_records_and_prints_span_waterfalls() {
+        let dir = std::env::temp_dir().join(format!("srra-cli-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::bind(&ServerConfig {
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::ephemeral(dir.join("cache"))
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let query = |rest: &[&str]| {
+            let mut full = vec!["query", "--addr", addr.as_str()];
+            full.extend_from_slice(rest);
+            run(&args(&full))
+        };
+
+        // A traced cold explore leaves a span tree in the flight recorder;
+        // `trace <id>` prints it as a waterfall with the engine stages as
+        // children of the root request span.
+        let explored = query(&[
+            "--trace", "cli.q.t1", "explore", "--kernel", "fir", "--algos", "cpa",
+        ])
+        .unwrap();
+        assert!(explored.contains("\"evaluated\":1"), "{explored}");
+        let waterfall = query(&["trace", "cli.q.t1"]).unwrap();
+        assert!(waterfall.starts_with("trace cli.q.t1:"), "{waterfall}");
+        assert!(waterfall.contains("\nexplore +0us "), "{waterfall}");
+        assert!(waterfall.contains("codec=json"), "{waterfall}");
+        assert!(waterfall.contains("  engine.allocation +"), "{waterfall}");
+        assert!(waterfall.contains("  render +"), "{waterfall}");
+
+        // An unknown id answers cleanly, and a malformed one fails
+        // client-side before any bytes move.
+        assert_eq!(
+            query(&["trace", "nope"]).unwrap(),
+            "trace nope: no spans retained"
+        );
+        assert!(query(&["--trace", "bad id", "stats"]).is_err());
+
+        query(&["shutdown"]).unwrap();
         handle.join().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -1454,6 +1623,32 @@ mod tests {
         assert!(lines[2].contains("\"nodes_up\":2"), "{stats}");
         assert!(lines[2].contains("\"total_evaluated\":36"), "{stats}");
         assert!(lines[2].contains("\"total_records\":72"), "{stats}");
+
+        // A traced explore stamps one id across every node's sub-batch;
+        // `cluster trace` scrapes both flight recorders and merges the spans
+        // into one cluster-wide waterfall.
+        let traced = cluster(&[
+            "--trace",
+            "cli.c.t1",
+            "explore",
+            "--kernel",
+            "imi",
+            "--algos",
+            "cpa",
+            "--budgets",
+            "8,16,32,64",
+        ])
+        .unwrap();
+        assert!(traced.contains("\"outcomes\":["), "{traced}");
+        let waterfall = cluster(&["trace", "cli.c.t1"]).unwrap();
+        assert_eq!(
+            waterfall.matches("\"scraped\":true").count(),
+            2,
+            "{waterfall}"
+        );
+        assert!(waterfall.contains("trace cli.c.t1:"), "{waterfall}");
+        assert!(waterfall.contains("mexplore +"), "{waterfall}");
+        assert!(waterfall.contains("  engine.allocation +"), "{waterfall}");
 
         // Config errors fail before any traffic.
         assert!(run(&args(&["cluster", "stats"])).is_err(), "needs --nodes");

@@ -8,8 +8,10 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use srra_explore::{fnv1a_64, PointRecord};
-use srra_obs::{Counter, MetricsSnapshot, Registry};
-use srra_serve::{canonical_for, ClientError, Connection, PointOutcome, QueryPoint, ServerStats};
+use srra_obs::{Counter, MetricsSnapshot, Registry, Span};
+use srra_serve::{
+    canonical_for, valid_trace_id, ClientError, Connection, PointOutcome, QueryPoint, ServerStats,
+};
 
 use crate::ring::Ring;
 
@@ -152,6 +154,10 @@ struct Node {
     addr: String,
     /// Dial connections in binary-codec mode.
     binary: bool,
+    /// Trace id stamped onto every request this node serves, when set.
+    /// Survives reconnects: a fresh connection re-applies it before use, so
+    /// one logical trace spans a node's sub-batches even across failures.
+    trace: Option<String>,
     connection: Option<Connection>,
     /// `Some(instant)` while the node is marked down; no connect attempt is
     /// made before it.
@@ -167,6 +173,7 @@ impl Node {
         Self {
             addr,
             binary,
+            trace: None,
             connection: None,
             down_until: None,
             backoff: BACKOFF_INITIAL,
@@ -216,7 +223,12 @@ impl Node {
                 Connection::connect(&self.addr)
             };
             match dialled {
-                Ok(connection) => self.connection = Some(connection),
+                Ok(mut connection) => {
+                    connection
+                        .set_trace(self.trace.as_deref())
+                        .expect("trace id validated by ClusterClient::set_trace");
+                    self.connection = Some(connection);
+                }
                 Err(err) => {
                     if is_io(&err) {
                         self.mark_down();
@@ -334,6 +346,30 @@ impl ClusterMetrics {
     }
 }
 
+/// One trace's spans gathered from every node by
+/// [`ClusterClient::trace`] — a cluster-wide request waterfall.
+#[derive(Debug, Clone)]
+pub struct ClusterTrace {
+    /// Per-node span lists, in configuration order; `None` when the node did
+    /// not answer the scrape (a node with no spans for the id answers
+    /// `Some` of an empty list).
+    pub nodes: Vec<(String, Option<Vec<Span>>)>,
+    /// All reachable nodes' spans merged into one tree, deduplicated by span
+    /// id and ordered by start time.  Span ids are seeded per process, so
+    /// different nodes' spans interleave without colliding.
+    pub merged: Vec<Span>,
+}
+
+impl ClusterTrace {
+    /// Nodes that answered the scrape.
+    pub fn nodes_up(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|(_, spans)| spans.is_some())
+            .count()
+    }
+}
+
 /// The result of one cluster [`explore`](ClusterClient::explore) call.
 #[derive(Debug, Clone)]
 pub struct ClusterExploreReply {
@@ -415,6 +451,63 @@ impl ClusterClient {
     /// The configured replication factor.
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// Sets (or clears, with `None`) the trace id stamped onto every request
+    /// this client routes, across all nodes.  One cluster call fans out as
+    /// per-node sub-batches; stamping them all with the same id is what
+    /// lets [`trace`](ClusterClient::trace) reassemble the cluster-wide
+    /// waterfall afterwards.  Applied to live connections immediately and
+    /// re-applied whenever a node reconnects.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for ids that are empty, longer than
+    /// [`srra_serve::TRACE_MAX_LEN`] bytes, or contain characters outside
+    /// `[A-Za-z0-9._-]`.
+    pub fn set_trace(&mut self, trace: Option<&str>) -> Result<(), ClusterError> {
+        if let Some(id) = trace {
+            if !valid_trace_id(id) {
+                return Err(ClusterError::Config(format!(
+                    "invalid trace id `{id}`: want 1-64 bytes of [A-Za-z0-9._-]"
+                )));
+            }
+        }
+        for node in &mut self.nodes {
+            node.trace = trace.map(str::to_owned);
+            if let Some(connection) = &mut node.connection {
+                connection
+                    .set_trace(trace)
+                    .expect("trace id validated above");
+            }
+        }
+        Ok(())
+    }
+
+    /// Scrapes every node's flight recorder for `id` and merges the answers
+    /// into one cluster-wide span tree (deduplicated by span id, ordered by
+    /// start time).  Unreachable nodes report `None` instead of failing the
+    /// call; a node that retains nothing for the id reports an empty list.
+    pub fn trace(&mut self, id: &str) -> ClusterTrace {
+        let nodes: Vec<(String, Option<Vec<Span>>)> = self
+            .nodes
+            .iter_mut()
+            .map(|node| {
+                let spans = node.call(|connection| connection.trace_spans(id)).ok();
+                (node.addr.clone(), spans)
+            })
+            .collect();
+        let mut merged: Vec<Span> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, spans) in &nodes {
+            for span in spans.iter().flatten() {
+                if seen.insert(span.span_id) {
+                    merged.push(span.clone());
+                }
+            }
+        }
+        merged.sort_by_key(|span| (span.start_us, span.span_id));
+        ClusterTrace { nodes, merged }
     }
 
     /// Probes every node with a `ping`; returns `(addr, reachable)` in

@@ -67,6 +67,6 @@ mod ring;
 
 pub use client::{
     ClusterClient, ClusterConfig, ClusterError, ClusterExploreReply, ClusterMetrics, ClusterStats,
-    NodeStats,
+    ClusterTrace, NodeStats,
 };
 pub use ring::Ring;

@@ -127,6 +127,68 @@ fn replicated_cluster_answers_byte_identically_after_a_node_kill() {
 }
 
 #[test]
+fn failover_reads_keep_their_trace_id_on_the_replica() {
+    let dir = std::env::temp_dir().join(format!("srra-cluster-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addrs, mut handles) = start_nodes(&dir, 2);
+
+    let mut cluster = ClusterClient::connect(&ClusterConfig::new(addrs.clone()).with_replicas(2))
+        .expect("cluster connects");
+    let points = workload();
+    let keys = canonicals(&points);
+    cluster.explore(&points).expect("cold explore");
+
+    // Kill node 0, then read the whole workload under one trace id: node
+    // 0's share fails over to the surviving replica, and the replayed
+    // sub-batches must still carry the id.
+    Client::new(addrs[0].clone()).shutdown().expect("shutdown");
+    handles.remove(0).join().expect("server thread");
+    cluster
+        .set_trace(Some("failover-sweep.1"))
+        .expect("valid id");
+    let records = cluster.mget(&keys).expect("failover mget");
+    assert!(records.iter().all(Option::is_some));
+    cluster.set_trace(None).expect("clearing is fine");
+
+    // The survivor's flight recorder holds the traced failover reads; the
+    // dead node reports unscraped instead of failing the call.
+    let scraped = cluster.trace("failover-sweep.1");
+    assert_eq!(scraped.nodes_up(), 1, "only the survivor answers");
+    assert!(
+        scraped
+            .nodes
+            .iter()
+            .any(|(addr, spans)| *addr == addrs[0] && spans.is_none()),
+        "{:?}",
+        scraped.nodes
+    );
+    let roots: Vec<_> = scraped
+        .merged
+        .iter()
+        .filter(|span| span.parent_id == 0)
+        .collect();
+    assert!(
+        !roots.is_empty(),
+        "the survivor recorded the failover reads"
+    );
+    assert!(
+        roots
+            .iter()
+            .all(|span| span.name == "mget" && span.trace_id == "failover-sweep.1"),
+        "{roots:?}"
+    );
+
+    // Malformed ids are rejected before any traffic.
+    assert!(cluster.set_trace(Some("has space")).is_err());
+
+    assert_eq!(cluster.shutdown_all(), 1);
+    for handle in handles {
+        handle.join().expect("server thread");
+    }
+    std::fs::remove_dir_all(&dir).expect("scratch dir removed");
+}
+
+#[test]
 fn unreplicated_cluster_reports_unavailable_keys_instead_of_guessing() {
     let dir = std::env::temp_dir().join(format!("srra-cluster-unavail-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

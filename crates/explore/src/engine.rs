@@ -41,6 +41,36 @@ fn engine_metrics() -> &'static EngineMetrics {
     })
 }
 
+/// Wall time spent in each stage of one [`evaluate_point_timed`] call, in
+/// microseconds.
+///
+/// The same three stages the engine's global histograms
+/// (`explore_reuse_analysis_us` / `explore_allocation_us` /
+/// `explore_cost_model_us`) aggregate, surfaced per call so a traced serve
+/// request can attribute its evaluation time span by span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimings {
+    /// Memoized reuse analysis (0 when the kernel's analysis was already
+    /// cached and the stage never ran).
+    pub reuse_analysis_us: u64,
+    /// Register allocation (the point's allocator strategy).
+    pub allocation_us: u64,
+    /// Hardware cost-model evaluation (0 for infeasible points, which never
+    /// reach it).
+    pub cost_model_us: u64,
+}
+
+impl StageTimings {
+    /// Total stage time in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.reuse_analysis_us + self.allocation_us + self.cost_model_us
+    }
+}
+
+fn elapsed_us(started: Instant) -> u64 {
+    started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
 /// Evaluates one design point from scratch (no cache involved).
 ///
 /// The kernel's [`CompiledKernel`] context supplies the (memoized) reuse
@@ -51,6 +81,18 @@ fn engine_metrics() -> &'static EngineMetrics {
 /// `ram_latency = 1` reproduces the abstract `T_mem` metric of the Figure 2
 /// reproduction.
 pub fn evaluate_point(kernel: &CompiledKernel, point: &DesignPoint) -> PointRecord {
+    evaluate_point_timed(kernel, point).0
+}
+
+/// [`evaluate_point`] plus per-stage wall timings for span emission.
+///
+/// The global stage histograms record exactly as in [`evaluate_point`]; the
+/// returned [`StageTimings`] additionally surfaces this call's own stage
+/// durations so callers can attach them to a trace.
+pub fn evaluate_point_timed(
+    kernel: &CompiledKernel,
+    point: &DesignPoint,
+) -> (PointRecord, StageTimings) {
     let canonical = point.canonical();
     let key = point.key();
     let base = PointRecord {
@@ -77,6 +119,7 @@ pub fn evaluate_point(kernel: &CompiledKernel, point: &DesignPoint) -> PointReco
     };
     let metrics = engine_metrics();
     metrics.evaluations.inc();
+    let mut timings = StageTimings::default();
     // Force the kernel's memoized reuse analysis now, so its cost (paid only
     // by the first point of each kernel) lands in its own histogram instead
     // of being folded into whichever stage happens to trigger it.
@@ -84,13 +127,15 @@ pub fn evaluate_point(kernel: &CompiledKernel, point: &DesignPoint) -> PointReco
         let started = Instant::now();
         let _ = kernel.analysis();
         metrics.reuse_analysis_us.record(started.elapsed());
+        timings.reuse_analysis_us = elapsed_us(started);
     }
     let started = Instant::now();
     let allocated = point.allocator.allocate(kernel, point.budget);
     metrics.allocation_us.record(started.elapsed());
+    timings.allocation_us = elapsed_us(started);
     let Ok(allocation) = allocated else {
         metrics.infeasible.inc();
-        return base;
+        return (base, timings);
     };
     let options = EvaluationOptions {
         memory: MemoryCostModel::default().with_ram_latency(point.ram_latency),
@@ -105,7 +150,8 @@ pub fn evaluate_point(kernel: &CompiledKernel, point: &DesignPoint) -> PointReco
         &options,
     );
     metrics.cost_model_us.record(started.elapsed());
-    PointRecord {
+    timings.cost_model_us = elapsed_us(started);
+    let record = PointRecord {
         feasible: true,
         fits: point.device.fits(design.slices, design.block_rams),
         registers_used: design.registers_used,
@@ -119,7 +165,8 @@ pub fn evaluate_point(kernel: &CompiledKernel, point: &DesignPoint) -> PointReco
         block_rams: design.block_rams,
         distribution: design.register_distribution,
         ..base
-    }
+    };
+    (record, timings)
 }
 
 /// The outcome of one [`Explorer::explore`] run.
@@ -414,6 +461,27 @@ mod tests {
         let warm = Explorer::new(1).explore(&space, &mut store).unwrap();
         assert_eq!(warm.evaluated, 0);
         assert_eq!(warm.records.len(), space.len());
+    }
+
+    #[test]
+    fn timed_evaluation_matches_untimed_and_reports_its_stages() {
+        let space = DesignSpace::new()
+            .with_kernel(paper_example())
+            .with_budgets(&[64, 1]);
+        let points = space.points();
+        let kernel = &space.kernels()[0];
+        let feasible = &points[0];
+        let (timed, timings) = evaluate_point_timed(kernel, feasible);
+        assert_eq!(timed, evaluate_point(kernel, feasible));
+        assert!(timed.feasible);
+        assert!(timings.total_us() >= timings.cost_model_us);
+        // The infeasible budget never reaches the cost model.
+        let infeasible = points.iter().find(|p| p.budget == 1).unwrap();
+        let (record, timings) = evaluate_point_timed(kernel, infeasible);
+        assert!(!record.feasible);
+        assert_eq!(timings.cost_model_us, 0);
+        // The analysis was cached by the calls above, so the stage is skipped.
+        assert_eq!(timings.reuse_analysis_us, 0);
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod space;
 mod store;
 
 pub use codec::{WireError, WireSerde};
-pub use engine::{evaluate_point, Exploration, Explorer};
+pub use engine::{evaluate_point, evaluate_point_timed, Exploration, Explorer, StageTimings};
 pub use pareto::{best_allocators, dominates, pareto_frontier, BestAllocator};
 pub use render::{exploration_csv, render_best_allocators, render_exploration, render_frontier};
 pub use segment::{SegmentStore, MAX_SEGMENT_RECORD_LEN, SEGMENT_MAGIC};

@@ -5,6 +5,7 @@
 //! loads/stores compile to single unlocked instructions on the hot path.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Number of latency buckets: bucket 0 holds sub-microsecond samples, bucket
@@ -105,12 +106,16 @@ impl Gauge {
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; LATENCY_BUCKETS],
+    /// Last trace id that landed in each bucket (exemplars).  Only traced
+    /// recordings touch this mutex; the untraced hot path stays lock-free.
+    exemplars: Mutex<[Option<String>; LATENCY_BUCKETS]>,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: Mutex::new(std::array::from_fn(|_| None)),
         }
     }
 }
@@ -129,6 +134,17 @@ impl Histogram {
     /// Records one sample of `micros` microseconds.
     pub fn record_micros(&self, micros: u64) {
         self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one elapsed duration attributed to `trace_id`: the sample's
+    /// bucket remembers the id as its exemplar, so a quantile spike in a
+    /// scrape links straight to a replayable trace.
+    pub fn record_traced(&self, elapsed: Duration, trace_id: &str) {
+        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let index = bucket_index(micros);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        let mut exemplars = self.exemplars.lock().expect("exemplars poisoned");
+        exemplars[index] = Some(trace_id.to_owned());
     }
 
     /// Total number of recorded samples.
@@ -153,6 +169,7 @@ impl Histogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: std::array::from_fn(|index| self.buckets[index].load(Ordering::Relaxed)),
+            exemplars: self.exemplars.lock().expect("exemplars poisoned").clone(),
         }
     }
 }
@@ -165,6 +182,8 @@ impl Histogram {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HistogramSnapshot {
     buckets: [u64; LATENCY_BUCKETS],
+    /// Last trace id per bucket; absent buckets carry `None`.
+    exemplars: [Option<String>; LATENCY_BUCKETS],
 }
 
 impl HistogramSnapshot {
@@ -172,19 +191,37 @@ impl HistogramSnapshot {
     ///
     /// Accepts up to [`LATENCY_BUCKETS`] counts (shorter slices are
     /// zero-padded, so older peers with fewer buckets still merge); returns
-    /// `None` for longer slices, which cannot be represented.
+    /// `None` for longer slices, which cannot be represented.  The snapshot
+    /// starts with no exemplars; wire decoders that carry them attach each
+    /// via [`set_exemplar`](Self::set_exemplar).
     pub fn from_buckets(counts: &[u64]) -> Option<Self> {
         if counts.len() > LATENCY_BUCKETS {
             return None;
         }
         let mut buckets = [0u64; LATENCY_BUCKETS];
         buckets[..counts.len()].copy_from_slice(counts);
-        Some(Self { buckets })
+        Some(Self {
+            buckets,
+            exemplars: std::array::from_fn(|_| None),
+        })
     }
 
     /// The raw per-bucket counts.
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
+    }
+
+    /// The per-bucket exemplars (last trace id that landed in each bucket).
+    pub fn exemplars(&self) -> &[Option<String>] {
+        &self.exemplars
+    }
+
+    /// Attaches `trace_id` as bucket `index`'s exemplar.  Out-of-range
+    /// indices are ignored (a newer peer may know more buckets).
+    pub fn set_exemplar(&mut self, index: usize, trace_id: String) {
+        if let Some(slot) = self.exemplars.get_mut(index) {
+            *slot = Some(trace_id);
+        }
     }
 
     /// Total number of samples.
@@ -210,10 +247,16 @@ impl HistogramSnapshot {
         bucket_bound(LATENCY_BUCKETS - 1)
     }
 
-    /// Adds `other`'s samples bucket-wise (saturating).
+    /// Adds `other`'s samples bucket-wise (saturating).  A bucket keeps its
+    /// own exemplar and adopts `other`'s only where it has none.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine = mine.saturating_add(*theirs);
+        }
+        for (mine, theirs) in self.exemplars.iter_mut().zip(other.exemplars.iter()) {
+            if mine.is_none() {
+                mine.clone_from(theirs);
+            }
         }
     }
 }
@@ -324,6 +367,51 @@ mod tests {
         assert_eq!(snapshot.count(), 4);
         assert_eq!(snapshot.buckets().len(), LATENCY_BUCKETS);
         assert!(HistogramSnapshot::from_buckets(&[0; LATENCY_BUCKETS + 1]).is_none());
+    }
+
+    #[test]
+    fn traced_recordings_stamp_bucket_exemplars() {
+        let histogram = Histogram::new();
+        histogram.record_micros(40);
+        histogram.record_traced(Duration::from_micros(40), "req-a");
+        histogram.record_traced(Duration::from_micros(45), "req-b");
+        histogram.record_traced(Duration::from_micros(5_000), "req-slow");
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.buckets()[bucket_index(40)], 3);
+        assert_eq!(
+            snapshot.exemplars()[bucket_index(40)].as_deref(),
+            Some("req-b"),
+            "the last trace to land in the bucket wins"
+        );
+        assert_eq!(
+            snapshot.exemplars()[bucket_index(5_000)].as_deref(),
+            Some("req-slow")
+        );
+        assert!(
+            snapshot.exemplars()[0].is_none(),
+            "untouched buckets stay bare"
+        );
+
+        // Merging keeps own exemplars, adopts the other's where absent.
+        let other = Histogram::new();
+        other.record_traced(Duration::from_micros(40), "req-other");
+        other.record_traced(Duration::from_micros(2), "req-tiny");
+        let mut merged = snapshot.clone();
+        merged.merge(&other.snapshot());
+        assert_eq!(
+            merged.exemplars()[bucket_index(40)].as_deref(),
+            Some("req-b")
+        );
+        assert_eq!(
+            merged.exemplars()[bucket_index(2)].as_deref(),
+            Some("req-tiny")
+        );
+
+        // Wire-side attachment round-trips; out-of-range indices are ignored.
+        let mut wire = HistogramSnapshot::from_buckets(&[1]).expect("short is fine");
+        wire.set_exemplar(0, "req-wire".to_owned());
+        wire.set_exemplar(LATENCY_BUCKETS + 5, "nope".to_owned());
+        assert_eq!(wire.exemplars()[0].as_deref(), Some("req-wire"));
     }
 
     #[test]

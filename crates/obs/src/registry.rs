@@ -5,6 +5,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::snapshot::MetricsSnapshot;
+use crate::span::TraceBuffer;
 
 /// A named set of instruments.
 ///
@@ -30,6 +31,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    traces: TraceBuffer,
 }
 
 fn assert_name(name: &str) {
@@ -73,6 +75,11 @@ impl Registry {
     /// Returns the histogram named `name`, registering it empty on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         get_or_register(&self.histograms, name)
+    }
+
+    /// This registry's span flight recorder (see [`TraceBuffer`]).
+    pub fn traces(&self) -> &TraceBuffer {
+        &self.traces
     }
 
     /// Point-in-time copy of every instrument, sorted by name.

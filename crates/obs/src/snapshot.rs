@@ -28,6 +28,81 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
+/// Human description of a metric, emitted as its `# HELP` exposition line.
+///
+/// Load-bearing names get specific text; everything else falls back on its
+/// naming-convention shape, so a freshly added instrument is never left
+/// without a HELP line.
+fn help_for(name: &str) -> &'static str {
+    match name {
+        "serve_connections_total" => return "Connections accepted by the serve listener.",
+        "serve_requests_total" => return "Requests handled, across every op and codec.",
+        "serve_hits_total" => return "Store lookups answered from a shard.",
+        "serve_misses_total" => return "Store lookups that missed every shard.",
+        "serve_evaluated_total" => return "Design points evaluated on demand.",
+        "serve_traced_requests_total" => return "Requests carrying a trace id.",
+        "serve_pinned_traces_total" => {
+            return "Slow traces pinned into the flight recorder's retained set."
+        }
+        "serve_slow_queries_total" => return "Requests at or over the --slow-query-us threshold.",
+        "serve_open_connections" => return "Currently open client connections.",
+        "serve_codec_binary_total" => return "Requests decoded from binary wire frames.",
+        "serve_codec_json_total" => return "Requests decoded from JSON lines.",
+        "serve_inflight_claims_total" => {
+            return "In-flight table claims taken (first evaluator of a point)."
+        }
+        "serve_inflight_waits_total" => {
+            return "Waits behind another request's in-flight evaluation of the same point."
+        }
+        "serve_codec_parse_us" => return "Request parse time in microseconds.",
+        "serve_codec_render_us" => return "Reply render time in microseconds.",
+        "explore_evaluations_total" => return "Design points evaluated by the explore engine.",
+        "explore_infeasible_total" => return "Design points found infeasible by their allocator.",
+        "explore_store_reads_total" => return "Result-store lookups by the explore engine.",
+        "explore_store_writes_total" => return "Result-store write-backs by the explore engine.",
+        "explore_reuse_analysis_us" => return "Reuse-analysis stage time in microseconds.",
+        "explore_allocation_us" => return "Register-allocation stage time in microseconds.",
+        "explore_cost_model_us" => return "Cost-model stage time in microseconds.",
+        "store_shard_reads_total" => return "Shard read-lock acquisitions.",
+        "store_shard_writes_total" => return "Shard write-lock acquisitions.",
+        "store_shard_read_wait_us" => return "Shard read-lock wait in microseconds.",
+        "store_shard_write_wait_us" => return "Shard write-lock wait in microseconds.",
+        "store_rehydrate_us" => return "Startup shard re-hydration time in microseconds.",
+        "store_torn_segments_total" => return "Torn segment tails truncated away at open.",
+        "client_connects_total" => return "Sockets opened by the wire client.",
+        "client_reconnect_retries_total" => return "Stale-socket reconnect-and-retry round trips.",
+        "cluster_requests_routed_total" => {
+            return "Node calls routed successfully by the cluster client."
+        }
+        "cluster_node_failures_total" => return "Nodes marked down after an I/O failure.",
+        "cluster_node_recoveries_total" => return "Nodes recovered from a down mark.",
+        "cluster_backoff_fastfails_total" => {
+            return "Calls failed fast inside a reconnect back-off window."
+        }
+        "cluster_failover_requeues_total" => {
+            return "Batch items re-queued to a replica successor."
+        }
+        "cluster_tee_stored_total" => return "Replica-tee records newly stored.",
+        "cluster_tee_failures_total" => return "Replica-tee calls that failed.",
+        _ => {}
+    }
+    if name.starts_with("serve_op_") {
+        if name.ends_with("_latency_us") {
+            return "Per-op service time in microseconds.";
+        }
+        if name.ends_with("_total") {
+            return "Per-op request count.";
+        }
+    }
+    if name.ends_with("_us") {
+        return "Latency histogram in microseconds.";
+    }
+    if name.ends_with("_total") {
+        return "Monotone event count.";
+    }
+    "Instrument of the srra telemetry registry."
+}
+
 fn merge_sorted<T, F: Fn(&mut T, &T)>(mine: &mut Vec<(String, T)>, theirs: &[(String, T)], fold: F)
 where
     T: Clone,
@@ -143,7 +218,31 @@ impl MetricsSnapshot {
                 }
                 out.push_str(&count.to_string());
             }
-            out.push_str("]}");
+            out.push(']');
+            // Exemplars render only when at least one bucket carries one, so
+            // exemplar-free snapshots keep their historical byte shape.  Keys
+            // are the buckets' inclusive upper bounds in microseconds (the
+            // same `le` values the Prometheus exposition uses); values are
+            // trace ids, which are `[A-Za-z0-9._-]` and need no escaping.
+            if snapshot.exemplars().iter().any(Option::is_some) {
+                out.push_str(",\"exemplars\":{");
+                let mut first = true;
+                for (bucket, exemplar) in snapshot.exemplars().iter().enumerate() {
+                    if let Some(trace_id) = exemplar {
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        out.push('"');
+                        out.push_str(&((1u64 << bucket) - 1).to_string());
+                        out.push_str("\":\"");
+                        out.push_str(trace_id);
+                        out.push('"');
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
         }
         out.push_str("}}");
     }
@@ -157,43 +256,57 @@ impl MetricsSnapshot {
 
     /// Renders a Prometheus-style text exposition.
     ///
-    /// Counters and gauges are one `# TYPE` line plus one sample each;
+    /// Every family gets a `# HELP` description and a `# TYPE` line;
     /// histograms render as cumulative `name_bucket{le="..."}` samples (the
     /// `le` bounds are the buckets' inclusive upper bounds in microseconds,
     /// then `+Inf`) plus `name_count`.  No `name_sum` is emitted — the
-    /// fixed-bucket histograms do not track one.
+    /// fixed-bucket histograms do not track one.  A bucket carrying an
+    /// exemplar appends it in OpenMetrics syntax:
+    /// `... # {trace_id="req-1"} <le-bound>`.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::with_capacity(1024);
-        for (name, value) in &self.counters {
-            out.push_str("# TYPE ");
+        let header = |out: &mut String, name: &str, kind: &str| {
+            out.push_str("# HELP ");
             out.push_str(name);
-            out.push_str(" counter\n");
+            out.push(' ');
+            out.push_str(help_for(name));
+            out.push_str("\n# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+        };
+        for (name, value) in &self.counters {
+            header(&mut out, name, "counter");
             out.push_str(name);
             out.push(' ');
             out.push_str(&value.to_string());
             out.push('\n');
         }
         for (name, value) in &self.gauges {
-            out.push_str("# TYPE ");
-            out.push_str(name);
-            out.push_str(" gauge\n");
+            header(&mut out, name, "gauge");
             out.push_str(name);
             out.push(' ');
             out.push_str(&value.to_string());
             out.push('\n');
         }
         for (name, snapshot) in &self.histograms {
-            out.push_str("# TYPE ");
-            out.push_str(name);
-            out.push_str(" histogram\n");
+            header(&mut out, name, "histogram");
             let mut cumulative = 0u64;
             for (index, &count) in snapshot.buckets().iter().enumerate() {
                 cumulative += count;
                 out.push_str(name);
                 out.push_str("_bucket{le=\"");
-                out.push_str(&((1u64 << index) - 1).to_string());
+                let bound = (1u64 << index) - 1;
+                out.push_str(&bound.to_string());
                 out.push_str("\"} ");
                 out.push_str(&cumulative.to_string());
+                if let Some(Some(trace_id)) = snapshot.exemplars().get(index) {
+                    out.push_str(" # {trace_id=\"");
+                    out.push_str(trace_id);
+                    out.push_str("\"} ");
+                    out.push_str(&bound.to_string());
+                }
                 out.push('\n');
             }
             out.push_str(name);
@@ -252,6 +365,70 @@ mod tests {
                 .count(),
             LATENCY_BUCKETS + 1
         );
+    }
+
+    #[test]
+    fn prometheus_rendering_carries_help_lines() {
+        let text = sample().render_prometheus();
+        assert!(
+            text.contains(
+                "# HELP requests_total Monotone event count.\n# TYPE requests_total counter\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP open_connections Instrument of the srra telemetry registry.\n")
+        );
+        assert!(text.contains("# HELP get_latency_us Latency histogram in microseconds.\n"));
+        // Known names get their specific descriptions.
+        let registry = Registry::new();
+        registry.counter("serve_requests_total").inc();
+        registry.counter("serve_op_get_total").inc();
+        registry
+            .histogram("serve_op_get_latency_us")
+            .record_micros(3);
+        let text = registry.snapshot().render_prometheus();
+        assert!(text.contains(
+            "# HELP serve_requests_total Requests handled, across every op and codec.\n"
+        ));
+        assert!(text.contains("# HELP serve_op_get_total Per-op request count.\n"));
+        assert!(
+            text.contains("# HELP serve_op_get_latency_us Per-op service time in microseconds.\n")
+        );
+    }
+
+    #[test]
+    fn exemplars_render_in_json_and_openmetrics_syntax() {
+        let registry = Registry::new();
+        let latency = registry.histogram("get_latency_us");
+        latency.record_micros(40);
+        latency.record_traced(std::time::Duration::from_micros(40), "req-warm");
+        latency.record_traced(std::time::Duration::from_micros(5_000), "req-slow");
+        let snapshot = registry.snapshot();
+
+        let json = snapshot.render_json();
+        assert!(
+            json.contains("\"exemplars\":{\"63\":\"req-warm\",\"8191\":\"req-slow\"}"),
+            "{json}"
+        );
+
+        let text = snapshot.render_prometheus();
+        assert!(
+            text.contains("get_latency_us_bucket{le=\"63\"} 2 # {trace_id=\"req-warm\"} 63\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("get_latency_us_bucket{le=\"8191\"} 3 # {trace_id=\"req-slow\"} 8191\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("get_latency_us_bucket{le=\"+Inf\"} 3\n"),
+            "the +Inf bucket never carries an exemplar: {text}"
+        );
+
+        // An exemplar-free snapshot keeps the historical JSON byte shape.
+        let bare = sample().render_json();
+        assert!(!bare.contains("exemplars"), "{bare}");
     }
 
     #[test]

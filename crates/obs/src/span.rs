@@ -1,0 +1,345 @@
+//! Spans and the flight recorder.
+//!
+//! A [`Span`] is one named, timed slice of a traced request: the server
+//! records a root span per traced request plus children for every stage the
+//! request passed through (codec parse, in-flight claim/wait, shard lock
+//! wait, engine stages, render).  Spans carry wall-clock offsets from a
+//! process-wide epoch, so spans recorded by different workers of one process
+//! order correctly against each other.
+//!
+//! The [`TraceBuffer`] is a fixed-capacity flight recorder: a sharded-mutex
+//! ring that retains the most recent spans and overwrites the oldest when
+//! full.  Traces at/over the slow-query threshold can additionally be
+//! [pinned](TraceBuffer::pin) into a small retained set that survives ring
+//! churn, so yesterday's p99 outlier is still answerable after a million
+//! fast requests have rolled the ring over.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Ring shards of a [`TraceBuffer`]: recording locks one of these, so
+/// concurrent workers contend only 1/8th of the time.
+const RING_SHARDS: usize = 8;
+
+/// Pinned traces retained per [`TraceBuffer`]; the oldest pin is evicted
+/// when a new slow trace arrives at capacity.
+const MAX_PINNED_TRACES: usize = 32;
+
+/// Default total span capacity of [`TraceBuffer::default`].
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// One named, timed slice of a traced request.
+///
+/// `start_us` is microseconds since this process's trace epoch (the first
+/// observation of time by the tracing layer), so spans from different
+/// threads of one process share a timeline; spans merged across *processes*
+/// (the cluster waterfall) are comparable only within each node's subtree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Span {
+    /// The trace this span belongs to (the wire-propagated trace id).
+    pub trace_id: String,
+    /// Unique id of this span (unique per process; distinct processes draw
+    /// from pid-disjoint ranges so cluster-merged trees do not collide).
+    pub span_id: u64,
+    /// The parent span's id, or 0 for a root span.
+    pub parent_id: u64,
+    /// Stage name (`get`, `parse`, `shard_wait`, `cost_model`, ...).
+    pub name: String,
+    /// Start offset in microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Free-form key/value context (`codec=binary`, `shard=3`, ...).
+    pub annotations: Vec<(String, String)>,
+}
+
+impl Span {
+    /// A span of `name` under `parent_id` (0 = root) for `trace_id`.
+    pub fn new(trace_id: &str, parent_id: u64, name: &str) -> Self {
+        Self {
+            trace_id: trace_id.to_owned(),
+            span_id: next_span_id(),
+            parent_id,
+            name: name.to_owned(),
+            start_us: 0,
+            dur_us: 0,
+            annotations: Vec::new(),
+        }
+    }
+
+    /// Adds one key/value annotation (builder style).
+    #[must_use]
+    pub fn annotate(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.annotations.push((key.to_owned(), value.to_string()));
+        self
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds from the process trace epoch to `at` (0 if `at` precedes
+/// the epoch, which only happens for instants captured before the first
+/// tracing call).
+pub fn epoch_us(at: Instant) -> u64 {
+    at.saturating_duration_since(epoch())
+        .as_micros()
+        .min(u128::from(u64::MAX)) as u64
+}
+
+/// The current span-timeline offset in microseconds.
+pub fn now_us() -> u64 {
+    epoch_us(Instant::now())
+}
+
+/// Draws the next process-unique span id.
+///
+/// Ids start at `pid << 32` so spans recorded by different node *processes*
+/// (each with its own counter) land in disjoint ranges and a cluster-merged
+/// trace tree keeps every parent/child edge unambiguous.
+pub fn next_span_id() -> u64 {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    NEXT.get_or_init(|| AtomicU64::new((u64::from(std::process::id()) << 32) | 1))
+        .fetch_add(1, Ordering::Relaxed)
+}
+
+#[derive(Debug, Default)]
+struct RingShard {
+    /// Completed spans, oldest overwritten first once `slots` reaches the
+    /// shard's capacity.
+    slots: Vec<Span>,
+    /// Next slot to overwrite once full.
+    next: usize,
+}
+
+/// A fixed-capacity flight recorder of completed [`Span`]s.
+///
+/// Recording locks one of `RING_SHARDS` ring shards (round-robin, so
+/// concurrent workers rarely contend); the ring retains the most recent
+/// ~`capacity` spans overall and overwrites the oldest per shard.  A trace
+/// worth keeping (a slow query) is [pinned](Self::pin): its spans are copied
+/// into a separate retained set of at most `MAX_PINNED_TRACES` traces that
+/// ring churn cannot evict.  [`snapshot`](Self::snapshot) answers everything
+/// known about one trace id, deduplicated and in timeline order.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    shards: Vec<Mutex<RingShard>>,
+    cursor: AtomicUsize,
+    per_shard: usize,
+    pinned: Mutex<Vec<(String, Vec<Span>)>>,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceBuffer {
+    /// A recorder retaining about `capacity` most-recent completed spans
+    /// (rounded up to at least one span per internal shard).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(RING_SHARDS).max(1);
+        Self {
+            shards: (0..RING_SHARDS)
+                .map(|_| Mutex::new(RingShard::default()))
+                .collect(),
+            cursor: AtomicUsize::new(0),
+            per_shard,
+            pinned: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Total span capacity of the ring (excluding pinned traces).
+    pub fn capacity(&self) -> usize {
+        self.per_shard * RING_SHARDS
+    }
+
+    /// Records one completed span, overwriting the oldest span in its ring
+    /// shard when full.
+    pub fn record(&self, span: Span) {
+        let index = self.cursor.fetch_add(1, Ordering::Relaxed) % RING_SHARDS;
+        let mut shard = self.shards[index].lock().expect("trace ring poisoned");
+        if shard.slots.len() < self.per_shard {
+            shard.slots.push(span);
+        } else {
+            let next = shard.next;
+            shard.slots[next] = span;
+            shard.next = (next + 1) % self.per_shard;
+        }
+    }
+
+    /// Records a batch of completed spans (one traced request's tree).
+    pub fn record_all(&self, spans: Vec<Span>) {
+        for span in spans {
+            self.record(span);
+        }
+    }
+
+    /// Pins `trace_id`: copies every span of the trace currently in the ring
+    /// into the retained set, merging with an existing pin of the same trace.
+    /// At capacity the oldest pinned trace is evicted.  Returns how many
+    /// spans the pin now holds.
+    pub fn pin(&self, trace_id: &str) -> usize {
+        let fresh = self.snapshot_ring(trace_id);
+        let mut pinned = self.pinned.lock().expect("pinned traces poisoned");
+        if let Some(position) = pinned.iter().position(|(id, _)| id == trace_id) {
+            let (_, spans) = &mut pinned[position];
+            for span in fresh {
+                if !spans.iter().any(|kept| kept.span_id == span.span_id) {
+                    spans.push(span);
+                }
+            }
+            let held = spans.len();
+            // Re-pinning marks the trace hot again: move it to the back so
+            // eviction stays oldest-first.
+            let entry = pinned.remove(position);
+            pinned.push(entry);
+            held
+        } else {
+            let held = fresh.len();
+            pinned.push((trace_id.to_owned(), fresh));
+            if pinned.len() > MAX_PINNED_TRACES {
+                pinned.remove(0);
+            }
+            held
+        }
+    }
+
+    /// Trace ids currently pinned, oldest first.
+    pub fn pinned_traces(&self) -> Vec<String> {
+        self.pinned
+            .lock()
+            .expect("pinned traces poisoned")
+            .iter()
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// Everything known about `trace_id` — ring plus pinned set —
+    /// deduplicated by span id and sorted by `(start_us, span_id)`.
+    pub fn snapshot(&self, trace_id: &str) -> Vec<Span> {
+        let mut spans = self.snapshot_ring(trace_id);
+        {
+            let pinned = self.pinned.lock().expect("pinned traces poisoned");
+            if let Some((_, kept)) = pinned.iter().find(|(id, _)| id == trace_id) {
+                for span in kept {
+                    if !spans.iter().any(|seen| seen.span_id == span.span_id) {
+                        spans.push(span.clone());
+                    }
+                }
+            }
+        }
+        spans.sort_by_key(|span| (span.start_us, span.span_id));
+        spans
+    }
+
+    fn snapshot_ring(&self, trace_id: &str) -> Vec<Span> {
+        let mut spans = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("trace ring poisoned");
+            for span in &shard.slots {
+                if span.trace_id == trace_id {
+                    spans.push(span.clone());
+                }
+            }
+        }
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: &str, name: &str, start_us: u64) -> Span {
+        let mut span = Span::new(trace, 0, name);
+        span.start_us = start_us;
+        span.dur_us = 5;
+        span
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_epoch_is_monotonic() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, b);
+        let t0 = now_us();
+        let t1 = now_us();
+        assert!(t1 >= t0);
+        assert_eq!(
+            epoch_us(Instant::now() - std::time::Duration::from_secs(3600)),
+            0
+        );
+    }
+
+    #[test]
+    fn snapshots_filter_by_trace_and_sort_by_start() {
+        let buffer = TraceBuffer::new(64);
+        buffer.record(span("t-1", "late", 30));
+        buffer.record(span("t-2", "other", 10));
+        buffer.record(span("t-1", "early", 20));
+        let spans = buffer.snapshot("t-1");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "early");
+        assert_eq!(spans[1].name, "late");
+        assert!(buffer.snapshot("t-3").is_empty());
+    }
+
+    #[test]
+    fn the_ring_overwrites_oldest_spans_at_capacity() {
+        let buffer = TraceBuffer::new(RING_SHARDS); // one slot per shard
+        assert_eq!(buffer.capacity(), RING_SHARDS);
+        for index in 0..RING_SHARDS * 3 {
+            buffer.record(span("churn", &format!("s{index}"), index as u64));
+        }
+        let spans = buffer.snapshot("churn");
+        assert_eq!(spans.len(), RING_SHARDS, "ring holds exactly its capacity");
+        assert!(
+            spans
+                .iter()
+                .all(|span| span.start_us >= (RING_SHARDS * 2) as u64),
+            "only the most recent round survives: {spans:?}"
+        );
+    }
+
+    #[test]
+    fn pinned_traces_survive_ring_churn() {
+        let buffer = TraceBuffer::new(RING_SHARDS);
+        buffer.record(span("slow-1", "root", 1));
+        assert_eq!(buffer.pin("slow-1"), 1);
+        for index in 0..RING_SHARDS * 4 {
+            buffer.record(span("churn", "noise", index as u64));
+        }
+        assert!(
+            buffer.snapshot_ring("slow-1").is_empty(),
+            "ring churned over"
+        );
+        let spans = buffer.snapshot("slow-1");
+        assert_eq!(spans.len(), 1, "the pin retained the trace");
+        assert_eq!(buffer.pinned_traces(), ["slow-1"]);
+    }
+
+    #[test]
+    fn repinning_merges_and_eviction_is_oldest_first() {
+        let buffer = TraceBuffer::new(64);
+        buffer.record(span("twice", "first", 1));
+        assert_eq!(buffer.pin("twice"), 1);
+        buffer.record(span("twice", "second", 2));
+        assert_eq!(buffer.pin("twice"), 2, "re-pin merges without duplicating");
+        assert_eq!(buffer.snapshot("twice").len(), 2);
+
+        for index in 0..MAX_PINNED_TRACES + 1 {
+            let id = format!("evict-{index}");
+            buffer.record(span(&id, "root", index as u64));
+            buffer.pin(&id);
+        }
+        let pinned = buffer.pinned_traces();
+        assert_eq!(pinned.len(), MAX_PINNED_TRACES);
+        assert!(!pinned.contains(&"twice".to_owned()), "oldest pin evicted");
+        assert!(pinned.contains(&format!("evict-{MAX_PINNED_TRACES}")));
+    }
+}

@@ -35,7 +35,7 @@ use std::io::Read;
 
 use srra_explore::codec::{read_len, write_seq_len, write_str, WireError, WireSerde};
 use srra_explore::PointRecord;
-use srra_obs::{valid_metric_name, HistogramSnapshot, MetricsSnapshot};
+use srra_obs::{valid_metric_name, HistogramSnapshot, MetricsSnapshot, Span};
 
 use crate::protocol::{
     valid_trace_id, OpStats, PointOutcome, QueryPoint, Request, Response, ServerStats,
@@ -277,6 +277,7 @@ const TAG_PING: u8 = 6;
 const TAG_STATS: u8 = 7;
 const TAG_METRICS: u8 = 8;
 const TAG_SHUTDOWN: u8 = 9;
+const TAG_TRACE: u8 = 10;
 
 impl WireSerde for QueryPoint {
     fn serialize_into(&self, out: &mut impl std::io::Write) -> Result<(), WireError> {
@@ -326,6 +327,10 @@ impl WireSerde for Request {
             Request::Metrics { prometheus } => {
                 TAG_METRICS.serialize_into(out)?;
                 prometheus.serialize_into(out)
+            }
+            Request::Trace { id } => {
+                TAG_TRACE.serialize_into(out)?;
+                write_str(out, id)
             }
             Request::Shutdown => TAG_SHUTDOWN.serialize_into(out),
         }
@@ -377,6 +382,13 @@ impl WireSerde for Request {
             TAG_METRICS => Ok(Request::Metrics {
                 prometheus: bool::deserialize_from(reader)?,
             }),
+            TAG_TRACE => {
+                let id = String::deserialize_from(reader)?;
+                if !valid_trace_id(&id) {
+                    return Err(WireError::Corrupt(format!("illegal trace id {id:?}")));
+                }
+                Ok(Request::Trace { id })
+            }
             TAG_SHUTDOWN => Ok(Request::Shutdown),
             other => Err(WireError::Corrupt(format!(
                 "unknown request tag {other:#04x}"
@@ -500,6 +512,18 @@ fn write_snapshot(
     for (name, histogram) in &snapshot.histograms {
         write_str(out, name)?;
         histogram.buckets().to_vec().serialize_into(out)?;
+        // Exemplars ride as a sparse (bucket index, trace id) list.
+        let exemplars: Vec<(usize, &str)> = histogram
+            .exemplars()
+            .iter()
+            .enumerate()
+            .filter_map(|(index, id)| id.as_deref().map(|id| (index, id)))
+            .collect();
+        write_seq_len(out, exemplars.len())?;
+        for (index, id) in exemplars {
+            (index as u8).serialize_into(out)?;
+            write_str(out, id)?;
+        }
     }
     Ok(())
 }
@@ -530,12 +554,62 @@ fn read_snapshot(reader: &mut impl Read) -> Result<MetricsSnapshot, WireError> {
     for _ in 0..histograms {
         let name = read_metric_name(reader)?;
         let buckets = Vec::<u64>::deserialize_from(reader)?;
-        let histogram = HistogramSnapshot::from_buckets(&buckets).ok_or_else(|| {
+        let mut histogram = HistogramSnapshot::from_buckets(&buckets).ok_or_else(|| {
             WireError::Corrupt(format!("histogram `{name}` carries too many buckets"))
         })?;
+        let exemplars = read_len(reader, srra_explore::codec::MAX_SEQ_LEN, "exemplars")?;
+        for _ in 0..exemplars {
+            let index = u8::deserialize_from(reader)? as usize;
+            let id = String::deserialize_from(reader)?;
+            // Out-of-range indices are ignored, as in the JSON decoding.
+            histogram.set_exemplar(index, id);
+        }
         snapshot.histograms.push((name, histogram));
     }
     Ok(snapshot)
+}
+
+/// Encodes one [`Span`] (a foreign `srra_obs` type — orphan rule, same
+/// pattern as the snapshot pair above).
+fn write_span(out: &mut impl std::io::Write, span: &Span) -> Result<(), WireError> {
+    write_str(out, &span.trace_id)?;
+    span.span_id.serialize_into(out)?;
+    span.parent_id.serialize_into(out)?;
+    write_str(out, &span.name)?;
+    span.start_us.serialize_into(out)?;
+    span.dur_us.serialize_into(out)?;
+    write_seq_len(out, span.annotations.len())?;
+    for (key, value) in &span.annotations {
+        write_str(out, key)?;
+        write_str(out, value)?;
+    }
+    Ok(())
+}
+
+fn read_span(reader: &mut impl Read) -> Result<Span, WireError> {
+    let trace_id = String::deserialize_from(reader)?;
+    let span_id = u64::deserialize_from(reader)?;
+    let parent_id = u64::deserialize_from(reader)?;
+    let name = String::deserialize_from(reader)?;
+    let start_us = u64::deserialize_from(reader)?;
+    let dur_us = u64::deserialize_from(reader)?;
+    let count = read_len(reader, srra_explore::codec::MAX_SEQ_LEN, "annotations")?;
+    let mut annotations = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        annotations.push((
+            String::deserialize_from(reader)?,
+            String::deserialize_from(reader)?,
+        ));
+    }
+    Ok(Span {
+        trace_id,
+        span_id,
+        parent_id,
+        name,
+        start_us,
+        dur_us,
+        annotations,
+    })
 }
 
 const RESP_FOUND: u8 = 1;
@@ -550,6 +624,7 @@ const RESP_METRICS: u8 = 9;
 const RESP_METRICS_TEXT: u8 = 10;
 const RESP_SHUTTING_DOWN: u8 = 11;
 const RESP_ERROR: u8 = 12;
+const RESP_TRACED: u8 = 13;
 
 impl WireSerde for Response {
     fn serialize_into(&self, out: &mut impl std::io::Write) -> Result<(), WireError> {
@@ -600,6 +675,14 @@ impl WireSerde for Response {
                 RESP_METRICS_TEXT.serialize_into(out)?;
                 write_str(out, text)
             }
+            Response::Traced { spans } => {
+                RESP_TRACED.serialize_into(out)?;
+                write_seq_len(out, spans.len())?;
+                for span in spans {
+                    write_span(out, span)?;
+                }
+                Ok(())
+            }
             Response::ShuttingDown => RESP_SHUTTING_DOWN.serialize_into(out),
             Response::Error { message } => {
                 RESP_ERROR.serialize_into(out)?;
@@ -636,6 +719,14 @@ impl WireSerde for Response {
             RESP_METRICS_TEXT => Ok(Response::MetricsText {
                 text: String::deserialize_from(reader)?,
             }),
+            RESP_TRACED => {
+                let count = read_len(reader, srra_explore::codec::MAX_SEQ_LEN, "spans")?;
+                let mut spans = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    spans.push(read_span(reader)?);
+                }
+                Ok(Response::Traced { spans })
+            }
             RESP_SHUTTING_DOWN => Ok(Response::ShuttingDown),
             RESP_ERROR => Ok(Response::Error {
                 message: String::deserialize_from(reader)?,
@@ -733,6 +824,7 @@ mod tests {
         let latency = registry.histogram("serve_op_get_latency_us");
         latency.record_micros(40);
         latency.record_micros(5_000);
+        latency.record_traced(std::time::Duration::from_micros(90), "sweep-7.a");
         registry.snapshot()
     }
 
@@ -770,6 +862,9 @@ mod tests {
             Request::Stats,
             Request::Metrics { prometheus: false },
             Request::Metrics { prometheus: true },
+            Request::Trace {
+                id: "sweep-7.a".to_owned(),
+            },
             Request::Shutdown,
         ]
     }
@@ -817,6 +912,29 @@ mod tests {
             Response::MetricsText {
                 text: "# TYPE serve_requests_total counter\nserve_requests_total 7\n".to_owned(),
             },
+            Response::Traced {
+                spans: vec![
+                    Span {
+                        trace_id: "sweep-7.a".to_owned(),
+                        span_id: 11,
+                        parent_id: 0,
+                        name: "explore".to_owned(),
+                        start_us: 100,
+                        dur_us: 900,
+                        annotations: vec![("points".to_owned(), "4".to_owned())],
+                    },
+                    Span {
+                        trace_id: "sweep-7.a".to_owned(),
+                        span_id: 12,
+                        parent_id: 11,
+                        name: "engine.cost_model".to_owned(),
+                        start_us: 400,
+                        dur_us: 300,
+                        annotations: Vec::new(),
+                    },
+                ],
+            },
+            Response::Traced { spans: Vec::new() },
             Response::ShuttingDown,
             Response::Error {
                 message: "unknown kernel `nope`".to_owned(),

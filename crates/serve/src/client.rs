@@ -26,7 +26,7 @@ use std::sync::{Arc, OnceLock};
 
 use srra_explore::codec::WireError;
 use srra_explore::PointRecord;
-use srra_obs::{Counter, MetricsSnapshot, Registry};
+use srra_obs::{Counter, MetricsSnapshot, Registry, Span};
 
 use crate::binary::{
     encode_get_frame, encode_mget_frame, encode_points_frame, encode_put_frame,
@@ -629,6 +629,18 @@ impl Connection {
         expect_metrics_text(response)
     }
 
+    /// Fetches the spans the server's flight recorder retains for `id` —
+    /// the read side of request tracing.  An unknown (or already evicted)
+    /// trace id yields an empty list, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn trace_spans(&mut self, id: &str) -> Result<Vec<Span>, ClientError> {
+        let response = self.roundtrip(&Request::Trace { id: id.to_owned() })?;
+        expect_traced(response)
+    }
+
     /// Asks the server to shut down gracefully.  Never retried on a stale
     /// socket ([`roundtrip`](Connection::roundtrip) exempts `shutdown` from
     /// the reconnect-and-replay): a replay could stop a server that was
@@ -783,6 +795,15 @@ impl Client {
         self.connect()?.metrics_text()
     }
 
+    /// Fetches the spans the server's flight recorder retains for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn trace_spans(&self, id: &str) -> Result<Vec<Span>, ClientError> {
+        self.connect()?.trace_spans(id)
+    }
+
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors
@@ -905,6 +926,17 @@ fn expect_metrics_text(response: Response) -> Result<String, ClientError> {
         Response::Error { message } => Err(ClientError::Server(message)),
         other => Err(ClientError::Protocol(format!(
             "unexpected response to metrics: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the `trace` reply shape.
+fn expect_traced(response: Response) -> Result<Vec<Span>, ClientError> {
+    match response {
+        Response::Traced { spans } => Ok(spans),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to trace: {other:?}"
         ))),
     }
 }

@@ -29,11 +29,15 @@
 //!    points per wire line), `put` (store pre-evaluated records verbatim —
 //!    the cluster replication tee), `ping` (liveness probe), `stats` (with
 //!    per-op latency quantiles), `metrics` (the full [`srra_obs`] telemetry
-//!    snapshot, as structured JSON or Prometheus text exposition), and
-//!    graceful `shutdown` (which also closes idle keep-alive connections so
-//!    draining never waits on clients).  Any request line may carry a
-//!    `trace` id — the server echoes it on the reply and attributes its
-//!    slow-query log lines to it.
+//!    snapshot, as structured JSON or Prometheus text exposition), `trace`
+//!    (the spans the flight recorder retains for a trace id — see
+//!    `docs/observability.md`), and graceful `shutdown` (which also closes
+//!    idle keep-alive connections so draining never waits on clients).  Any
+//!    request line may carry a `trace` id — the server echoes it on the
+//!    reply, emits a span tree for the request into the
+//!    [`srra_obs::TraceBuffer`] flight recorder, attributes its slow-query
+//!    log lines to it, and attaches it to the latency histogram bucket the
+//!    request lands in as an exemplar.
 //!
 //! The wire protocol is specified in `docs/serving.md`; [`Request`] /
 //! [`Response`] are its single shape definition, with the JSON encoding in
@@ -88,3 +92,7 @@ pub use protocol::{
 };
 pub use server::{canonical_for, device_by_name, ServeError, Server, ServerConfig, ServerReport};
 pub use shard::{CompactOutcome, MergeOutcome, ShardError, ShardedStore};
+
+// The span type rides on `trace` replies; re-exported so serve-layer callers
+// need not depend on `srra_obs` directly.
+pub use srra_obs::Span;

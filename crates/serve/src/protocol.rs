@@ -21,7 +21,7 @@
 //! lookup itself and the buffer's own growth.
 
 use srra_explore::PointRecord;
-use srra_obs::{valid_metric_name, HistogramSnapshot, MetricsSnapshot};
+use srra_obs::{valid_metric_name, HistogramSnapshot, MetricsSnapshot, Span, LATENCY_BUCKETS};
 
 use crate::json::{render_string, JsonValue};
 
@@ -267,6 +267,15 @@ pub enum Request {
         /// [`Response::MetricsText`] (Prometheus-style exposition).
         prometheus: bool,
     },
+    /// Fetch the recorded span tree of one trace id from the server's flight
+    /// recorder (see `docs/observability.md`).  Answers [`Response::Traced`]
+    /// with every retained span of the trace, oldest first; a trace the
+    /// recorder no longer holds answers with an empty span list, not an
+    /// error.
+    Trace {
+        /// The trace id to look up (validated by [`valid_trace_id`]).
+        id: String,
+    },
     /// Graceful shutdown: the server acknowledges, stops accepting, drains
     /// in-flight connections and exits.
     Shutdown,
@@ -294,6 +303,11 @@ impl Request {
             Request::Metrics { prometheus: false } => out.push_str(r#"{"op":"metrics"}"#),
             Request::Metrics { prometheus: true } => {
                 out.push_str(r#"{"op":"metrics","format":"prometheus"}"#)
+            }
+            Request::Trace { id } => {
+                out.push_str("{\"op\":\"trace\",\"id\":");
+                render_string(out, id);
+                out.push('}');
             }
             Request::Shutdown => out.push_str(r#"{"op":"shutdown"}"#),
         }
@@ -379,6 +393,18 @@ impl Request {
                     "`metrics` format must be \"json\" or \"prometheus\", got {other:?}"
                 )),
             },
+            "trace" => {
+                let id = value
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("`trace` needs a string `id` field")?;
+                if !valid_trace_id(id) {
+                    return Err(format!(
+                        "`trace` id must be 1..={TRACE_MAX_LEN} bytes of [A-Za-z0-9._-]"
+                    ));
+                }
+                Ok(Request::Trace { id: id.to_owned() })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         }
@@ -693,6 +719,13 @@ pub enum Response {
         /// The rendered exposition, `\n`-separated inside the JSON string.
         text: String,
     },
+    /// `trace` answer: every span of the requested trace that the node's
+    /// flight recorder still retains, sorted by start time.  An unknown or
+    /// evicted trace answers with an empty list.
+    Traced {
+        /// The retained spans, oldest first.
+        spans: Vec<Span>,
+    },
     /// `shutdown` acknowledgement.
     ShuttingDown,
     /// Any failure; the connection stays open.
@@ -814,6 +847,16 @@ impl Response {
                 render_string(out, text);
                 out.push('}');
             }
+            Response::Traced { spans } => {
+                out.push_str("{\"ok\":true,\"spans\":[");
+                for (index, span) in spans.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    render_span(out, span);
+                }
+                out.push_str("]}");
+            }
             Response::ShuttingDown => out.push_str(r#"{"ok":true,"shutting_down":true}"#),
             Response::Error { message } => {
                 out.push_str("{\"ok\":false,\"error\":");
@@ -933,11 +976,87 @@ impl Response {
                 text: text.to_owned(),
             });
         }
+        if let Some(items) = value.get("spans").and_then(JsonValue::as_array) {
+            let spans = items
+                .iter()
+                .map(span_from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Response::Traced { spans });
+        }
         if value.get("shutting_down").and_then(JsonValue::as_bool) == Some(true) {
             return Ok(Response::ShuttingDown);
         }
         Err("unrecognised response shape".to_owned())
     }
+}
+
+/// Renders one span as a JSON object (the `trace` reply's element shape —
+/// see `docs/observability.md`).  Empty annotation lists are omitted.
+fn render_span(out: &mut String, span: &Span) {
+    out.push_str("{\"trace\":");
+    render_string(out, &span.trace_id);
+    out.push_str(",\"span\":");
+    out.push_str(&span.span_id.to_string());
+    out.push_str(",\"parent\":");
+    out.push_str(&span.parent_id.to_string());
+    out.push_str(",\"name\":");
+    render_string(out, &span.name);
+    out.push_str(",\"start_us\":");
+    out.push_str(&span.start_us.to_string());
+    out.push_str(",\"dur_us\":");
+    out.push_str(&span.dur_us.to_string());
+    if !span.annotations.is_empty() {
+        out.push_str(",\"annotations\":{");
+        for (index, (key, value)) in span.annotations.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            render_string(out, key);
+            out.push(':');
+            render_string(out, value);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Decodes one span of a `trace` reply.
+fn span_from_value(value: &JsonValue) -> Result<Span, String> {
+    let text = |name: &str| -> Result<String, String> {
+        value
+            .get(name)
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("span needs a string `{name}` field"))
+    };
+    let number = |name: &str| -> Result<u64, String> {
+        value
+            .get(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("span needs a numeric `{name}` field"))
+    };
+    let annotations = match value.get("annotations") {
+        None => Vec::new(),
+        Some(JsonValue::Object(entries)) => entries
+            .iter()
+            .map(|(key, entry)| {
+                entry
+                    .as_str()
+                    .map(|text| (key.clone(), text.to_owned()))
+                    .ok_or_else(|| format!("span annotation `{key}` must be a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("span `annotations` must be an object".to_owned()),
+    };
+    Ok(Span {
+        trace_id: text("trace")?,
+        span_id: number("span")?,
+        parent_id: number("parent")?,
+        name: text("name")?,
+        start_us: number("start_us")?,
+        dur_us: number("dur_us")?,
+        annotations,
+    })
 }
 
 /// Decodes the `metrics` reply body back into a [`MetricsSnapshot`].
@@ -987,8 +1106,31 @@ fn snapshot_from_value(value: &JsonValue) -> Result<MetricsSnapshot, String> {
             .map(JsonValue::as_u64)
             .collect::<Option<Vec<_>>>()
             .ok_or_else(|| format!("histogram `{name}` buckets must be numbers"))?;
-        let buckets = HistogramSnapshot::from_buckets(&buckets)
+        let mut buckets = HistogramSnapshot::from_buckets(&buckets)
             .ok_or_else(|| format!("histogram `{name}` carries too many buckets"))?;
+        match entry.get("exemplars") {
+            None => {}
+            Some(JsonValue::Object(exemplars)) => {
+                // Keys are the bucket upper bounds `(1 << index) - 1` the
+                // JSON rendering emits; unknown bounds are ignored so newer
+                // peers with more buckets still parse.
+                for (le, id) in exemplars {
+                    let (Ok(bound), Some(id)) = (le.parse::<u64>(), id.as_str()) else {
+                        return Err(format!(
+                            "histogram `{name}` exemplars must map bucket bounds to trace ids"
+                        ));
+                    };
+                    if let Some(index) =
+                        (0..LATENCY_BUCKETS).find(|i| (1u64 << i).wrapping_sub(1) == bound)
+                    {
+                        buckets.set_exemplar(index, id.to_owned());
+                    }
+                }
+            }
+            Some(_) => {
+                return Err(format!("histogram `{name}` exemplars must be an object"));
+            }
+        }
         snapshot.histograms.push((name.clone(), buckets));
     }
     Ok(snapshot)
@@ -1071,6 +1213,7 @@ mod tests {
         let latency = registry.histogram("serve_op_get_latency_us");
         latency.record_micros(40);
         latency.record_micros(5_000);
+        latency.record_traced(std::time::Duration::from_micros(90), "sweep-7.a");
         registry.snapshot()
     }
 
@@ -1109,6 +1252,9 @@ mod tests {
             Request::Stats,
             Request::Metrics { prometheus: false },
             Request::Metrics { prometheus: true },
+            Request::Trace {
+                id: "sweep-7.a".to_owned(),
+            },
             Request::Shutdown,
         ];
         for request in requests {
@@ -1172,6 +1318,29 @@ mod tests {
             Response::MetricsText {
                 text: "# TYPE serve_requests_total counter\nserve_requests_total 7\n".to_owned(),
             },
+            Response::Traced {
+                spans: vec![
+                    Span {
+                        trace_id: "sweep-7.a".to_owned(),
+                        span_id: 11,
+                        parent_id: 0,
+                        name: "explore".to_owned(),
+                        start_us: 100,
+                        dur_us: 900,
+                        annotations: vec![("points".to_owned(), "4".to_owned())],
+                    },
+                    Span {
+                        trace_id: "sweep-7.a".to_owned(),
+                        span_id: 12,
+                        parent_id: 11,
+                        name: "engine.cost_model".to_owned(),
+                        start_us: 400,
+                        dur_us: 300,
+                        annotations: Vec::new(),
+                    },
+                ],
+            },
+            Response::Traced { spans: Vec::new() },
             Response::ShuttingDown,
             Response::Error {
                 message: "unknown kernel `nope`".to_owned(),
@@ -1322,6 +1491,9 @@ mod tests {
             r#"{"op":"put"}"#,
             r#"{"op":"put","records":[]}"#,
             r#"{"op":"put","records":[{"kernel":"fir"}]}"#,
+            r#"{"op":"trace"}"#,
+            r#"{"op":"trace","id":""}"#,
+            r#"{"op":"trace","id":"no spaces"}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "accepted `{bad}`");
         }

@@ -36,11 +36,11 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use srra_core::{AllocatorRegistry, CompiledKernel};
-use srra_explore::{evaluate_point, DesignPoint, PointRecord};
+use srra_explore::{evaluate_point_timed, DesignPoint, PointRecord};
 use srra_fpga::DeviceModel;
 use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
-use srra_obs::{Counter, Gauge, Histogram, Registry};
+use srra_obs::{epoch_us, next_span_id, Counter, Gauge, Histogram, Registry, Span};
 
 use crate::binary::{
     decode_payload, encode_response_frame, holds_complete_request, read_frame, FrameError,
@@ -191,13 +191,15 @@ enum Op {
     Ping,
     Stats,
     Metrics,
+    Trace,
     Shutdown,
     Invalid,
 }
 
 /// Wire names of the ops, indexed by `Op as usize`.
-const OP_NAMES: [&str; 10] = [
-    "get", "mget", "explore", "mexplore", "put", "ping", "stats", "metrics", "shutdown", "invalid",
+const OP_NAMES: [&str; 11] = [
+    "get", "mget", "explore", "mexplore", "put", "ping", "stats", "metrics", "trace", "shutdown",
+    "invalid",
 ];
 
 /// Count + latency histogram of one op (handles into the server registry).
@@ -226,6 +228,8 @@ struct Counters {
     inflight_claims: Arc<Counter>,
     /// Misses that blocked on another worker's in-flight evaluation.
     inflight_waits: Arc<Counter>,
+    /// Slow traces pinned into the flight recorder's retained set.
+    pinned_traces: Arc<Counter>,
     /// Currently open client connections.
     open_connections: Arc<Gauge>,
     /// Request-line decode time (codec parse, per request).
@@ -253,6 +257,7 @@ impl Counters {
             slow_queries: registry.counter("serve_slow_queries_total"),
             inflight_claims: registry.counter("serve_inflight_claims_total"),
             inflight_waits: registry.counter("serve_inflight_waits_total"),
+            pinned_traces: registry.counter("serve_pinned_traces_total"),
             open_connections: registry.gauge("serve_open_connections"),
             codec_parse_us: registry.histogram("serve_codec_parse_us"),
             codec_render_us: registry.histogram("serve_codec_render_us"),
@@ -265,11 +270,16 @@ impl Counters {
         }
     }
 
-    /// Records one handled request of `op` that took `elapsed` to serve.
-    fn record_op(&self, op: Op, elapsed: Duration) {
+    /// Records one handled request of `op` that took `elapsed` to serve.  A
+    /// traced request also stamps its trace id as the latency bucket's
+    /// exemplar, so a histogram outlier links straight to a fetchable trace.
+    fn record_op(&self, op: Op, elapsed: Duration, trace: Option<&str>) {
         let counter = &self.ops[op as usize];
         counter.count.inc();
-        counter.latency.record(elapsed);
+        match trace {
+            Some(id) => counter.latency.record_traced(elapsed, id),
+            None => counter.latency.record(elapsed),
+        }
     }
 
     /// The per-op stats in fixed reporting order.
@@ -284,6 +294,67 @@ impl Counters {
                 p99_us: counter.latency.quantile(0.99),
             })
             .collect()
+    }
+}
+
+/// Span accumulator of one traced request, allocated only when the request
+/// carried a trace id — untraced requests never construct one, so the hot
+/// path stays allocation-free.
+///
+/// Children accumulate as stages complete; [`finish`](Self::finish) appends
+/// the root span last (its duration is the whole request) and hands the tree
+/// to the flight recorder.
+struct SpanCollector {
+    trace_id: String,
+    root_id: u64,
+    spans: Vec<Span>,
+}
+
+impl SpanCollector {
+    fn new(trace_id: &str) -> Self {
+        Self {
+            trace_id: trace_id.to_owned(),
+            root_id: next_span_id(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Records one completed child stage under the request's root span,
+    /// returning it for annotation.
+    fn child(&mut self, name: &str, started: Instant, dur: Duration) -> &mut Span {
+        let mut span = Span::new(&self.trace_id, self.root_id, name);
+        span.start_us = epoch_us(started);
+        span.dur_us = dur.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.spans.push(span);
+        self.spans.last_mut().expect("just pushed")
+    }
+
+    /// The top-`count` child stages by duration, as a `name:Nus,...` list for
+    /// the slow-query log line.
+    fn slow_note(&self, count: usize) -> String {
+        let mut tops: Vec<&Span> = self.spans.iter().collect();
+        tops.sort_by(|a, b| b.dur_us.cmp(&a.dur_us).then(a.start_us.cmp(&b.start_us)));
+        tops.iter()
+            .take(count)
+            .map(|span| format!("{}:{}us", span.name, span.dur_us))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Completes the root span (named after the request's op, spanning the
+    /// whole service time) and returns the request's span tree.
+    fn finish(mut self, op: &str, started: Instant, elapsed: Duration) -> Vec<Span> {
+        let root = Span {
+            trace_id: self.trace_id.clone(),
+            span_id: self.root_id,
+            parent_id: 0,
+            name: op.to_owned(),
+            start_us: epoch_us(started),
+            dur_us: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+            annotations: Vec::new(),
+        };
+        self.spans.push(root);
+        self.spans
     }
 }
 
@@ -553,7 +624,7 @@ fn run_reporter(state: &ServerState, interval: Duration) {
         let requests = state.counters.requests.get();
         let get_latency = &state.counters.ops[Op::Get as usize].latency;
         eprintln!(
-            "srra-serve report: uptime_secs={} requests={} (+{}) hits={} misses={} evaluated={} open_connections={} get_p50_us={} get_p99_us={}",
+            "srra-serve report: uptime_secs={} requests={} (+{}) hits={} misses={} evaluated={} open_connections={} codec_binary={} codec_json={} get_p50_us={} get_p99_us={}",
             state.started.elapsed().as_secs(),
             requests,
             requests - last_requests,
@@ -561,6 +632,8 @@ fn run_reporter(state: &ServerState, interval: Duration) {
             state.counters.misses.get(),
             state.counters.evaluated.get(),
             state.counters.open_connections.get(),
+            state.counters.codec_binary.get(),
+            state.counters.codec_json.get(),
             get_latency.quantile(0.50),
             get_latency.quantile(0.99),
         );
@@ -635,6 +708,7 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
             Err(_) => return,
         };
         let started;
+        let parse_elapsed;
         let parsed: Result<(Request, Option<String>), String>;
         if binary {
             match read_frame(&mut reader, &mut payload) {
@@ -644,7 +718,7 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
                     // a binary error frame, then close the connection.
                     state.counters.requests.inc();
                     state.counters.codec_binary.inc();
-                    state.counters.record_op(Op::Invalid, Duration::ZERO);
+                    state.counters.record_op(Op::Invalid, Duration::ZERO, None);
                     frame.clear();
                     let reply = Response::Error {
                         message: FrameError::BadLength(len).to_string(),
@@ -666,7 +740,8 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
             // boundary was already consumed, so answer the error and keep
             // the connection (no desync).
             parsed = decode_payload::<Request>(&payload).map_err(|err| err.to_string());
-            state.counters.codec_parse_us.record(started.elapsed());
+            parse_elapsed = started.elapsed();
+            state.counters.codec_parse_us.record(parse_elapsed);
         } else {
             line.clear();
             match reader.read_line(&mut line) {
@@ -685,7 +760,8 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
             state.counters.requests.inc();
             state.counters.codec_json.inc();
             parsed = Request::parse_with_trace(request_line);
-            state.counters.codec_parse_us.record(started.elapsed());
+            parse_elapsed = started.elapsed();
+            state.counters.codec_parse_us.record(parse_elapsed);
         }
         let trace = match &parsed {
             Ok((_, trace)) => {
@@ -697,19 +773,37 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
             Err(_) => None,
         };
         let trace_ref = trace.as_deref();
+        // Traced requests accumulate a span tree; untraced requests never
+        // allocate a collector.
+        let mut collector = trace_ref.map(SpanCollector::new);
+        if let Some(spans) = collector.as_mut() {
+            spans
+                .child("parse", started, parse_elapsed)
+                .annotations
+                .push((
+                    "codec".to_owned(),
+                    if binary { "binary" } else { "json" }.to_owned(),
+                ));
+        }
         let (response, op, shutdown) = match parsed {
             Err(message) => (Response::Error { message }, Op::Invalid, false),
-            Ok((Request::Get { canonical }, _)) => (handle_get(state, &canonical), Op::Get, false),
-            Ok((Request::MultiGet { canonicals }, _)) => {
-                (handle_mget(state, &canonicals), Op::MultiGet, false)
-            }
+            Ok((Request::Get { canonical }, _)) => (
+                handle_get(state, &canonical, collector.as_mut()),
+                Op::Get,
+                false,
+            ),
+            Ok((Request::MultiGet { canonicals }, _)) => (
+                handle_mget(state, &canonicals, collector.as_mut()),
+                Op::MultiGet,
+                false,
+            ),
             Ok((Request::Explore { points }, _)) => (
-                handle_explore(state, &points, trace_ref),
+                handle_explore(state, &points, trace_ref, collector.as_mut()),
                 Op::Explore,
                 false,
             ),
             Ok((Request::MultiExplore { points }, _)) => (
-                handle_mexplore(state, &points, trace_ref),
+                handle_mexplore(state, &points, trace_ref, collector.as_mut()),
                 Op::MultiExplore,
                 false,
             ),
@@ -728,6 +822,7 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
             Ok((Request::Metrics { prometheus }, _)) => {
                 (handle_metrics(state, prometheus), Op::Metrics, false)
             }
+            Ok((Request::Trace { id }, _)) => (handle_trace(state, &id), Op::Trace, false),
             Ok((Request::Shutdown, _)) => (Response::ShuttingDown, Op::Shutdown, true),
         };
         let render_started = Instant::now();
@@ -758,10 +853,53 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
             rendered.push('\n');
             rendered.as_bytes()
         };
-        state
-            .counters
-            .codec_render_us
-            .record(render_started.elapsed());
+        let render_elapsed = render_started.elapsed();
+        state.counters.codec_render_us.record(render_elapsed);
+        // Account the request and record its span tree BEFORE the reply
+        // leaves: a client holding the reply must find the trace queryable,
+        // so the spans have to reach the flight recorder first.  `elapsed`
+        // therefore covers parse through render, not the socket write.
+        let elapsed = started.elapsed();
+        state.counters.record_op(op, elapsed, trace_ref);
+        let slow =
+            state.slow_query_us > 0 && elapsed.as_micros() >= u128::from(state.slow_query_us);
+        let mut span_note = String::new();
+        if let Some(mut spans) = collector.take() {
+            spans.child("render", render_started, render_elapsed);
+            if slow {
+                span_note = spans.slow_note(2);
+            }
+            let trace_id = spans.trace_id.clone();
+            state.registry.traces().record_all(spans.finish(
+                OP_NAMES[op as usize],
+                started,
+                elapsed,
+            ));
+            if slow {
+                // Pin after recording: the pin copies this trace's spans out
+                // of the ring into the retained set.
+                state.registry.traces().pin(&trace_id);
+                state.counters.pinned_traces.inc();
+            }
+        }
+        if slow {
+            state.counters.slow_queries.inc();
+            if span_note.is_empty() {
+                eprintln!(
+                    "srra-serve slow-query: op={} elapsed_us={} trace={}",
+                    OP_NAMES[op as usize],
+                    elapsed.as_micros(),
+                    trace_ref.unwrap_or("-"),
+                );
+            } else {
+                eprintln!(
+                    "srra-serve slow-query: op={} elapsed_us={} trace={} spans={span_note}",
+                    OP_NAMES[op as usize],
+                    elapsed.as_micros(),
+                    trace_ref.unwrap_or("-"),
+                );
+            }
+        }
         let mut sent = writer.write_all(reply_bytes);
         // Defer the flush only while the read buffer still holds a complete
         // request of either codec — one guaranteed to produce another
@@ -771,17 +909,6 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
         // deferring on one would strand this reply in the BufWriter.
         if sent.is_ok() && !holds_complete_request(reader.buffer()) {
             sent = writer.flush();
-        }
-        let elapsed = started.elapsed();
-        state.counters.record_op(op, elapsed);
-        if state.slow_query_us > 0 && elapsed.as_micros() >= u128::from(state.slow_query_us) {
-            state.counters.slow_queries.inc();
-            eprintln!(
-                "srra-serve slow-query: op={} elapsed_us={} trace={}",
-                OP_NAMES[op as usize],
-                elapsed.as_micros(),
-                trace_ref.unwrap_or("-"),
-            );
         }
         if shutdown {
             let _ = writer.flush();
@@ -815,10 +942,45 @@ fn handle_metrics(state: &ServerState, prometheus: bool) -> Response {
     }
 }
 
+/// Answers a `trace`: everything the flight recorder retains for the id.
+/// An unknown or churned-out trace answers an empty list, not an error — the
+/// recorder is best-effort by design.
+fn handle_trace(state: &ServerState, id: &str) -> Response {
+    Response::Traced {
+        spans: state.registry.traces().snapshot(id),
+    }
+}
+
+/// One shard lookup, with a `shard.lock_wait` span (annotated with the shard
+/// index) when the request is traced.
+fn shard_lookup(
+    state: &ServerState,
+    key: u64,
+    canonical: &str,
+    collector: Option<&mut SpanCollector>,
+) -> Result<Option<PointRecord>, ShardError> {
+    match collector {
+        None => state.store.get_record(key, canonical),
+        Some(spans) => {
+            let started = Instant::now();
+            let (record, lock_wait) = state.store.get_record_timed(key, canonical)?;
+            spans
+                .child("shard.lock_wait", started, lock_wait)
+                .annotations
+                .push(("shard".to_owned(), state.store.route(key).to_string()));
+            Ok(record)
+        }
+    }
+}
+
 /// Answers a `get`: pure lookup, never evaluates.
-fn handle_get(state: &ServerState, canonical: &str) -> Response {
+fn handle_get(
+    state: &ServerState,
+    canonical: &str,
+    collector: Option<&mut SpanCollector>,
+) -> Response {
     let key = srra_explore::fnv1a_64(canonical.as_bytes());
-    match state.store.get_record(key, canonical) {
+    match shard_lookup(state, key, canonical, collector) {
         Ok(Some(record)) => {
             state.counters.hits.inc();
             Response::Found { record }
@@ -835,11 +997,15 @@ fn handle_get(state: &ServerState, canonical: &str) -> Response {
 
 /// Answers an `mget` batch: one pure lookup per canonical, misses answered
 /// as nulls, all in one reply line.
-fn handle_mget(state: &ServerState, canonicals: &[String]) -> Response {
+fn handle_mget(
+    state: &ServerState,
+    canonicals: &[String],
+    mut collector: Option<&mut SpanCollector>,
+) -> Response {
     let mut records = Vec::with_capacity(canonicals.len());
     for canonical in canonicals {
         let key = srra_explore::fnv1a_64(canonical.as_bytes());
-        match state.store.get_record(key, canonical) {
+        match shard_lookup(state, key, canonical, collector.as_deref_mut()) {
             Ok(Some(record)) => {
                 state.counters.hits.inc();
                 records.push(Some(record));
@@ -893,12 +1059,17 @@ fn handle_put(state: &ServerState, records: &[PointRecord]) -> Response {
 
 /// Answers an `mexplore` batch: like `explore`, but a point that fails to
 /// resolve yields a per-point error instead of failing the whole batch.
-fn handle_mexplore(state: &ServerState, points: &[QueryPoint], trace: Option<&str>) -> Response {
+fn handle_mexplore(
+    state: &ServerState,
+    points: &[QueryPoint],
+    trace: Option<&str>,
+    mut collector: Option<&mut SpanCollector>,
+) -> Response {
     let mut outcomes = Vec::with_capacity(points.len());
     let mut hits = 0;
     let mut evaluated = 0;
     for point in points {
-        match answer_point(state, point, trace) {
+        match answer_point(state, point, trace, collector.as_deref_mut()) {
             Ok((record, was_hit)) => {
                 if was_hit {
                     hits += 1;
@@ -922,12 +1093,17 @@ fn handle_mexplore(state: &ServerState, points: &[QueryPoint], trace: Option<&st
 
 /// Answers an `explore` batch: hits from the shards, misses evaluated exactly
 /// once (across all concurrent clients) and written back.
-fn handle_explore(state: &ServerState, points: &[QueryPoint], trace: Option<&str>) -> Response {
+fn handle_explore(
+    state: &ServerState,
+    points: &[QueryPoint],
+    trace: Option<&str>,
+    mut collector: Option<&mut SpanCollector>,
+) -> Response {
     let mut records = Vec::with_capacity(points.len());
     let mut hits = 0;
     let mut evaluated = 0;
     for point in points {
-        match answer_point(state, point, trace) {
+        match answer_point(state, point, trace, collector.as_deref_mut()) {
             Ok((record, was_hit)) => {
                 if was_hit {
                     hits += 1;
@@ -952,6 +1128,7 @@ fn answer_point(
     state: &ServerState,
     point: &QueryPoint,
     trace: Option<&str>,
+    mut collector: Option<&mut SpanCollector>,
 ) -> Result<(PointRecord, bool), String> {
     let kernel = state.kernels.get(&point.kernel).ok_or_else(|| {
         format!(
@@ -975,7 +1152,7 @@ fn answer_point(
     let key = design_point.key();
     let mut first_try = true;
     loop {
-        match state.store.get_record(key, &canonical) {
+        match shard_lookup(state, key, &canonical, collector.as_deref_mut()) {
             Ok(Some(record)) => {
                 state.counters.hits.inc();
                 return Ok((record, first_try));
@@ -983,9 +1160,21 @@ fn answer_point(
             Ok(None) => {}
             Err(err) => return Err(err.to_string()),
         }
+        let claim_started = Instant::now();
         if state.inflight.claim(key, trace) {
             state.counters.inflight_claims.inc();
-            let outcome = evaluate_claimed(state, kernel, &design_point, key, &canonical, trace);
+            if let Some(spans) = collector.as_deref_mut() {
+                spans.child("inflight.claim", claim_started, claim_started.elapsed());
+            }
+            let outcome = evaluate_claimed(
+                state,
+                kernel,
+                &design_point,
+                key,
+                &canonical,
+                trace,
+                collector.as_deref_mut(),
+            );
             state.inflight.release(key);
             return outcome;
         }
@@ -994,6 +1183,14 @@ fn answer_point(
         let wait_started = Instant::now();
         let claimant = state.inflight.wait_released(key);
         let waited = wait_started.elapsed();
+        if let Some(spans) = collector.as_deref_mut() {
+            let child = spans.child("inflight.wait", wait_started, waited);
+            if let Some(claimant) = &claimant {
+                child
+                    .annotations
+                    .push(("claimant".to_owned(), claimant.clone()));
+            }
+        }
         if state.slow_query_us > 0 && waited.as_micros() >= u128::from(state.slow_query_us) {
             eprintln!(
                 "srra-serve slow-wait: canonical={canonical} waited_us={} trace={} claimant_trace={}",
@@ -1018,6 +1215,7 @@ fn evaluate_claimed(
     key: u64,
     canonical: &str,
     trace: Option<&str>,
+    collector: Option<&mut SpanCollector>,
 ) -> Result<(PointRecord, bool), String> {
     match state.store.get_record(key, canonical) {
         Ok(Some(record)) => {
@@ -1026,8 +1224,26 @@ fn evaluate_claimed(
         }
         Ok(None) => {
             let eval_started = Instant::now();
-            let record = evaluate_point(kernel, design_point);
+            let (record, timings) = evaluate_point_timed(kernel, design_point);
             let eval_elapsed = eval_started.elapsed();
+            if let Some(spans) = collector {
+                // The engine reports stage durations, not wall-clock bounds;
+                // lay the children end to end from the evaluation start so
+                // the waterfall shows them in pipeline order.
+                let mut at = eval_started;
+                if timings.reuse_analysis_us > 0 {
+                    let dur = Duration::from_micros(timings.reuse_analysis_us);
+                    spans.child("engine.reuse_analysis", at, dur);
+                    at += dur;
+                }
+                let dur = Duration::from_micros(timings.allocation_us);
+                spans.child("engine.allocation", at, dur);
+                at += dur;
+                if record.feasible {
+                    let dur = Duration::from_micros(timings.cost_model_us);
+                    spans.child("engine.cost_model", at, dur);
+                }
+            }
             if state.slow_query_us > 0
                 && eval_elapsed.as_micros() >= u128::from(state.slow_query_us)
             {

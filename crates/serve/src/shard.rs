@@ -24,7 +24,7 @@ use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use srra_explore::{JsonlError, JsonlStore, PointRecord, ResultStore, SegmentStore, StoreBase};
 use srra_obs::{Counter, Histogram, Registry};
@@ -310,6 +310,23 @@ impl ShardedStore {
     /// Propagates shard I/O errors.
     pub fn get_record(&self, key: u64, canonical: &str) -> Result<Option<PointRecord>, ShardError> {
         Ok(self.shard_read(key).get(key, canonical)?)
+    }
+
+    /// [`Self::get_record`] plus how long the read-lock acquisition waited,
+    /// for traced requests that attribute shard contention span by span.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard I/O errors.
+    pub fn get_record_timed(
+        &self,
+        key: u64,
+        canonical: &str,
+    ) -> Result<(Option<PointRecord>, Duration), ShardError> {
+        let waited = Instant::now();
+        let guard = self.shard_read(key);
+        let lock_wait = waited.elapsed();
+        Ok((guard.get(key, canonical)?, lock_wait))
     }
 
     /// Inserts a record into its shard (shared-reference twin of

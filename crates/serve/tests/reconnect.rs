@@ -11,11 +11,12 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use srra_serve::{ClientError, Connection, Request, Response};
+use srra_serve::{stamp_trace, ClientError, Connection, Request, Response};
 
 /// Reads request lines from `stream` and answers each with a canned
-/// `NotFound` reply, stopping (and closing the connection) after
-/// `serve_limit` replies.  Returns how many requests it answered.
+/// `NotFound` reply (echoing any trace id, like the real server), stopping
+/// (and closing the connection) after `serve_limit` replies.  Returns how
+/// many requests it answered.
 fn serve_some(stream: TcpStream, serve_limit: usize) -> usize {
     let mut writer = stream.try_clone().expect("clone stream");
     let mut reader = BufReader::new(stream);
@@ -30,11 +31,12 @@ fn serve_some(stream: TcpStream, serve_limit: usize) -> usize {
         if line.trim().is_empty() {
             continue;
         }
-        assert!(
-            Request::parse(line.trim_end()).is_ok(),
-            "client sent a well-formed line: {line}"
-        );
+        let (_, trace) = Request::parse_with_trace(line.trim_end())
+            .unwrap_or_else(|err| panic!("client sent a well-formed line: {line}: {err}"));
         let mut reply = Response::NotFound.render();
+        if let Some(trace) = &trace {
+            stamp_trace(&mut reply, trace);
+        }
         reply.push('\n');
         if writer.write_all(reply.as_bytes()).is_err() {
             break;
@@ -81,6 +83,27 @@ fn idle_keepalive_connection_reconnects_and_retries_once() {
 
     // The reconnected socket keeps serving normally.
     assert_eq!(connection.get("kernel=fir;z").expect("third get"), None);
+    drop(connection);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn traced_requests_survive_reconnect_retry() {
+    // Connection 1 serves one request then hangs up; connection 2 takes the
+    // replayed call.
+    let (addr, accepted, handle) = flaky_server(vec![1, 2]);
+    let mut connection = Connection::connect(&addr).expect("connects");
+    connection.set_trace(Some("retry-sweep.9")).expect("valid");
+
+    assert_eq!(connection.get("kernel=fir;x").expect("first get"), None);
+    assert_eq!(connection.last_trace(), Some("retry-sweep.9"));
+
+    // The server dropped connection 1: the retried call replays the
+    // identical stamped bytes over a fresh socket, so the trace id rides
+    // through the reconnect and the reply still echoes it.
+    assert_eq!(connection.get("kernel=fir;y").expect("retried get"), None);
+    assert_eq!(accepted.load(Ordering::SeqCst), 2, "one reconnect happened");
+    assert_eq!(connection.last_trace(), Some("retry-sweep.9"));
     drop(connection);
     handle.join().expect("server thread");
 }

@@ -112,6 +112,89 @@ fn traces_round_trip_and_metrics_expose_the_workload() {
 }
 
 #[test]
+fn trace_op_round_trips_spans_over_the_binary_codec() {
+    let dir = scratch_dir("binary-trace");
+    let server = Server::bind(&ServerConfig {
+        shards: 2,
+        workers: 2,
+        ..ServerConfig::ephemeral(dir.clone())
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut connection = Connection::connect_binary(&addr).expect("connect binary");
+    connection.set_trace(Some("bin-sweep.1")).expect("valid");
+    let explored = connection
+        .explore(&[QueryPoint::new("fir", "cpa", 32)])
+        .expect("explore");
+    assert_eq!(explored.evaluated, 1);
+    assert_eq!(connection.last_trace(), Some("bin-sweep.1"));
+
+    // The flight recorder answers the whole span tree through the binary
+    // `trace` op: one root request span, stage children parented under it.
+    connection.set_trace(None).expect("clear");
+    let spans = connection.trace_spans("bin-sweep.1").expect("trace op");
+    let root = spans
+        .iter()
+        .find(|span| span.parent_id == 0)
+        .expect("root span");
+    assert_eq!(root.name, "explore");
+    assert_eq!(root.trace_id, "bin-sweep.1");
+    let names: Vec<&str> = spans.iter().map(|span| span.name.as_str()).collect();
+    for stage in [
+        "parse",
+        "shard.lock_wait",
+        "inflight.claim",
+        "engine.allocation",
+        "engine.cost_model",
+        "render",
+    ] {
+        assert!(names.contains(&stage), "missing {stage}: {names:?}");
+    }
+    assert!(
+        spans
+            .iter()
+            .all(|span| span.parent_id == 0 || span.parent_id == root.span_id),
+        "single-level tree: every stage hangs off the root: {spans:?}"
+    );
+    let child_sum: u64 = spans
+        .iter()
+        .filter(|span| span.parent_id == root.span_id)
+        .map(|span| span.dur_us)
+        .sum();
+    assert!(
+        child_sum <= root.dur_us,
+        "stage children are disjoint sub-intervals of the request: \
+         {child_sum} > {}",
+        root.dur_us
+    );
+    let parse = spans
+        .iter()
+        .find(|span| span.name == "parse")
+        .expect("parse");
+    assert_eq!(
+        parse.annotations,
+        [("codec".to_owned(), "binary".to_owned())]
+    );
+
+    // An unknown id answers an empty list, not an error.
+    assert!(connection
+        .trace_spans("never-sent")
+        .expect("empty")
+        .is_empty());
+
+    // The traced request also left its id on the latency histogram bucket it
+    // landed in — the Prometheus exposition renders it as an exemplar.
+    let text = connection.metrics_text().expect("metrics --prom");
+    assert!(text.contains("trace_id=\"bin-sweep.1\""), "{text}");
+
+    connection.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
 fn slow_query_threshold_counts_and_logs_slow_requests() {
     let dir = scratch_dir("slow");
     // A 0 µs threshold is off; 1 µs makes effectively every evaluating
@@ -137,6 +220,19 @@ fn slow_query_threshold_counts_and_logs_slow_requests() {
     assert!(
         snapshot.counter("serve_slow_queries_total").unwrap_or(0) >= 1,
         "a cold evaluation takes well over 1 µs: {snapshot:?}"
+    );
+
+    // A slow traced request is pinned into the flight recorder's retained
+    // set, so its span tree stays answerable after ring churn.
+    assert!(
+        snapshot.counter("serve_pinned_traces_total").unwrap_or(0) >= 1,
+        "{snapshot:?}"
+    );
+    connection.set_trace(None).expect("clear");
+    let spans = connection.trace_spans("slow-probe").expect("trace op");
+    assert!(
+        spans.iter().any(|span| span.name == "mexplore"),
+        "the pinned trace answers its root span: {spans:?}"
     );
 
     connection.shutdown().expect("shutdown");
