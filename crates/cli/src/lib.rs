@@ -78,7 +78,9 @@ pub fn usage() -> &'static str {
     --workers <n>                serving threads (default: all CPUs)\n\
     --slow-query-us <n>          log requests slower than n µs to stderr (default: off)\n\
     --report-interval <secs>     periodic stats report to stderr (default: off)\n\
-  query --addr <host:port> [--binary] <op>\n\
+    --idle-timeout-secs <n>      reap client connections idle for n secs\n\
+                                 (default: off; counted by serve_idle_reaped_total)\n\
+  query --addr <host:port> [--binary] [--timeout-ms <n>] <op>\n\
                                  queries against a running server; prints\n\
                                  the raw JSON response line(s) (see docs/serving.md)\n\
     --binary                     speak the length-prefixed binary wire codec\n\
@@ -87,6 +89,8 @@ pub fn usage() -> &'static str {
     --trace <id>                 stamp every request with a trace id: the server\n\
                                  records a span tree for it, readable afterwards\n\
                                  via `trace <id>` (see docs/observability.md)\n\
+    --timeout-ms <n>             I/O deadline on the dial and every read/write\n\
+                                 (default: none; 0 also means none)\n\
     get <kernel> <algo> <N> [--latency <n>] [--device <d>]\n\
     explore [axis flags as for explore]     (--batch uses one mexplore line)\n\
     stats | shutdown\n\
@@ -110,8 +114,14 @@ pub fn usage() -> &'static str {
     metrics                      scrape every node, print the merged telemetry\n\
     trace <id>                   scrape every node's flight recorder, print the\n\
                                  merged cluster-wide span waterfall\n\
+    repair                       anti-entropy pass: compare per-node digests and\n\
+                                 copy records to the replica owners lacking them\n\
+    rebalance --to <a:p,...>     move every record to its owners under a new\n\
+                                 node list (client-side add/remove of nodes)\n\
     --trace <id>                 stamp every routed request with one trace id\n\
                                  across all per-node sub-batches\n\
+    --timeout-ms <n>             per-node I/O deadline in ms (default 2000;\n\
+                                 0 disables — a hung node then blocks forever)\n\
   help                           show this text"
         )
     })
@@ -482,6 +492,7 @@ struct ServeArgs {
     workers: usize,
     slow_query_us: u64,
     report_interval_secs: u64,
+    idle_timeout_secs: u64,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
@@ -493,6 +504,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         .unwrap_or(1);
     let mut slow_query_us = 0u64;
     let mut report_interval_secs = 0u64;
+    let mut idle_timeout_secs = 0u64;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -521,6 +533,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
             "--report-interval" => {
                 report_interval_secs = threshold("--report-interval", value("--report-interval")?)?;
             }
+            "--idle-timeout-secs" => {
+                idle_timeout_secs =
+                    threshold("--idle-timeout-secs", value("--idle-timeout-secs")?)?;
+            }
             other => {
                 return Err(CliError(format!(
                     "unknown serve flag `{other}`\n{}",
@@ -537,6 +553,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         workers,
         slow_query_us,
         report_interval_secs,
+        idle_timeout_secs,
     })
 }
 
@@ -549,6 +566,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         workers: parsed.workers,
         slow_query_us: parsed.slow_query_us,
         report_interval_secs: parsed.report_interval_secs,
+        idle_timeout_secs: parsed.idle_timeout_secs,
     };
     let server = Server::bind(&config).map_err(|err| CliError(format!("serve: {err}")))?;
     // Announce the bound address immediately (the config may have asked for
@@ -650,13 +668,43 @@ fn parse_query_points(args: &[String]) -> Result<Vec<QueryPoint>, CliError> {
     Ok(points)
 }
 
-/// Dials `addr` with the codec the user picked (`--binary` or JSON lines).
-fn query_connect(addr: &str, binary: bool) -> Result<Connection, ClientError> {
+/// Dials `addr` with the codec the user picked (`--binary` or JSON lines)
+/// and the `--timeout-ms` I/O deadline, if any.
+fn query_connect(
+    addr: &str,
+    binary: bool,
+    timeout: Option<std::time::Duration>,
+) -> Result<Connection, ClientError> {
     if binary {
-        Connection::connect_binary(addr)
+        Connection::connect_binary_with_timeout(addr, timeout)
     } else {
-        Connection::connect(addr)
+        Connection::connect_with_timeout(addr, timeout)
     }
+}
+
+/// Splits an optional `--timeout-ms <n>` pair out of `args`, mapping `0` to
+/// "no deadline" (`std` rejects zero-duration socket timeouts); the
+/// remaining arguments come back in order.
+fn take_timeout_flag(
+    args: &[String],
+) -> Result<(Option<std::time::Duration>, Vec<String>), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut timeout = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--timeout-ms" {
+            let raw = iter
+                .next()
+                .ok_or_else(|| CliError("--timeout-ms needs a value".into()))?;
+            let ms = raw
+                .parse::<u64>()
+                .map_err(|_| CliError(format!("invalid --timeout-ms value `{raw}`")))?;
+            timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((timeout, rest))
 }
 
 /// Splits an optional `--trace <id>` pair out of `args`; the remaining
@@ -733,9 +781,9 @@ fn render_trace_output(id: &str, spans: &[Span]) -> String {
 }
 
 fn cmd_query(args: &[String]) -> Result<String, CliError> {
-    // `--binary` and `--trace <id>` are positionally free: they select the
-    // wire codec / stamp a trace id and every other argument keeps its
-    // meaning.
+    // `--binary`, `--trace <id>` and `--timeout-ms <n>` are positionally
+    // free: they select the wire codec / stamp a trace id / set the I/O
+    // deadline and every other argument keeps its meaning.
     let binary = args.iter().any(|flag| flag == "--binary");
     let args: Vec<String> = args
         .iter()
@@ -743,9 +791,10 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
         .cloned()
         .collect();
     let (trace, args) = take_trace_flag(&args)?;
+    let (timeout, args) = take_timeout_flag(&args)?;
     let connect = |addr: &str| -> Result<Connection, CliError> {
-        let mut connection =
-            query_connect(addr, binary).map_err(|err| CliError(format!("query: {err}")))?;
+        let mut connection = query_connect(addr, binary, timeout)
+            .map_err(|err| CliError(format!("query: {err}")))?;
         connection
             .set_trace(trace.as_deref())
             .map_err(|err| CliError(format!("query: {err}")))?;
@@ -975,6 +1024,7 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
     let mut vnodes = srra_cluster::Ring::DEFAULT_VNODES;
     let mut binary = false;
     let mut trace: Option<String> = None;
+    let mut timeout: Option<Option<std::time::Duration>> = None;
     let mut rest: &[String] = &[];
     let mut iter_index = 0;
     while iter_index < args.len() {
@@ -1022,6 +1072,14 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
                 trace = Some(value("--trace")?);
                 iter_index += 2;
             }
+            "--timeout-ms" => {
+                let raw = value("--timeout-ms")?;
+                let ms = raw
+                    .parse::<u64>()
+                    .map_err(|_| CliError(format!("invalid --timeout-ms value `{raw}`")))?;
+                timeout = Some((ms > 0).then(|| std::time::Duration::from_millis(ms)));
+                iter_index += 2;
+            }
             _ => {
                 rest = &args[iter_index..];
                 break;
@@ -1031,10 +1089,13 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
     let nodes = nodes
         .filter(|nodes| !nodes.is_empty())
         .ok_or_else(|| CliError(format!("cluster needs --nodes <a:p,b:p,...>\n{}", usage())))?;
-    let config = ClusterConfig::new(nodes)
+    let mut config = ClusterConfig::new(nodes)
         .with_replicas(replicas)
         .with_vnodes(vnodes)
         .with_binary(binary);
+    if let Some(timeout) = timeout {
+        config = config.with_timeout(timeout);
+    }
     let mut cluster =
         ClusterClient::connect(&config).map_err(|err| CliError(format!("cluster: {err}")))?;
     cluster
@@ -1142,8 +1203,32 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
             out.push_str(&render_trace_output(id, &scraped.merged));
             Ok(out)
         }
+        [op] if op == "repair" => {
+            let report = cluster
+                .repair()
+                .map_err(|err| CliError(format!("cluster: {err}")))?;
+            Ok(format!(
+                "{{\"digests_equal\":{},\"records_seen\":{},\"records_copied\":{}}}",
+                report.digests_equal, report.records_seen, report.records_copied
+            ))
+        }
+        [op, to_flag, list] if op == "rebalance" && to_flag == "--to" => {
+            let to: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|node| !node.is_empty())
+                .map(str::to_owned)
+                .collect();
+            let report = cluster
+                .rebalance(&to)
+                .map_err(|err| CliError(format!("cluster: {err}")))?;
+            Ok(format!(
+                "{{\"records_walked\":{},\"records_stored\":{}}}",
+                report.records_walked, report.records_stored
+            ))
+        }
         _ => Err(CliError(format!(
-            "cluster expects get/mget/explore/stats/ping/metrics/trace, got `{}`\n{}",
+            "cluster expects get/mget/explore/stats/ping/metrics/trace/repair/rebalance --to, got `{}`\n{}",
             rest.join(" "),
             usage()
         ))),
@@ -1463,7 +1548,8 @@ mod tests {
             "{\"op\":\"mget\",\"canonicals\":[\"kernel=fir;algo=CPA-RA;budget=32;latency=2;device=XCV1000-BG560\",\"nope\"]}\n",
             "{\"op\":\"stats\"}\n",
         );
-        let out = cmd_query_pipe(query_connect(&addr, false).unwrap(), input.as_bytes()).unwrap();
+        let out =
+            cmd_query_pipe(query_connect(&addr, false, None).unwrap(), input.as_bytes()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3, "{out}");
         assert!(lines[0].starts_with("{\"ok\":true,\"records\":["), "{out}");
@@ -1478,7 +1564,7 @@ mod tests {
         // stats line, whose latency digests move between runs) come back
         // byte-identical to the JSON-codec run.
         let binary_out =
-            cmd_query_pipe(query_connect(&addr, true).unwrap(), input.as_bytes()).unwrap();
+            cmd_query_pipe(query_connect(&addr, true, None).unwrap(), input.as_bytes()).unwrap();
         let binary_lines: Vec<&str> = binary_out.lines().collect();
         assert_eq!(binary_lines.len(), 3, "{binary_out}");
         assert_eq!(binary_lines[..2], lines[..2], "{binary_out}");
@@ -1494,11 +1580,11 @@ mod tests {
 
         // Malformed or empty stdin fails client-side, before any bytes move.
         assert!(cmd_query_pipe(
-            query_connect(&addr, false).unwrap(),
+            query_connect(&addr, false, None).unwrap(),
             "not json\n".as_bytes()
         )
         .is_err());
-        assert!(cmd_query_pipe(query_connect(&addr, false).unwrap(), "".as_bytes()).is_err());
+        assert!(cmd_query_pipe(query_connect(&addr, false, None).unwrap(), "".as_bytes()).is_err());
 
         let down = run(&args(&["query", "--addr", &addr, "shutdown"])).unwrap();
         assert!(down.contains("shutting_down"));

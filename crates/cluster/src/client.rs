@@ -23,7 +23,7 @@ const BACKOFF_MAX: Duration = Duration::from_secs(2);
 
 /// Handles into [`Registry::global`] for the cluster-side instruments,
 /// resolved once — health transitions and failover requeues record directly.
-struct ClusterCounters {
+pub(crate) struct ClusterCounters {
     node_failures: Arc<Counter>,
     node_recoveries: Arc<Counter>,
     backoff_fastfails: Arc<Counter>,
@@ -31,9 +31,12 @@ struct ClusterCounters {
     routed: Arc<Counter>,
     tee_stored: Arc<Counter>,
     tee_failures: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    read_repairs: Arc<Counter>,
+    pub(crate) repair_records: Arc<Counter>,
 }
 
-fn cluster_counters() -> &'static ClusterCounters {
+pub(crate) fn cluster_counters() -> &'static ClusterCounters {
     static COUNTERS: OnceLock<ClusterCounters> = OnceLock::new();
     COUNTERS.get_or_init(|| {
         let registry = Registry::global();
@@ -45,6 +48,9 @@ fn cluster_counters() -> &'static ClusterCounters {
             routed: registry.counter("cluster_requests_routed_total"),
             tee_stored: registry.counter("cluster_tee_stored_total"),
             tee_failures: registry.counter("cluster_tee_failures_total"),
+            timeouts: registry.counter("cluster_timeouts_total"),
+            read_repairs: registry.counter("cluster_read_repairs_total"),
+            repair_records: registry.counter("cluster_repair_records_total"),
         }
     })
 }
@@ -91,6 +97,21 @@ fn is_io(err: &ClientError) -> bool {
     matches!(err, ClientError::Io(_))
 }
 
+/// Counts deadline expiries.  A timeout is handled exactly like a reset (the
+/// node is marked down and the work fails over) but gets its own series: a
+/// fleet timing out looks very different on a dashboard from a fleet
+/// refusing connections.
+fn note_timeout(err: &ClientError) {
+    if let ClientError::Io(io) = err {
+        if matches!(
+            io.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ) {
+            cluster_counters().timeouts.inc();
+        }
+    }
+}
+
 /// Configuration of a [`ClusterClient`].
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -106,11 +127,22 @@ pub struct ClusterConfig {
     /// JSON lines (the nodes auto-detect per frame, so a mixed fleet of
     /// binary and JSON clients is fine).
     pub binary: bool,
+    /// I/O deadline applied to every node dial, read and write.  A node that
+    /// stays silent past the deadline counts as failed exactly like one that
+    /// resets the connection: it is marked down and its share of the work
+    /// fails over to the next replica successor, so a partition costs a
+    /// bounded wait instead of a hang.  `None` disables deadlines (a hung
+    /// node then blocks the call indefinitely).
+    pub timeout: Option<Duration>,
 }
 
 impl ClusterConfig {
-    /// A configuration over `nodes` with no replication and
-    /// [`Ring::DEFAULT_VNODES`] virtual nodes.
+    /// The default per-call I/O deadline.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(2);
+
+    /// A configuration over `nodes` with no replication,
+    /// [`Ring::DEFAULT_VNODES`] virtual nodes and the
+    /// [default I/O deadline](Self::DEFAULT_TIMEOUT).
     pub fn new<I, S>(nodes: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -121,6 +153,7 @@ impl ClusterConfig {
             replicas: 1,
             vnodes: Ring::DEFAULT_VNODES,
             binary: false,
+            timeout: Some(Self::DEFAULT_TIMEOUT),
         }
     }
 
@@ -145,15 +178,24 @@ impl ClusterConfig {
         self.binary = binary;
         self
     }
+
+    /// Sets the per-call I/O deadline; `None` disables it.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
 }
 
 /// One node's client-side state: the cached keep-alive connection and the
 /// health bookkeeping.
 #[derive(Debug)]
-struct Node {
-    addr: String,
+pub(crate) struct Node {
+    pub(crate) addr: String,
     /// Dial connections in binary-codec mode.
     binary: bool,
+    /// I/O deadline applied to dials, reads and writes.
+    timeout: Option<Duration>,
     /// Trace id stamped onto every request this node serves, when set.
     /// Survives reconnects: a fresh connection re-applies it before use, so
     /// one logical trace spans a node's sub-batches even across failures.
@@ -161,7 +203,7 @@ struct Node {
     connection: Option<Connection>,
     /// `Some(instant)` while the node is marked down; no connect attempt is
     /// made before it.
-    down_until: Option<Instant>,
+    pub(crate) down_until: Option<Instant>,
     /// Next back-off period (doubles per consecutive failure).
     backoff: Duration,
     /// Requests this client successfully routed to the node.
@@ -169,10 +211,11 @@ struct Node {
 }
 
 impl Node {
-    fn new(addr: String, binary: bool) -> Self {
+    fn new(addr: String, binary: bool, timeout: Option<Duration>) -> Self {
         Self {
             addr,
             binary,
+            timeout,
             trace: None,
             connection: None,
             down_until: None,
@@ -218,9 +261,9 @@ impl Node {
         }
         if self.connection.is_none() {
             let dialled = if self.binary {
-                Connection::connect_binary(&self.addr)
+                Connection::connect_binary_with_timeout(&self.addr, self.timeout)
             } else {
-                Connection::connect(&self.addr)
+                Connection::connect_with_timeout(&self.addr, self.timeout)
             };
             match dialled {
                 Ok(mut connection) => {
@@ -231,6 +274,7 @@ impl Node {
                 }
                 Err(err) => {
                     if is_io(&err) {
+                        note_timeout(&err);
                         self.mark_down();
                     }
                     return Err(err);
@@ -241,9 +285,10 @@ impl Node {
     }
 
     /// Runs one wire call against the node, maintaining the health state: an
-    /// I/O failure marks the node down (the `Connection` has already retried
-    /// once internally for stale-socket cases), success marks it up.
-    fn call<T>(
+    /// I/O failure (including a deadline expiry) marks the node down (the
+    /// `Connection` has already retried once internally for stale-socket
+    /// cases), success marks it up.
+    pub(crate) fn call<T>(
         &mut self,
         op: impl FnOnce(&mut Connection) -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
@@ -257,6 +302,7 @@ impl Node {
             }
             Err(err) => {
                 if is_io(&err) {
+                    note_timeout(&err);
                     self.mark_down();
                 }
                 Err(err)
@@ -396,9 +442,12 @@ pub struct ClusterExploreReply {
 /// over to, and the call reports [`ClusterError::Unavailable`].
 #[derive(Debug)]
 pub struct ClusterClient {
-    ring: Ring,
-    nodes: Vec<Node>,
-    replicas: usize,
+    pub(crate) ring: Ring,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) replicas: usize,
+    pub(crate) vnodes: usize,
+    pub(crate) binary: bool,
+    pub(crate) timeout: Option<Duration>,
 }
 
 impl ClusterClient {
@@ -423,10 +472,13 @@ impl ClusterClient {
             nodes: ring
                 .nodes()
                 .iter()
-                .map(|addr| Node::new(addr.clone(), config.binary))
+                .map(|addr| Node::new(addr.clone(), config.binary, config.timeout))
                 .collect(),
             ring,
             replicas: config.replicas,
+            vnodes: config.vnodes,
+            binary: config.binary,
+            timeout: config.timeout,
         };
         let up = client.ping_all().into_iter().filter(|(_, up)| *up).count();
         if up == 0 {
@@ -511,13 +563,16 @@ impl ClusterClient {
     }
 
     /// Probes every node with a `ping`; returns `(addr, reachable)` in
-    /// configuration order.  Unreachable nodes are marked down (respecting
-    /// the back-off — a node inside its back-off window reports `false`
-    /// without a network attempt).
+    /// configuration order.  A liveness probe must actually probe: each node
+    /// is dialled even inside an open back-off window (remembered down-state
+    /// would otherwise report `false` without touching the network, hiding a
+    /// node that already recovered).  Nodes that fail the probe are marked
+    /// down as usual.
     pub fn ping_all(&mut self) -> Vec<(String, bool)> {
         self.nodes
             .iter_mut()
             .map(|node| {
+                node.down_until = None;
                 let up = node.call(Connection::ping).is_ok();
                 (node.addr.clone(), up)
             })
@@ -595,6 +650,13 @@ impl ClusterClient {
     /// in request order (`None` = miss).  When a node is down its share of
     /// the batch is read from the next replica successor.
     ///
+    /// With `replicas > 1` the lookup also read-repairs: a record a replica
+    /// successor served because the primary was down, and a record a
+    /// successor still holds after the primary answered a miss (the
+    /// empty-disk restart case), are written back to the primary owner best
+    /// effort (`cluster_read_repairs_total`), so ordinary reads converge the
+    /// cluster without an operator in the loop.
+    ///
     /// # Errors
     ///
     /// [`ClusterError::Unavailable`] when some key's replica owners are all
@@ -604,6 +666,7 @@ impl ClusterClient {
         canonicals: &[String],
     ) -> Result<Vec<Option<PointRecord>>, ClusterError> {
         let mut results: Vec<Option<PointRecord>> = vec![None; canonicals.len()];
+        let mut repairs: Vec<PointRecord> = Vec::new();
         let pending: Vec<(usize, usize)> = (0..canonicals.len()).map(|i| (i, 0)).collect();
         self.route_with_failover(pending, canonicals, |client, node, items| {
             let batch: Vec<String> = items
@@ -620,12 +683,83 @@ impl ClusterClient {
                     items.len()
                 )));
             }
-            for (&(item, _), record) in items.iter().zip(records) {
+            for (&(item, attempt), record) in items.iter().zip(records) {
+                if attempt > 0 {
+                    // Served by a replica successor because an earlier owner
+                    // was down: queue a write-back to the primary.
+                    if let Some(record) = &record {
+                        repairs.push(record.clone());
+                    }
+                }
                 results[item] = record;
             }
             Ok(())
         })?;
+        // A miss reported by a *healthy* primary may still live on a replica
+        // successor — the primary may have lost its disk and restarted
+        // empty.  Ask the successors best-effort before declaring a
+        // cluster-wide miss, and queue whatever they hold for write-back.
+        if self.replicas > 1 && results.iter().any(Option::is_none) {
+            let mut missing: Vec<usize> = results
+                .iter()
+                .enumerate()
+                .filter_map(|(item, record)| record.is_none().then_some(item))
+                .collect();
+            for attempt in 1..self.replicas {
+                if missing.is_empty() {
+                    break;
+                }
+                let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                for &item in &missing {
+                    let key = fnv1a_64(canonicals[item].as_bytes());
+                    if let Some(&node) = self.ring.owners(key, self.replicas).get(attempt) {
+                        groups.entry(node).or_default().push(item);
+                    }
+                }
+                for (node, items) in groups {
+                    let batch: Vec<String> =
+                        items.iter().map(|&item| canonicals[item].clone()).collect();
+                    let Ok(records) = self.nodes[node].call(|connection| connection.mget(&batch))
+                    else {
+                        continue;
+                    };
+                    for (&item, record) in items.iter().zip(records) {
+                        if let Some(record) = record {
+                            repairs.push(record.clone());
+                            results[item] = Some(record);
+                        }
+                    }
+                }
+                missing.retain(|&item| results[item].is_none());
+            }
+        }
+        self.read_repair(repairs);
         Ok(results)
+    }
+
+    /// Best-effort write-back of records that replica successors served on
+    /// behalf of their primary owner: the records are `put` to the primary,
+    /// healing it the moment it is reachable again.  Dials through the
+    /// primary's back-off window — the whole point is to reach a node that
+    /// was down moments ago.  Replica copies newly stored on the primary
+    /// count in `cluster_read_repairs_total`.
+    fn read_repair(&mut self, records: Vec<PointRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut groups: BTreeMap<usize, Vec<PointRecord>> = BTreeMap::new();
+        for record in records {
+            let owners = self.ring.owners(record.key, self.replicas);
+            if let Some(&primary) = owners.first() {
+                groups.entry(primary).or_default().push(record);
+            }
+        }
+        for (node, batch) in groups {
+            self.nodes[node].down_until = None;
+            if let Ok(count) = self.nodes[node].call(|connection| connection.put(&batch)) {
+                cluster_counters().read_repairs.add(count);
+            }
+        }
     }
 
     /// Answers a batch of design points: each point is routed to the node

@@ -18,6 +18,14 @@
 //!    of the batch over to the next replica successor, and — with a
 //!    replication factor `R > 1` — tees freshly evaluated records to the
 //!    `R - 1` successors via the `put` op so reads survive a node death.
+//!    Every dial, read and write carries an I/O deadline
+//!    ([`ClusterConfig::DEFAULT_TIMEOUT`] by default), so a partitioned or
+//!    hung node costs a bounded wait, not a stuck client; reads self-heal
+//!    the fleet by writing replica-served records back to their primary
+//!    (read-repair); and [`ClusterClient::repair`] /
+//!    [`ClusterClient::rebalance`] converge or re-shard the whole dataset
+//!    from the client side using the `digest` / `scan` wire ops (see
+//!    `docs/cluster.md`, "Self-healing").
 //!
 //! The CLI front end is `srra cluster --nodes a:p,b:p [--replicas R] ...`;
 //! semantics are specified in `docs/cluster.md`.
@@ -63,10 +71,12 @@
 #![warn(missing_docs)]
 
 mod client;
+mod repair;
 mod ring;
 
 pub use client::{
     ClusterClient, ClusterConfig, ClusterError, ClusterExploreReply, ClusterMetrics, ClusterStats,
     ClusterTrace, NodeStats,
 };
+pub use repair::{RebalanceReport, RepairReport};
 pub use ring::Ring;

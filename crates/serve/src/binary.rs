@@ -38,7 +38,7 @@ use srra_explore::PointRecord;
 use srra_obs::{valid_metric_name, HistogramSnapshot, MetricsSnapshot, Span};
 
 use crate::protocol::{
-    valid_trace_id, OpStats, PointOutcome, QueryPoint, Request, Response, ServerStats,
+    valid_trace_id, OpStats, PointOutcome, QueryPoint, Request, Response, ServerStats, ShardDigest,
 };
 
 /// First byte of every binary frame.  `0xB1` can never open a JSON request
@@ -278,6 +278,8 @@ const TAG_STATS: u8 = 7;
 const TAG_METRICS: u8 = 8;
 const TAG_SHUTDOWN: u8 = 9;
 const TAG_TRACE: u8 = 10;
+const TAG_DIGEST: u8 = 11;
+const TAG_SCAN: u8 = 12;
 
 impl WireSerde for QueryPoint {
     fn serialize_into(&self, out: &mut impl std::io::Write) -> Result<(), WireError> {
@@ -331,6 +333,17 @@ impl WireSerde for Request {
             Request::Trace { id } => {
                 TAG_TRACE.serialize_into(out)?;
                 write_str(out, id)
+            }
+            Request::Digest => TAG_DIGEST.serialize_into(out),
+            Request::Scan {
+                shard,
+                offset,
+                limit,
+            } => {
+                TAG_SCAN.serialize_into(out)?;
+                shard.serialize_into(out)?;
+                offset.serialize_into(out)?;
+                limit.serialize_into(out)
             }
             Request::Shutdown => TAG_SHUTDOWN.serialize_into(out),
         }
@@ -388,6 +401,22 @@ impl WireSerde for Request {
                     return Err(WireError::Corrupt(format!("illegal trace id {id:?}")));
                 }
                 Ok(Request::Trace { id })
+            }
+            TAG_DIGEST => Ok(Request::Digest),
+            TAG_SCAN => {
+                let shard = u64::deserialize_from(reader)?;
+                let offset = u64::deserialize_from(reader)?;
+                let limit = u64::deserialize_from(reader)?;
+                if limit == 0 {
+                    return Err(WireError::Corrupt(
+                        "`scan` limit must be at least 1".to_owned(),
+                    ));
+                }
+                Ok(Request::Scan {
+                    shard,
+                    offset,
+                    limit,
+                })
             }
             TAG_SHUTDOWN => Ok(Request::Shutdown),
             other => Err(WireError::Corrupt(format!(
@@ -625,6 +654,22 @@ const RESP_METRICS_TEXT: u8 = 10;
 const RESP_SHUTTING_DOWN: u8 = 11;
 const RESP_ERROR: u8 = 12;
 const RESP_TRACED: u8 = 13;
+const RESP_DIGESTS: u8 = 14;
+const RESP_SCANNED: u8 = 15;
+
+impl WireSerde for ShardDigest {
+    fn serialize_into(&self, out: &mut impl std::io::Write) -> Result<(), WireError> {
+        self.records.serialize_into(out)?;
+        self.fold.serialize_into(out)
+    }
+
+    fn deserialize_from(reader: &mut impl Read) -> Result<Self, WireError> {
+        Ok(Self {
+            records: u64::deserialize_from(reader)?,
+            fold: u64::deserialize_from(reader)?,
+        })
+    }
+}
 
 impl WireSerde for Response {
     fn serialize_into(&self, out: &mut impl std::io::Write) -> Result<(), WireError> {
@@ -683,6 +728,15 @@ impl WireSerde for Response {
                 }
                 Ok(())
             }
+            Response::Digests { digests } => {
+                RESP_DIGESTS.serialize_into(out)?;
+                digests.serialize_into(out)
+            }
+            Response::Scanned { canonicals, done } => {
+                RESP_SCANNED.serialize_into(out)?;
+                canonicals.serialize_into(out)?;
+                done.serialize_into(out)
+            }
             Response::ShuttingDown => RESP_SHUTTING_DOWN.serialize_into(out),
             Response::Error { message } => {
                 RESP_ERROR.serialize_into(out)?;
@@ -727,6 +781,13 @@ impl WireSerde for Response {
                 }
                 Ok(Response::Traced { spans })
             }
+            RESP_DIGESTS => Ok(Response::Digests {
+                digests: Vec::<ShardDigest>::deserialize_from(reader)?,
+            }),
+            RESP_SCANNED => Ok(Response::Scanned {
+                canonicals: Vec::<String>::deserialize_from(reader)?,
+                done: bool::deserialize_from(reader)?,
+            }),
             RESP_SHUTTING_DOWN => Ok(Response::ShuttingDown),
             RESP_ERROR => Ok(Response::Error {
                 message: String::deserialize_from(reader)?,
@@ -865,6 +926,12 @@ mod tests {
             Request::Trace {
                 id: "sweep-7.a".to_owned(),
             },
+            Request::Digest,
+            Request::Scan {
+                shard: 3,
+                offset: 128,
+                limit: 64,
+            },
             Request::Shutdown,
         ]
     }
@@ -935,6 +1002,26 @@ mod tests {
                 ],
             },
             Response::Traced { spans: Vec::new() },
+            Response::Digests {
+                digests: vec![
+                    ShardDigest {
+                        records: 3,
+                        fold: 0x1234_5678_9abc_def0,
+                    },
+                    ShardDigest {
+                        records: 0,
+                        fold: 0,
+                    },
+                ],
+            },
+            Response::Scanned {
+                canonicals: vec!["kernel=fir;algo=CPA-RA;budget=32".to_owned()],
+                done: false,
+            },
+            Response::Scanned {
+                canonicals: Vec::new(),
+                done: true,
+            },
             Response::ShuttingDown,
             Response::Error {
                 message: "unknown kernel `nope`".to_owned(),

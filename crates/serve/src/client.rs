@@ -23,6 +23,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use srra_explore::codec::WireError;
 use srra_explore::PointRecord;
@@ -35,7 +36,7 @@ use crate::binary::{
 use crate::protocol::{
     render_get_request, render_mget_request, render_points_request, render_put_request,
     stamp_trace, trace_suffix, valid_trace_id, PointOutcome, QueryPoint, Request, Response,
-    ServerStats,
+    ServerStats, ShardDigest,
 };
 
 /// Lifts a codec failure into the client error space.
@@ -143,6 +144,9 @@ pub struct Connection {
     trace: Option<String>,
     /// Trace id echoed on the most recently received reply, if any.
     last_trace: Option<String>,
+    /// I/O deadline applied to connects, reads and writes; `None` blocks
+    /// indefinitely (the pre-deadline behaviour).
+    timeout: Option<Duration>,
 }
 
 /// Whether `err` says the keep-alive socket went stale while idle (server
@@ -158,13 +162,24 @@ fn is_stale(err: &ClientError) -> bool {
     ))
 }
 
-/// Opens the `TCP_NODELAY` stream pair for `addr`.
-fn open_stream(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+/// Opens the `TCP_NODELAY` stream pair for `addr`.  With a `timeout`, the
+/// connect and every subsequent read and write carry that deadline — a hung,
+/// partitioned or stalled server surfaces as a `TimedOut`/`WouldBlock` I/O
+/// error instead of blocking the caller forever.
+fn open_stream(
+    addr: &str,
+    timeout: Option<Duration>,
+) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
     let mut addrs = addr.to_socket_addrs()?;
     let addr = addrs
         .next()
         .ok_or_else(|| ClientError::Protocol(format!("unresolvable address `{addr}`")))?;
-    let stream = TcpStream::connect(addr)?;
+    let stream = match timeout {
+        None => TcpStream::connect(addr)?,
+        Some(deadline) => TcpStream::connect_timeout(&addr, deadline)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
     stream.set_nodelay(true)?;
     let writer = stream.try_clone()?;
     connection_metrics().connects.inc();
@@ -179,7 +194,23 @@ impl Connection {
     ///
     /// Connection failures and unresolvable addresses.
     pub fn connect(addr: &str) -> Result<Self, ClientError> {
-        Self::connect_with_codec(addr, false)
+        Self::connect_with_codec(addr, false, None)
+    }
+
+    /// Like [`connect`](Connection::connect), with an I/O deadline: the
+    /// connect, every read and every write time out after `timeout`, so a
+    /// hung or partitioned server costs at most the deadline instead of
+    /// blocking forever.  `None` disables the deadline.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures (including a connect timeout) and unresolvable
+    /// addresses.
+    pub fn connect_with_timeout(
+        addr: &str,
+        timeout: Option<Duration>,
+    ) -> Result<Self, ClientError> {
+        Self::connect_with_codec(addr, false, timeout)
     }
 
     /// Like [`connect`](Connection::connect), but the connection speaks the
@@ -191,11 +222,28 @@ impl Connection {
     ///
     /// Connection failures and unresolvable addresses.
     pub fn connect_binary(addr: &str) -> Result<Self, ClientError> {
-        Self::connect_with_codec(addr, true)
+        Self::connect_with_codec(addr, true, None)
     }
 
-    fn connect_with_codec(addr: &str, binary: bool) -> Result<Self, ClientError> {
-        let (reader, writer) = open_stream(addr)?;
+    /// The binary twin of [`connect_with_timeout`](Self::connect_with_timeout).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures (including a connect timeout) and unresolvable
+    /// addresses.
+    pub fn connect_binary_with_timeout(
+        addr: &str,
+        timeout: Option<Duration>,
+    ) -> Result<Self, ClientError> {
+        Self::connect_with_codec(addr, true, timeout)
+    }
+
+    fn connect_with_codec(
+        addr: &str,
+        binary: bool,
+        timeout: Option<Duration>,
+    ) -> Result<Self, ClientError> {
+        let (reader, writer) = open_stream(addr, timeout)?;
         Ok(Self {
             addr: addr.to_owned(),
             reader,
@@ -207,7 +255,14 @@ impl Connection {
             payload: Vec::with_capacity(256),
             trace: None,
             last_trace: None,
+            timeout,
         })
+    }
+
+    /// The I/O deadline this connection applies to connects, reads and
+    /// writes, if any.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
     }
 
     /// The `host:port` this connection targets.
@@ -260,7 +315,7 @@ impl Connection {
     /// scratch buffers (and whatever request line `scratch` holds) survive,
     /// so a failed call can be replayed byte-identically.
     fn reconnect(&mut self) -> Result<(), ClientError> {
-        let (reader, writer) = open_stream(&self.addr)?;
+        let (reader, writer) = open_stream(&self.addr, self.timeout)?;
         self.reader = reader;
         self.writer = writer;
         Ok(())
@@ -641,6 +696,40 @@ impl Connection {
         expect_traced(response)
     }
 
+    /// Fetches the server's per-shard anti-entropy digests, in shard order.
+    /// Two nodes holding the same record set answer identical digests (see
+    /// `docs/cluster.md`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn digest(&mut self) -> Result<Vec<ShardDigest>, ClientError> {
+        let response = self.roundtrip(&Request::Digest)?;
+        expect_digests(response)
+    }
+
+    /// Fetches one page of shard `shard`'s canonical strings (`offset` /
+    /// `limit` paging); the boolean is `true` when the page reached the end
+    /// of the shard.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors
+    /// (including an out-of-range shard index).
+    pub fn scan(
+        &mut self,
+        shard: u64,
+        offset: u64,
+        limit: u64,
+    ) -> Result<(Vec<String>, bool), ClientError> {
+        let response = self.roundtrip(&Request::Scan {
+            shard,
+            offset,
+            limit,
+        })?;
+        expect_scanned(response)
+    }
+
     /// Asks the server to shut down gracefully.  Never retried on a stale
     /// socket ([`roundtrip`](Connection::roundtrip) exempts `shutdown` from
     /// the reconnect-and-replay): a replay could stop a server that was
@@ -804,6 +893,29 @@ impl Client {
         self.connect()?.trace_spans(id)
     }
 
+    /// Fetches the server's per-shard anti-entropy digests.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn digest(&self) -> Result<Vec<ShardDigest>, ClientError> {
+        self.connect()?.digest()
+    }
+
+    /// Fetches one page of a shard's canonical strings.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn scan(
+        &self,
+        shard: u64,
+        offset: u64,
+        limit: u64,
+    ) -> Result<(Vec<String>, bool), ClientError> {
+        self.connect()?.scan(shard, offset, limit)
+    }
+
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors
@@ -937,6 +1049,28 @@ fn expect_traced(response: Response) -> Result<Vec<Span>, ClientError> {
         Response::Error { message } => Err(ClientError::Server(message)),
         other => Err(ClientError::Protocol(format!(
             "unexpected response to trace: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the `digest` reply shape.
+fn expect_digests(response: Response) -> Result<Vec<ShardDigest>, ClientError> {
+    match response {
+        Response::Digests { digests } => Ok(digests),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to digest: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the `scan` reply shape.
+fn expect_scanned(response: Response) -> Result<(Vec<String>, bool), ClientError> {
+    match response {
+        Response::Scanned { canonicals, done } => Ok((canonicals, done)),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to scan: {other:?}"
         ))),
     }
 }

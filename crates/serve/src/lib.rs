@@ -31,7 +31,11 @@
 //!    per-op latency quantiles), `metrics` (the full [`srra_obs`] telemetry
 //!    snapshot, as structured JSON or Prometheus text exposition), `trace`
 //!    (the spans the flight recorder retains for a trace id — see
-//!    `docs/observability.md`), and graceful `shutdown` (which also closes
+//!    `docs/observability.md`), `digest` (per-shard anti-entropy digests:
+//!    record count plus an order-insensitive hash fold, so two replicas can
+//!    compare contents without shipping them) and `scan` (offset-paged
+//!    canonical strings of one shard — the diff-streaming substrate for
+//!    cluster repair and rebalance), and graceful `shutdown` (which also closes
 //!    idle keep-alive connections so draining never waits on clients).  Any
 //!    request line may carry a `trace` id — the server echoes it on the
 //!    reply, emits a span tree for the request into the
@@ -88,7 +92,7 @@ pub use client::{Client, ClientError, Connection, ExploreReply, MultiExploreRepl
 pub use json::JsonValue;
 pub use protocol::{
     stamp_trace, trace_suffix, valid_trace_id, OpStats, PointOutcome, QueryPoint, Request,
-    Response, ServerStats, TRACE_MAX_LEN,
+    Response, ServerStats, ShardDigest, TRACE_MAX_LEN,
 };
 pub use server::{canonical_for, device_by_name, ServeError, Server, ServerConfig, ServerReport};
 pub use shard::{CompactOutcome, MergeOutcome, ShardError, ShardedStore};

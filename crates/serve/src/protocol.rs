@@ -276,6 +276,21 @@ pub enum Request {
         /// The trace id to look up (validated by [`valid_trace_id`]).
         id: String,
     },
+    /// Anti-entropy digest: answers [`Response::Digests`] with one
+    /// [`ShardDigest`] per shard, in shard order.  Cheap enough to compare
+    /// across replicas on every repair pass without streaming records.
+    Digest,
+    /// Page through one shard's canonical strings in its stable store order.
+    /// Answers [`Response::Scanned`]; repair and rebalance walk these pages
+    /// to learn what a node holds without transferring whole records.
+    Scan {
+        /// Shard index to page through (`0 ..` the server's shard count).
+        shard: u64,
+        /// Records to skip before the first returned canonical.
+        offset: u64,
+        /// Maximum canonicals in this page (at least 1).
+        limit: u64,
+    },
     /// Graceful shutdown: the server acknowledges, stops accepting, drains
     /// in-flight connections and exits.
     Shutdown,
@@ -307,6 +322,20 @@ impl Request {
             Request::Trace { id } => {
                 out.push_str("{\"op\":\"trace\",\"id\":");
                 render_string(out, id);
+                out.push('}');
+            }
+            Request::Digest => out.push_str(r#"{"op":"digest"}"#),
+            Request::Scan {
+                shard,
+                offset,
+                limit,
+            } => {
+                out.push_str("{\"op\":\"scan\",\"shard\":");
+                out.push_str(&shard.to_string());
+                out.push_str(",\"offset\":");
+                out.push_str(&offset.to_string());
+                out.push_str(",\"limit\":");
+                out.push_str(&limit.to_string());
                 out.push('}');
             }
             Request::Shutdown => out.push_str(r#"{"op":"shutdown"}"#),
@@ -405,6 +434,29 @@ impl Request {
                 }
                 Ok(Request::Trace { id: id.to_owned() })
             }
+            "digest" => Ok(Request::Digest),
+            "scan" => {
+                let shard = value
+                    .get("shard")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("`scan` needs a numeric `shard` field")?;
+                let offset = match value.get("offset") {
+                    None => 0,
+                    Some(v) => v.as_u64().ok_or("`offset` must be a number")?,
+                };
+                let limit = match value.get("limit") {
+                    None => 1024,
+                    Some(v) => v.as_u64().ok_or("`limit` must be a number")?,
+                };
+                if limit == 0 {
+                    return Err("`scan` limit must be at least 1".to_owned());
+                }
+                Ok(Request::Scan {
+                    shard,
+                    offset,
+                    limit,
+                })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         }
@@ -444,6 +496,20 @@ impl Request {
         stripped.push('}');
         Ok((Self::parse(&stripped)?, trace))
     }
+}
+
+/// One shard's anti-entropy digest, as served by the `digest` op: the
+/// record count plus an order-insensitive fold of the records' content
+/// hashes.  Two shards holding the same record set report the same digest
+/// regardless of insertion order, and one mutated payload flips the fold —
+/// so replicas can detect divergence by comparing a few integers instead of
+/// streaming records (see `ShardedStore::digests`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDigest {
+    /// Records indexed in the shard.
+    pub records: u64,
+    /// Order-insensitive fold over the records' content hashes.
+    pub fold: u64,
 }
 
 /// Request count and latency quantiles of one op, as reported by `stats`.
@@ -726,6 +792,19 @@ pub enum Response {
         /// The retained spans, oldest first.
         spans: Vec<Span>,
     },
+    /// `digest` answer: one entry per shard, in shard order.
+    Digests {
+        /// Per-shard digests (`digests.len()` is the server's shard count).
+        digests: Vec<ShardDigest>,
+    },
+    /// `scan` answer: one page of canonical strings from the requested shard.
+    Scanned {
+        /// The canonicals in this page, in the shard's stable store order.
+        canonicals: Vec<String>,
+        /// Whether the page reached the end of the shard (an `offset` past
+        /// the end answers an empty page with `done == true`).
+        done: bool,
+    },
     /// `shutdown` acknowledgement.
     ShuttingDown,
     /// Any failure; the connection stays open.
@@ -857,6 +936,34 @@ impl Response {
                 }
                 out.push_str("]}");
             }
+            Response::Digests { digests } => {
+                out.push_str("{\"ok\":true,\"digests\":[");
+                for (index, digest) in digests.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"records\":");
+                    out.push_str(&digest.records.to_string());
+                    out.push_str(",\"fold\":");
+                    out.push_str(&digest.fold.to_string());
+                    out.push('}');
+                }
+                out.push_str("]}");
+            }
+            Response::Scanned { canonicals, done } => {
+                out.push_str("{\"ok\":true,\"canonicals\":[");
+                for (index, canonical) in canonicals.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    render_string(out, canonical);
+                }
+                out.push_str(if *done {
+                    "],\"done\":true}"
+                } else {
+                    "],\"done\":false}"
+                });
+            }
             Response::ShuttingDown => out.push_str(r#"{"ok":true,"shutting_down":true}"#),
             Response::Error { message } => {
                 out.push_str("{\"ok\":false,\"error\":");
@@ -982,6 +1089,38 @@ impl Response {
                 .map(span_from_value)
                 .collect::<Result<Vec<_>, _>>()?;
             return Ok(Response::Traced { spans });
+        }
+        if let Some(items) = value.get("digests").and_then(JsonValue::as_array) {
+            let digests = items
+                .iter()
+                .map(|item| {
+                    let field = |name: &str| -> Result<u64, String> {
+                        item.get(name)
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| format!("digest needs a numeric `{name}` field"))
+                    };
+                    Ok(ShardDigest {
+                        records: field("records")?,
+                        fold: field("fold")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            return Ok(Response::Digests { digests });
+        }
+        if let Some(items) = value.get("canonicals").and_then(JsonValue::as_array) {
+            let canonicals = items
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_owned)
+                        .ok_or("`canonicals` entries must be strings".to_owned())
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let done = value
+                .get("done")
+                .and_then(JsonValue::as_bool)
+                .ok_or("`scan` response needs a boolean `done` field")?;
+            return Ok(Response::Scanned { canonicals, done });
         }
         if value.get("shutting_down").and_then(JsonValue::as_bool) == Some(true) {
             return Ok(Response::ShuttingDown);
@@ -1255,6 +1394,12 @@ mod tests {
             Request::Trace {
                 id: "sweep-7.a".to_owned(),
             },
+            Request::Digest,
+            Request::Scan {
+                shard: 3,
+                offset: 128,
+                limit: 64,
+            },
             Request::Shutdown,
         ];
         for request in requests {
@@ -1341,6 +1486,29 @@ mod tests {
                 ],
             },
             Response::Traced { spans: Vec::new() },
+            Response::Digests {
+                digests: vec![
+                    ShardDigest {
+                        records: 3,
+                        fold: 0x1234_5678_9abc_def0,
+                    },
+                    ShardDigest {
+                        records: 0,
+                        fold: 0,
+                    },
+                ],
+            },
+            Response::Scanned {
+                canonicals: vec![
+                    "kernel=fir;algo=CPA-RA;budget=32".to_owned(),
+                    "kernel=mat;algo=FR-RA;budget=8".to_owned(),
+                ],
+                done: false,
+            },
+            Response::Scanned {
+                canonicals: Vec::new(),
+                done: true,
+            },
             Response::ShuttingDown,
             Response::Error {
                 message: "unknown kernel `nope`".to_owned(),
@@ -1494,6 +1662,9 @@ mod tests {
             r#"{"op":"trace"}"#,
             r#"{"op":"trace","id":""}"#,
             r#"{"op":"trace","id":"no spaces"}"#,
+            r#"{"op":"scan"}"#,
+            r#"{"op":"scan","shard":"zero"}"#,
+            r#"{"op":"scan","shard":0,"limit":0}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "accepted `{bad}`");
         }

@@ -103,6 +103,11 @@ pub struct ServerConfig {
     /// (the default) runs no reporter.  The reporter prints one-line
     /// progress summaries to stderr, event-manager style.
     pub report_interval_secs: u64,
+    /// Idle-connection deadline in seconds; 0 (the default) disables it.
+    /// A client that connects and then stays silent for this long is reaped
+    /// (counted by `serve_idle_reaped_total`) instead of pinning a worker
+    /// thread forever.
+    pub idle_timeout_secs: u64,
 }
 
 impl ServerConfig {
@@ -116,6 +121,7 @@ impl ServerConfig {
             workers: 4,
             slow_query_us: 0,
             report_interval_secs: 0,
+            idle_timeout_secs: 0,
         }
     }
 }
@@ -192,14 +198,16 @@ enum Op {
     Stats,
     Metrics,
     Trace,
+    Digest,
+    Scan,
     Shutdown,
     Invalid,
 }
 
 /// Wire names of the ops, indexed by `Op as usize`.
-const OP_NAMES: [&str; 11] = [
-    "get", "mget", "explore", "mexplore", "put", "ping", "stats", "metrics", "trace", "shutdown",
-    "invalid",
+const OP_NAMES: [&str; 13] = [
+    "get", "mget", "explore", "mexplore", "put", "ping", "stats", "metrics", "trace", "digest",
+    "scan", "shutdown", "invalid",
 ];
 
 /// Count + latency histogram of one op (handles into the server registry).
@@ -240,6 +248,8 @@ struct Counters {
     codec_binary: Arc<Counter>,
     /// Requests that arrived as JSON lines.
     codec_json: Arc<Counter>,
+    /// Idle keep-alive connections reaped by the idle-connection deadline.
+    idle_reaped: Arc<Counter>,
     /// Per-op accounting, indexed by `Op as usize`.
     ops: [OpCounter; OP_NAMES.len()],
 }
@@ -263,6 +273,7 @@ impl Counters {
             codec_render_us: registry.histogram("serve_codec_render_us"),
             codec_binary: registry.counter("serve_codec_binary_total"),
             codec_json: registry.counter("serve_codec_json_total"),
+            idle_reaped: registry.counter("serve_idle_reaped_total"),
             ops: std::array::from_fn(|index| OpCounter {
                 count: registry.counter(&format!("serve_op_{}_total", OP_NAMES[index])),
                 latency: registry.histogram(&format!("serve_op_{}_latency_us", OP_NAMES[index])),
@@ -370,6 +381,8 @@ struct ServerState {
     counters: Counters,
     /// Slow-query log threshold in microseconds; 0 disables the log.
     slow_query_us: u64,
+    /// Idle-connection deadline; zero disables it.
+    idle_timeout: Duration,
     shutdown: AtomicBool,
     started: Instant,
     /// Read-shutdown handles of the currently open connections, keyed by a
@@ -516,6 +529,7 @@ impl Server {
                 registry,
                 counters,
                 slow_query_us: config.slow_query_us,
+                idle_timeout: Duration::from_secs(config.idle_timeout_secs),
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
                 open_connections: Mutex::new(HashMap::new()),
@@ -690,6 +704,12 @@ fn serve_connection(state: &ServerState, stream: TcpStream, local_addr: SocketAd
 fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr: SocketAddr) {
     // Replies are latency-sensitive single lines: never let Nagle hold them.
     let _ = stream.set_nodelay(true);
+    // The idle-connection deadline rides on a plain read timeout: a client
+    // that stays silent past it wakes the blocked codec sniff below with
+    // `WouldBlock`/`TimedOut` and the connection is reaped.
+    if !state.idle_timeout.is_zero() {
+        let _ = stream.set_read_timeout(Some(state.idle_timeout));
+    }
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -705,6 +725,18 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
         let binary = match reader.fill_buf() {
             Ok([]) => return, // Clean EOF.
             Ok(buffered) => buffered[0] == BINARY_MAGIC,
+            // The idle deadline fired while waiting for the next request:
+            // reap the connection.  (Timeouts surface as `WouldBlock` on Unix
+            // and `TimedOut` on Windows.)
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                state.counters.idle_reaped.inc();
+                return;
+            }
             Err(_) => return,
         };
         let started;
@@ -823,6 +855,15 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
                 (handle_metrics(state, prometheus), Op::Metrics, false)
             }
             Ok((Request::Trace { id }, _)) => (handle_trace(state, &id), Op::Trace, false),
+            Ok((Request::Digest, _)) => (handle_digest(state), Op::Digest, false),
+            Ok((
+                Request::Scan {
+                    shard,
+                    offset,
+                    limit,
+                },
+                _,
+            )) => (handle_scan(state, shard, offset, limit), Op::Scan, false),
             Ok((Request::Shutdown, _)) => (Response::ShuttingDown, Op::Shutdown, true),
         };
         let render_started = Instant::now();
@@ -949,6 +990,28 @@ fn handle_trace(state: &ServerState, id: &str) -> Response {
     Response::Traced {
         spans: state.registry.traces().snapshot(id),
     }
+}
+
+/// Answers a `digest`: one per-shard anti-entropy digest, in shard order
+/// (see [`ShardedStore::digests`]).
+fn handle_digest(state: &ServerState) -> Response {
+    Response::Digests {
+        digests: state.store.digests(),
+    }
+}
+
+/// Answers a `scan`: one offset-paged window of a shard's canonicals.
+fn handle_scan(state: &ServerState, shard: u64, offset: u64, limit: u64) -> Response {
+    let count = state.store.shard_count() as u64;
+    if shard >= count {
+        return Response::Error {
+            message: format!("scan: shard {shard} out of range (server has {count} shards)"),
+        };
+    }
+    let offset = usize::try_from(offset).unwrap_or(usize::MAX);
+    let limit = usize::try_from(limit).unwrap_or(usize::MAX);
+    let (canonicals, done) = state.store.scan(shard as usize, offset, limit);
+    Response::Scanned { canonicals, done }
 }
 
 /// One shard lookup, with a `shard.lock_wait` span (annotated with the shard

@@ -26,8 +26,12 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
-use srra_explore::{JsonlError, JsonlStore, PointRecord, ResultStore, SegmentStore, StoreBase};
+use srra_explore::{
+    fnv1a_64, JsonlError, JsonlStore, PointRecord, ResultStore, SegmentStore, StoreBase,
+};
 use srra_obs::{Counter, Histogram, Registry};
+
+use crate::protocol::ShardDigest;
 
 /// Handles into [`Registry::global`] for the shard-level instruments,
 /// resolved once so the hot read path never takes the registry's name map.
@@ -179,6 +183,16 @@ pub struct ShardedStore {
     dir: PathBuf,
     shards: Vec<RwLock<SegmentStore>>,
     _lock: DirLock,
+}
+
+/// SplitMix64-style finalizer applied to each record hash before the
+/// commutative digest fold, so the fold discriminates record *sets* instead
+/// of degenerating into a sum of correlated FNV values.
+fn mix_digest(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
 }
 
 /// Segment file name of shard `index`.
@@ -358,6 +372,64 @@ impl ShardedStore {
                     .len()?)
             })
             .collect()
+    }
+
+    /// Per-shard anti-entropy digests, in shard order.
+    ///
+    /// Each record contributes the FNV-1a hash of its JSONL line (the
+    /// canonical byte encoding, identical on every node that holds the
+    /// record) through a local bit-mixer into a commutative `wrapping_add`
+    /// fold — so the digest is insensitive to insertion order but flips when
+    /// any record's content differs.  Replicas compare these against the
+    /// owner's to detect divergence without streaming records (the `digest`
+    /// wire op; see `docs/cluster.md`).
+    pub fn digests(&self) -> Vec<ShardDigest> {
+        let mut line = String::new();
+        self.shards
+            .iter()
+            .map(|slot| {
+                let shard = slot
+                    .read()
+                    .expect("no shard user panics while holding the lock");
+                let mut records = 0u64;
+                let mut fold = 0u64;
+                for record in shard.records() {
+                    line.clear();
+                    record.write_json_line(&mut line);
+                    fold = fold.wrapping_add(mix_digest(fnv1a_64(line.as_bytes())));
+                    records += 1;
+                }
+                ShardDigest { records, fold }
+            })
+            .collect()
+    }
+
+    /// One page of shard `shard`'s canonical strings: skips `offset` records,
+    /// returns at most `limit` canonicals in the shard's stable store order,
+    /// and whether the page reached the end of the shard (the `scan` wire
+    /// op's storage half).
+    ///
+    /// # Panics
+    ///
+    /// If `shard >= self.shard_count()` — callers validate the index (the
+    /// server answers an out-of-range shard with a protocol error).
+    pub fn scan(&self, shard: usize, offset: usize, limit: usize) -> (Vec<String>, bool) {
+        let guard = self.shards[shard]
+            .read()
+            .expect("no shard user panics while holding the lock");
+        let mut canonicals = Vec::new();
+        let mut done = true;
+        for (index, record) in guard.records().enumerate() {
+            if index < offset {
+                continue;
+            }
+            if canonicals.len() == limit {
+                done = false;
+                break;
+            }
+            canonicals.push(record.canonical.clone());
+        }
+        (canonicals, done)
     }
 
     /// Folds a legacy single-file JSONL cache into the shards.
@@ -666,6 +738,61 @@ mod tests {
         }
         assert_eq!(disk_records, 2);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn digests_are_order_insensitive_and_scan_pages_canonicals() {
+        let records: Vec<PointRecord> = (0..9)
+            .map(|i| record_for(&format!("kernel=fir;algo=CPA-RA;budget={i}")))
+            .collect();
+        let dir_a = scratch_dir("digest-a");
+        let dir_b = scratch_dir("digest-b");
+        let store_a = ShardedStore::open(&dir_a, 2).unwrap();
+        let store_b = ShardedStore::open(&dir_b, 2).unwrap();
+        for record in &records {
+            store_a.put_record(record).unwrap();
+        }
+        for record in records.iter().rev() {
+            store_b.put_record(record).unwrap();
+        }
+        // Same record set, different insertion order: identical digests.
+        assert_eq!(store_a.digests(), store_b.digests());
+
+        // One mutated payload flips its shard's fold but not its count.
+        let mut mutated = records[0].clone();
+        mutated.slices += 1;
+        let dir_c = scratch_dir("digest-c");
+        let store_c = ShardedStore::open(&dir_c, 2).unwrap();
+        store_c.put_record(&mutated).unwrap();
+        for record in &records[1..] {
+            store_c.put_record(record).unwrap();
+        }
+        let (clean, dirty) = (store_a.digests(), store_c.digests());
+        let shard = store_a.route(mutated.key);
+        assert_eq!(clean[shard].records, dirty[shard].records);
+        assert_ne!(clean[shard].fold, dirty[shard].fold);
+
+        // Paging walks every canonical exactly once and flags the last page.
+        for shard in 0..2 {
+            let mut paged = Vec::new();
+            let mut offset = 0;
+            loop {
+                let (page, done) = store_a.scan(shard, offset, 2);
+                assert!(page.len() <= 2);
+                offset += page.len();
+                paged.extend(page);
+                if done {
+                    break;
+                }
+            }
+            assert_eq!(paged.len() as u64, store_a.digests()[shard].records);
+            // An offset past the end answers an empty, done page.
+            assert_eq!(store_a.scan(shard, offset + 100, 2), (Vec::new(), true));
+        }
+
+        for dir in [dir_a, dir_b, dir_c] {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]
