@@ -17,7 +17,11 @@
 #                           waterfalls fetched after the fact via the trace
 #                           op, slow-query pinning, histogram exemplars and
 #                           the merged cluster-wide waterfall)
-#   9. self-healing smoke  (replicated cluster survives kill -9, an empty
+#   9. time-series smoke   (sampled nodes: the series op answers stored
+#                           snapshots and windowed deltas, `cluster top
+#                           --once` renders every node plus the fleet row,
+#                           and a deliberately impossible SLO rule breaches)
+#  10. self-healing smoke  (replicated cluster survives kill -9, an empty
 #                           reborn node is healed by read-repair and
 #                           converged by `cluster repair`; idle-connection
 #                           reaping under --idle-timeout-secs)
@@ -52,6 +56,8 @@ cleanup_smoke() {
   [ -n "${NODE_B_PID:-}" ] && kill "$NODE_B_PID" 2>/dev/null || true
   [ -n "${NODE_C_PID:-}" ] && kill "$NODE_C_PID" 2>/dev/null || true
   [ -n "${NODE_D_PID:-}" ] && kill "$NODE_D_PID" 2>/dev/null || true
+  [ -n "${NODE_E_PID:-}" ] && kill "$NODE_E_PID" 2>/dev/null || true
+  [ -n "${NODE_F_PID:-}" ] && kill "$NODE_F_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup_smoke EXIT
@@ -279,6 +285,75 @@ wait "$NODE_A_PID"
 NODE_A_PID=""
 wait "$NODE_B_PID"
 NODE_B_PID=""
+
+echo "==> time-series smoke test"
+# Two sampled nodes carrying a deliberately impossible SLO: no explore
+# finishes under 1us, so the rule must breach once traffic lands.
+TIGHT_SLO="serve_op_explore_latency_us p99 < 1us over 30s"
+"$SRRA" serve --addr 127.0.0.1:0 --shards 2 --cache-dir "$SMOKE_DIR/node-e" \
+  --sample-interval-ms 50 --slo "$TIGHT_SLO" \
+  > "$SMOKE_DIR/node-e.out" 2> "$SMOKE_DIR/node-e.err" &
+NODE_E_PID=$!
+"$SRRA" serve --addr 127.0.0.1:0 --shards 2 --cache-dir "$SMOKE_DIR/node-f" \
+  --sample-interval-ms 50 --slo "$TIGHT_SLO" \
+  > "$SMOKE_DIR/node-f.out" 2> "$SMOKE_DIR/node-f.err" &
+NODE_F_PID=$!
+ADDR_E=""
+ADDR_F=""
+for _ in $(seq 1 100); do
+  ADDR_E="$(sed -n 's/^srra-serve listening on \([0-9.:]*\).*/\1/p' "$SMOKE_DIR/node-e.out")"
+  ADDR_F="$(sed -n 's/^srra-serve listening on \([0-9.:]*\).*/\1/p' "$SMOKE_DIR/node-f.out")"
+  [ -n "$ADDR_E" ] && [ -n "$ADDR_F" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR_E" ] && [ -n "$ADDR_F" ] \
+  || { echo "time-series smoke: a node never announced its address"; exit 1; }
+SAMPLED_NODES="$ADDR_E,$ADDR_F"
+# One direct cold explore per node breaches the SLO deterministically on
+# both (routed cluster traffic alone could leave a node explore-free);
+# the routed pass on top of it feeds the fleet-wide request rates.
+"$SRRA" query --addr "$ADDR_E" explore --kernel fir --algos cpa --budgets 32 \
+  | grep -q '"evaluated":1' || { echo "time-series smoke: node-e explore"; exit 1; }
+"$SRRA" query --addr "$ADDR_F" explore --kernel mat --algos fr --budgets 16 \
+  | grep -q '"evaluated":1' || { echo "time-series smoke: node-f explore"; exit 1; }
+"$SRRA" cluster --nodes "$SAMPLED_NODES" explore \
+  --kernel fir,mat,pat --algos fr,cpa --budgets 8,16,32 2>/dev/null \
+  | grep -Eq '"evaluated":1[678]' || { echo "time-series smoke: routed explore"; exit 1; }
+# Give the 50ms sampler a few ticks to capture the traffic above.
+sleep 0.3
+# Sample mode: at least two timestamped snapshots come back.
+SERIES_OUT="$SMOKE_DIR/series.out"
+"$SRRA" query --addr "$ADDR_E" series --last 16 > "$SERIES_OUT"
+[ "$(grep -o '"at_us":' "$SERIES_OUT" | wc -l)" -ge 2 ] \
+  || { echo "time-series smoke: fewer than two samples"; exit 1; }
+# Window mode: the delta over the trailing window carries the traffic
+# above as per-window counter increments, i.e. a non-zero request rate.
+"$SRRA" query --addr "$ADDR_E" series --window-us 30000000 > "$SMOKE_DIR/series-delta.out"
+grep -Eq '"serve_requests_total":[1-9]' "$SMOKE_DIR/series-delta.out" \
+  || { echo "time-series smoke: windowed request rate is zero"; exit 1; }
+# The fleet dashboard's single-frame mode renders one row per node plus
+# the merged fleet row, with the impossible SLO showing as in breach.
+TOP_OUT="$SMOKE_DIR/cluster-top.out"
+"$SRRA" cluster --nodes "$SAMPLED_NODES" top --once > "$TOP_OUT" 2>/dev/null
+grep -q "$ADDR_E" "$TOP_OUT" || { echo "time-series smoke: node-e row missing"; exit 1; }
+grep -q "$ADDR_F" "$TOP_OUT" || { echo "time-series smoke: node-f row missing"; exit 1; }
+grep -q 'fleet (2/2 up)' "$TOP_OUT" \
+  || { echo "time-series smoke: fleet row missing"; exit 1; }
+grep -q 'BREACH' "$TOP_OUT" \
+  || { echo "time-series smoke: breaching SLO not rendered"; exit 1; }
+# The breach moved the counter and logged its one transition line.
+"$SRRA" query --addr "$ADDR_E" metrics \
+  | grep -Eq '"obs_slo_breaches_total":[1-9]' \
+  || { echo "time-series smoke: breach counter did not move"; exit 1; }
+grep -q 'srra-obs slo-breach: rule=' "$SMOKE_DIR/node-e.err" \
+  || { echo "time-series smoke: breach transition line missing"; exit 1; }
+# Graceful shutdown of both sampled nodes.
+"$SRRA" query --addr "$ADDR_E" shutdown | grep -q '"shutting_down":true'
+"$SRRA" query --addr "$ADDR_F" shutdown | grep -q '"shutting_down":true'
+wait "$NODE_E_PID"
+NODE_E_PID=""
+wait "$NODE_F_PID"
+NODE_F_PID=""
 
 echo "==> self-healing smoke test"
 # A replicated two-node cluster survives a kill -9, heals the reborn node's

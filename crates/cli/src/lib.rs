@@ -36,7 +36,7 @@ use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
 use srra_serve::{
     ClientError, Connection, QueryPoint, Request, Response, Server, ServerConfig, ShardedStore,
-    Span,
+    SnapshotDelta, Span,
 };
 
 /// Usage text printed for `srra help` and on argument errors.
@@ -80,6 +80,13 @@ pub fn usage() -> &'static str {
     --report-interval <secs>     periodic stats report to stderr (default: off)\n\
     --idle-timeout-secs <n>      reap client connections idle for n secs\n\
                                  (default: off; counted by serve_idle_reaped_total)\n\
+    --sample-interval-ms <n>     metrics sampler: push one timestamped telemetry\n\
+                                 snapshot every n ms into the ring the `series`\n\
+                                 op answers from (default: off)\n\
+    --slo <rule>                 SLO rule evaluated every sampler tick; repeatable;\n\
+                                 e.g. 'serve_op_get_latency_us p99 < 500us over 60s'\n\
+                                 or 'serve_misses_total / serve_requests_total < 1%\n\
+                                 over 60s' (breaches count obs_slo_breaches_total)\n\
   query --addr <host:port> [--binary] [--timeout-ms <n>] <op>\n\
                                  queries against a running server; prints\n\
                                  the raw JSON response line(s) (see docs/serving.md)\n\
@@ -98,6 +105,14 @@ pub fn usage() -> &'static str {
                                  text exposition with --prom; see docs/observability.md)\n\
     trace <id>                   span waterfall the server's flight recorder\n\
                                  retains for a trace id\n\
+    series (--last <n> | --window-us <n>)\n\
+                                 raw time-series op: the last n sampler snapshots,\n\
+                                 or the counter/histogram delta over a trailing\n\
+                                 window (needs --sample-interval-ms on the server)\n\
+    top [--interval-ms <n>] [--once]\n\
+                                 refreshing req/s + hit% + p50/p99 dashboard over\n\
+                                 the `series` op (default interval 2000 ms;\n\
+                                 --once prints a single frame for scripts)\n\
     pipe                         read raw request lines from stdin, pipeline\n\
                                  them over ONE keep-alive connection, print\n\
                                  the reply lines in request order\n\
@@ -118,6 +133,10 @@ pub fn usage() -> &'static str {
                                  copy records to the replica owners lacking them\n\
     rebalance --to <a:p,...>     move every record to its owners under a new\n\
                                  node list (client-side add/remove of nodes)\n\
+    top [--interval-ms <n>] [--once]\n\
+                                 fleet dashboard over the `series` op: per-node\n\
+                                 and fleet-merged req/s, hit%, p50/p99, open\n\
+                                 connections, up/down and SLO state\n\
     --trace <id>                 stamp every routed request with one trace id\n\
                                  across all per-node sub-batches\n\
     --timeout-ms <n>             per-node I/O deadline in ms (default 2000;\n\
@@ -493,6 +512,8 @@ struct ServeArgs {
     slow_query_us: u64,
     report_interval_secs: u64,
     idle_timeout_secs: u64,
+    sample_interval_ms: u64,
+    slos: Vec<String>,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
@@ -505,6 +526,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
     let mut slow_query_us = 0u64;
     let mut report_interval_secs = 0u64;
     let mut idle_timeout_secs = 0u64;
+    let mut sample_interval_ms = 0u64;
+    let mut slos: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -537,6 +560,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
                 idle_timeout_secs =
                     threshold("--idle-timeout-secs", value("--idle-timeout-secs")?)?;
             }
+            "--sample-interval-ms" => {
+                sample_interval_ms =
+                    threshold("--sample-interval-ms", value("--sample-interval-ms")?)?;
+            }
+            "--slo" => slos.push(value("--slo")?),
             other => {
                 return Err(CliError(format!(
                     "unknown serve flag `{other}`\n{}",
@@ -554,6 +582,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
         slow_query_us,
         report_interval_secs,
         idle_timeout_secs,
+        sample_interval_ms,
+        slos,
     })
 }
 
@@ -567,6 +597,8 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         slow_query_us: parsed.slow_query_us,
         report_interval_secs: parsed.report_interval_secs,
         idle_timeout_secs: parsed.idle_timeout_secs,
+        sample_interval_ms: parsed.sample_interval_ms,
+        slos: parsed.slos,
     };
     let server = Server::bind(&config).map_err(|err| CliError(format!("serve: {err}")))?;
     // Announce the bound address immediately (the config may have asked for
@@ -864,12 +896,51 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
                 .map_err(|err| CliError(format!("query: {err}")))?;
             return Ok(render_trace_output(id, &spans));
         }
+        [op, flags @ ..] if op == "series" => {
+            let mut last = 0u64;
+            let mut window_us = 0u64;
+            let mut iter = flags.iter();
+            while let Some(flag) = iter.next() {
+                let mut value = |name: &str| -> Result<u64, CliError> {
+                    let raw = iter
+                        .next()
+                        .ok_or_else(|| CliError(format!("{name} needs a value")))?;
+                    raw.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| CliError(format!("invalid {name} value `{raw}`")))
+                };
+                match flag.as_str() {
+                    "--last" => last = value("--last")?,
+                    "--window-us" => window_us = value("--window-us")?,
+                    other => return Err(CliError(format!("unknown series flag `{other}`"))),
+                }
+            }
+            if (last == 0) == (window_us == 0) {
+                return Err(CliError(
+                    "query series needs exactly one of --last <n> or --window-us <n>".into(),
+                ));
+            }
+            Request::Series { last, window_us }
+        }
+        [op, flags @ ..] if op == "top" => {
+            let (interval_ms, once) = parse_top_flags(flags)?;
+            // The delta window trails two refresh intervals, so every frame
+            // overlaps the previous one and a single missed sample cannot
+            // blank a column.
+            let window_us = interval_ms.saturating_mul(2_000);
+            let mut connection = connect(&addr)?;
+            let label = addr.clone();
+            return run_top(interval_ms, once, window_us, move || {
+                vec![(label.clone(), connection.series_delta(window_us).ok())]
+            });
+        }
         _ => {
             return Err(CliError(format!(
-                "query expects get/explore/stats/metrics/trace/shutdown/pipe, got `{}`\n{}",
-                rest.join(" "),
-                usage()
-            )))
+            "query expects get/explore/stats/metrics/trace/series/top/shutdown/pipe, got `{}`\n{}",
+            rest.join(" "),
+            usage()
+        )))
         }
     };
     let response = connect(&addr)?
@@ -999,6 +1070,143 @@ fn parse_get_point(
 
 /// Renders one cluster stats node entry as a flat JSON line, greppable by
 /// scripts (`ci.sh` asserts every node saw traffic through these lines).
+/// Parses the shared flags of `srra query top` / `srra cluster top`:
+/// `(interval_ms, once)`, defaulting to a 2-second refresh.
+fn parse_top_flags(flags: &[String]) -> Result<(u64, bool), CliError> {
+    let mut interval_ms = 2_000u64;
+    let mut once = false;
+    let mut iter = flags.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| CliError("--interval-ms needs a value".into()))?;
+                interval_ms = raw
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError(format!("invalid --interval-ms value `{raw}`")))?;
+            }
+            other => return Err(CliError(format!("unknown top flag `{other}`"))),
+        }
+    }
+    Ok((interval_ms, once))
+}
+
+/// One dashboard row of a `top` frame, computed from one node's window
+/// delta; `None` (node unreachable, or its sampler off / too fresh) renders
+/// as dashes so the fleet table keeps its shape.
+fn render_top_row(label: &str, state: &str, delta: Option<&SnapshotDelta>) -> String {
+    let columns =
+        |req_s: String, hit: String, p50: String, p99: String, conns: String, slo: String| {
+            format!(
+                "{label:<24} {state:<5} {req_s:>9} {hit:>6} {p50:>7} {p99:>7} {conns:>6}  {slo}"
+            )
+        };
+    let dash = || "-".to_owned();
+    let Some(delta) = delta else {
+        return columns(dash(), dash(), dash(), dash(), dash(), dash());
+    };
+    let req_s = delta
+        .rate("serve_requests_total")
+        .map_or_else(dash, |rate| format!("{rate:.1}"));
+    let hits = delta.diff.counter("serve_hits_total").unwrap_or(0);
+    let misses = delta.diff.counter("serve_misses_total").unwrap_or(0);
+    let hit = if hits + misses == 0 {
+        dash()
+    } else {
+        format!("{:.1}", hits as f64 * 100.0 / (hits + misses) as f64)
+    };
+    // Overall request latency: every per-op histogram of the window folded
+    // into one, so the quantiles cover the node's whole mix of ops.
+    let mut overall = None;
+    for (name, histogram) in &delta.diff.histograms {
+        if name.starts_with("serve_op_") && name.ends_with("_latency_us") {
+            match overall.as_mut() {
+                None => overall = Some(histogram.clone()),
+                Some(merged) => merged.merge(histogram),
+            }
+        }
+    }
+    let busy = overall.filter(|histogram| histogram.count() > 0);
+    let p50 = busy
+        .as_ref()
+        .map_or_else(dash, |histogram| histogram.quantile(0.50).to_string());
+    let p99 = busy
+        .as_ref()
+        .map_or_else(dash, |histogram| histogram.quantile(0.99).to_string());
+    let conns = delta
+        .diff
+        .gauge("serve_open_connections")
+        .map_or_else(dash, |open| open.to_string());
+    let slo = match delta.diff.gauge("obs_slos_breached") {
+        None => dash(),
+        Some(0) => "ok".to_owned(),
+        Some(breached) => format!("BREACH:{breached}"),
+    };
+    columns(req_s, hit, p50, p99, conns, slo)
+}
+
+/// One full `top` frame: the column header, one row per node, and (for more
+/// than one node) a fleet row merging every answering node's delta — sound
+/// because merging per-node deltas equals the delta of merged snapshots.
+fn render_top_frame(rows: &[(String, Option<SnapshotDelta>)], window_us: u64) -> String {
+    let mut out = format!(
+        "srra top: {} node(s), {:.1}s window\n{:<24} {:<5} {:>9} {:>6} {:>7} {:>7} {:>6}  {}\n",
+        rows.len(),
+        window_us as f64 / 1e6,
+        "NODE",
+        "STATE",
+        "REQ/S",
+        "HIT%",
+        "P50_US",
+        "P99_US",
+        "CONNS",
+        "SLO"
+    );
+    let mut fleet: Option<SnapshotDelta> = None;
+    let mut up = 0usize;
+    for (addr, delta) in rows {
+        let state = if delta.is_some() { "up" } else { "DOWN" };
+        out.push_str(&render_top_row(addr, state, delta.as_ref()));
+        out.push('\n');
+        if let Some(delta) = delta {
+            up += 1;
+            match fleet.as_mut() {
+                None => fleet = Some(delta.clone()),
+                Some(merged) => merged.merge(delta),
+            }
+        }
+    }
+    if rows.len() > 1 {
+        let label = format!("fleet ({up}/{} up)", rows.len());
+        out.push_str(&render_top_row(&label, "-", fleet.as_ref()));
+        out.push('\n');
+    }
+    out.trim_end().to_owned()
+}
+
+/// The shared refresh loop of `srra query top` / `srra cluster top`.  With
+/// `once` the first frame is returned for scripts and CI; otherwise each
+/// tick repaints the terminal (ANSI clear + home) until interrupted.
+fn run_top(
+    interval_ms: u64,
+    once: bool,
+    window_us: u64,
+    mut poll: impl FnMut() -> Vec<(String, Option<SnapshotDelta>)>,
+) -> Result<String, CliError> {
+    if once {
+        return Ok(render_top_frame(&poll(), window_us));
+    }
+    loop {
+        println!("\x1b[2J\x1b[H{}", render_top_frame(&poll(), window_us));
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 fn render_node_stats_line(node: &srra_cluster::NodeStats) -> String {
     let mut line = format!(
         "{{\"addr\":\"{}\",\"up\":{},\"routed\":{}",
@@ -1227,8 +1435,15 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
                 report.records_walked, report.records_stored
             ))
         }
+        [op, flags @ ..] if op == "top" => {
+            let (interval_ms, once) = parse_top_flags(flags)?;
+            let window_us = interval_ms.saturating_mul(2_000);
+            run_top(interval_ms, once, window_us, || {
+                cluster.series_delta(window_us)
+            })
+        }
         _ => Err(CliError(format!(
-            "cluster expects get/mget/explore/stats/ping/metrics/trace/repair/rebalance --to, got `{}`\n{}",
+            "cluster expects get/mget/explore/stats/ping/metrics/trace/repair/rebalance --to/top, got `{}`\n{}",
             rest.join(" "),
             usage()
         ))),
@@ -1854,5 +2069,88 @@ mod tests {
         assert!(run(&args(&["allocate", "fir", "cpa", "many"])).is_err());
         let err = run(&args(&["allocate", "fir", "cpa", "1"])).unwrap_err();
         assert!(err.to_string().contains("allocation failed"));
+    }
+
+    #[test]
+    fn series_and_top_render_the_sampled_time_dimension() {
+        let dir = std::env::temp_dir().join(format!("srra-cli-top-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A malformed SLO rule is rejected at bind time, before serving.
+        let bad = run(&args(&[
+            "serve",
+            "--cache-dir",
+            dir.join("bad").to_str().unwrap(),
+            "--sample-interval-ms",
+            "10",
+            "--slo",
+            "nonsense",
+        ]));
+        assert!(bad.is_err(), "{bad:?}");
+
+        // Two sampled nodes; node traffic below arms the deliberately
+        // impossible latency SLO, so `top` shows a breach.
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        for index in 0..2 {
+            let server = Server::bind(&ServerConfig {
+                shards: 2,
+                workers: 2,
+                sample_interval_ms: 10,
+                slos: vec!["serve_op_explore_latency_us p99 < 1us over 30s".to_owned()],
+                ..ServerConfig::ephemeral(dir.join(format!("node-{index}")))
+            })
+            .unwrap();
+            addrs.push(server.local_addr().to_string());
+            handles.push(std::thread::spawn(move || server.run().unwrap()));
+        }
+        let query = |addr: &str, rest: &[&str]| {
+            let mut full = vec!["query", "--addr", addr];
+            full.extend_from_slice(rest);
+            run(&args(&full))
+        };
+        let explored = query(&addrs[0], &["explore", "--kernel", "fir", "--algos", "cpa"]).unwrap();
+        assert!(explored.contains("\"evaluated\":1"), "{explored}");
+        std::thread::sleep(std::time::Duration::from_millis(60));
+
+        // Raw sample mode: at least two timestamped snapshots by now.
+        let series = query(&addrs[0], &["series", "--last", "16"]).unwrap();
+        assert!(series.contains("\"series\":["), "{series}");
+        assert!(series.matches("\"at_us\":").count() >= 2, "{series}");
+
+        // Raw window mode: the delta envelope with the window bounds.
+        let delta = query(&addrs[0], &["series", "--window-us", "30000000"]).unwrap();
+        assert!(delta.contains("\"delta\":{"), "{delta}");
+        assert!(delta.contains("\"from_us\":"), "{delta}");
+
+        // Exactly one of --last / --window-us, and only known flags.
+        assert!(query(&addrs[0], &["series"]).is_err());
+        assert!(query(&addrs[0], &["series", "--last", "4", "--window-us", "1000"]).is_err());
+        assert!(query(&addrs[0], &["series", "--last", "0"]).is_err());
+        assert!(query(&addrs[0], &["top", "--frobnicate"]).is_err());
+
+        // Single-node dashboard frame: header, the node row, the breach.
+        let frame = query(&addrs[0], &["top", "--once"]).unwrap();
+        assert!(frame.contains("NODE"), "{frame}");
+        assert!(frame.contains(&addrs[0]), "{frame}");
+        assert!(frame.contains(" up "), "{frame}");
+        assert!(frame.contains("BREACH:1"), "{frame}");
+
+        // Fleet dashboard: both node rows plus the merged fleet row; the
+        // idle node is up but SLO-clean, so the fleet inherits one breach.
+        let nodes = addrs.join(",");
+        let top = run(&args(&["cluster", "--nodes", &nodes, "top", "--once"])).unwrap();
+        for addr in &addrs {
+            assert!(top.contains(addr.as_str()), "{top}");
+        }
+        assert!(top.contains("fleet (2/2 up)"), "{top}");
+        assert!(top.contains("BREACH:1"), "{top}");
+
+        for addr in &addrs {
+            query(addr, &["shutdown"]).unwrap();
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -8,7 +8,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use srra_explore::{fnv1a_64, PointRecord};
-use srra_obs::{Counter, MetricsSnapshot, Registry, Span};
+use srra_obs::{Counter, Gauge, MetricsSnapshot, Registry, SnapshotDelta, Span};
 use srra_serve::{
     canonical_for, valid_trace_id, ClientError, Connection, PointOutcome, QueryPoint, ServerStats,
 };
@@ -34,6 +34,10 @@ pub(crate) struct ClusterCounters {
     timeouts: Arc<Counter>,
     read_repairs: Arc<Counter>,
     pub(crate) repair_records: Arc<Counter>,
+    /// Nodes currently inside a back-off window (set on the up→down
+    /// transition, cleared when the window is forgotten or the node
+    /// recovers) — the down/up column of `srra cluster top`.
+    nodes_down: Arc<Gauge>,
 }
 
 pub(crate) fn cluster_counters() -> &'static ClusterCounters {
@@ -51,6 +55,7 @@ pub(crate) fn cluster_counters() -> &'static ClusterCounters {
             timeouts: registry.counter("cluster_timeouts_total"),
             read_repairs: registry.counter("cluster_read_repairs_total"),
             repair_records: registry.counter("cluster_repair_records_total"),
+            nodes_down: registry.gauge("cluster_nodes_down"),
         }
     })
 }
@@ -233,6 +238,9 @@ impl Node {
     /// back-off window.
     fn mark_down(&mut self) {
         cluster_counters().node_failures.inc();
+        if self.down_until.is_none() {
+            cluster_counters().nodes_down.inc();
+        }
         self.connection = None;
         self.down_until = Some(Instant::now() + self.backoff);
         self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
@@ -242,8 +250,20 @@ impl Node {
     fn mark_up(&mut self) {
         if self.down_until.take().is_some() {
             cluster_counters().node_recoveries.inc();
+            cluster_counters().nodes_down.dec();
         }
         self.backoff = BACKOFF_INITIAL;
+    }
+
+    /// Forgets the back-off window without counting a recovery — the probe
+    /// and repair paths dial through remembered down-state deliberately, and
+    /// the call's outcome re-marks the node either way.  Keeps the
+    /// `cluster_nodes_down` gauge honest where a bare `down_until = None`
+    /// would leak a decrement.
+    fn forget_down_window(&mut self) {
+        if self.down_until.take().is_some() {
+            cluster_counters().nodes_down.dec();
+        }
     }
 
     /// The node's keep-alive connection, dialling if necessary.  Fails fast
@@ -572,7 +592,7 @@ impl ClusterClient {
         self.nodes
             .iter_mut()
             .map(|node| {
-                node.down_until = None;
+                node.forget_down_window();
                 let up = node.call(Connection::ping).is_ok();
                 (node.addr.clone(), up)
             })
@@ -755,7 +775,7 @@ impl ClusterClient {
             }
         }
         for (node, batch) in groups {
-            self.nodes[node].down_until = None;
+            self.nodes[node].forget_down_window();
             if let Ok(count) = self.nodes[node].call(|connection| connection.put(&batch)) {
                 cluster_counters().read_repairs.add(count);
             }
@@ -905,6 +925,24 @@ impl ClusterClient {
             aggregate,
             client: Registry::global().snapshot(),
         }
+    }
+
+    /// Fetches each node's metrics delta across its trailing `window_us`
+    /// window, in configuration order.  A node that is unreachable — or has
+    /// too few samples in the window, e.g. its sampler is off — reports
+    /// `None` instead of failing the sweep.  Merging the `Some` deltas
+    /// (see [`SnapshotDelta::merge`]) yields the fleet-wide view `srra
+    /// cluster top` renders.
+    pub fn series_delta(&mut self, window_us: u64) -> Vec<(String, Option<SnapshotDelta>)> {
+        self.nodes
+            .iter_mut()
+            .map(|node| {
+                let delta = node
+                    .call(|connection| connection.series_delta(window_us))
+                    .ok();
+                (node.addr.clone(), delta)
+            })
+            .collect()
     }
 
     /// Asks every reachable node to shut down gracefully; returns how many

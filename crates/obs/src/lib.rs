@@ -52,10 +52,14 @@
 
 mod metrics;
 mod registry;
+mod series;
 mod snapshot;
 mod span;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer, LATENCY_BUCKETS};
 pub use registry::Registry;
+pub use series::{
+    Sampler, SeriesBuffer, SeriesSample, SloEvaluator, SloRule, SloStatus, SnapshotDelta,
+};
 pub use snapshot::{valid_metric_name, MetricsSnapshot};
 pub use span::{epoch_us, next_span_id, now_us, Span, TraceBuffer};

@@ -1,0 +1,820 @@
+//! The time dimension of the telemetry layer: sampled snapshot rings,
+//! delta/rate math, rolling-window SLOs and the background sampler.
+//!
+//! Every instrument in this crate is *cumulative* — counters only go up,
+//! histograms only accumulate — which answers "how many requests ever" but
+//! not "how many requests per second right now" or "is p99 degrading".  The
+//! types here add that dimension without touching the recording hot paths:
+//!
+//! * [`SeriesBuffer`] — a fixed-capacity ring of timestamped
+//!   [`MetricsSnapshot`] samples.  Feeding it costs one registry snapshot
+//!   per interval on a background thread; recorders never see it.
+//! * [`SnapshotDelta`] — the difference between two samples: per-window
+//!   counter increments (and [rates](SnapshotDelta::rate) per second),
+//!   per-window histogram buckets (so `p99` is the window's p99, not the
+//!   lifetime's), and last-value gauges.  Deltas merge across nodes exactly
+//!   like snapshots do, so a fleet-wide rate is one fold.
+//! * [`SloRule`] / [`SloEvaluator`] — rolling-window objectives declared as
+//!   text (`serve_op_get_latency_us p99 < 500us over 60s`, or the error-
+//!   ratio form `serve_misses_total / serve_requests_total < 1% over 60s`).
+//!   Every evaluation of a breached rule increments `obs_slo_breaches_total`
+//!   and a transition into breach logs one stderr line; current state is
+//!   queryable via [`SloEvaluator::statuses`] and the `obs_slos_breached`
+//!   gauge.
+//! * [`Registry::start_sampler`] — a background thread sampling a `'static`
+//!   registry (e.g. [`Registry::global`]) into a fresh ring; servers with
+//!   scoped registries run the same loop inside their own thread scope.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::metrics::{Counter, Gauge, HistogramSnapshot};
+use crate::registry::Registry;
+use crate::snapshot::MetricsSnapshot;
+use crate::span::now_us;
+
+/// One timestamped registry sample.
+///
+/// `at_us` is microseconds since the process trace epoch (the same timeline
+/// spans use — see [`crate::now_us`]), so samples and spans order against
+/// each other.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeriesSample {
+    /// Sample time in microseconds since the process trace epoch.
+    pub at_us: u64,
+    /// The cumulative instrument values at that instant.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A fixed-capacity ring of [`SeriesSample`]s, oldest evicted first.
+///
+/// Pushing and reading lock one mutex; both happen at sampler/scrape
+/// cadence (tens of hertz at most), never on a recording path.
+#[derive(Debug)]
+pub struct SeriesBuffer {
+    capacity: usize,
+    samples: Mutex<VecDeque<SeriesSample>>,
+}
+
+impl Default for SeriesBuffer {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl SeriesBuffer {
+    /// Default ring capacity: at the server's default 1 s interval this
+    /// retains two minutes of history.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// Creates a ring retaining the most recent `capacity` samples (at
+    /// least 2 — a single sample can answer no delta).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(2),
+            samples: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.lock().expect("series ring poisoned").len()
+    }
+
+    /// True while no sample has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `sample`, evicting the oldest at capacity.
+    pub fn push(&self, sample: SeriesSample) {
+        let mut samples = self.samples.lock().expect("series ring poisoned");
+        if samples.len() == self.capacity {
+            samples.pop_front();
+        }
+        samples.push_back(sample);
+    }
+
+    /// Stamps `metrics` with the current timeline offset and appends it.
+    pub fn record(&self, metrics: MetricsSnapshot) {
+        self.push(SeriesSample {
+            at_us: now_us(),
+            metrics,
+        });
+    }
+
+    /// The most recent `count` samples, oldest first.
+    pub fn last(&self, count: usize) -> Vec<SeriesSample> {
+        let samples = self.samples.lock().expect("series ring poisoned");
+        let skip = samples.len().saturating_sub(count);
+        samples.iter().skip(skip).cloned().collect()
+    }
+
+    /// The delta between the newest sample and the oldest sample still
+    /// inside `window_us` of it.  `None` until two samples exist (the
+    /// sampler is off, or has not ticked twice yet).
+    pub fn window_delta(&self, window_us: u64) -> Option<SnapshotDelta> {
+        let samples = self.samples.lock().expect("series ring poisoned");
+        let newest = samples.back()?;
+        let horizon = newest.at_us.saturating_sub(window_us);
+        let oldest = samples
+            .iter()
+            .find(|sample| sample.at_us >= horizon && sample.at_us < newest.at_us)?;
+        Some(SnapshotDelta::between(oldest, newest))
+    }
+}
+
+/// The difference between two [`SeriesSample`]s of one registry.
+///
+/// `diff` reuses the [`MetricsSnapshot`] shape with window semantics:
+/// counters hold the per-window *increment* (saturating, so a restarted
+/// peer yields zero, never an underflow), histograms hold the per-window
+/// bucket counts (their [`quantile`](HistogramSnapshot::quantile) is the
+/// window's quantile), and gauges hold the newer sample's value (gauges
+/// have no meaningful difference).  Reusing the shape means deltas merge,
+/// render and travel exactly like snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotDelta {
+    /// The older sample's timeline offset in microseconds.
+    pub from_us: u64,
+    /// The newer sample's timeline offset in microseconds.
+    pub to_us: u64,
+    /// Per-window increments (counters, histograms) and last values
+    /// (gauges).
+    pub diff: MetricsSnapshot,
+}
+
+impl SnapshotDelta {
+    /// The delta from `older` to `newer`.
+    ///
+    /// Names only the newer sample knows appear with their full value (they
+    /// were registered inside the window); names only the older sample
+    /// knows are dropped (instruments never deregister in practice).
+    pub fn between(older: &SeriesSample, newer: &SeriesSample) -> Self {
+        let counters = newer
+            .metrics
+            .counters
+            .iter()
+            .map(|(name, value)| {
+                let before = older.metrics.counter(name).unwrap_or(0);
+                (name.clone(), value.saturating_sub(before))
+            })
+            .collect();
+        let gauges = newer.metrics.gauges.clone();
+        let histograms = newer
+            .metrics
+            .histograms
+            .iter()
+            .map(|(name, snapshot)| {
+                (
+                    name.clone(),
+                    histogram_diff(older.metrics.histogram(name), snapshot),
+                )
+            })
+            .collect();
+        Self {
+            from_us: older.at_us,
+            to_us: newer.at_us,
+            diff: MetricsSnapshot {
+                counters,
+                gauges,
+                histograms,
+            },
+        }
+    }
+
+    /// The window length in microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.to_us.saturating_sub(self.from_us)
+    }
+
+    /// Events per second of the counter named `name` over this window;
+    /// `None` when the counter is absent or the window is empty.
+    pub fn rate(&self, name: &str) -> Option<f64> {
+        let elapsed = self.elapsed_us();
+        if elapsed == 0 {
+            return None;
+        }
+        self.diff
+            .counter(name)
+            .map(|delta| (delta as f64) * 1_000_000.0 / (elapsed as f64))
+    }
+
+    /// The window's quantile of the histogram named `name`, in
+    /// microseconds; `None` when the histogram is absent or recorded
+    /// nothing inside the window.
+    pub fn quantile(&self, name: &str, fraction: f64) -> Option<u64> {
+        let histogram = self.diff.histogram(name)?;
+        (histogram.count() > 0).then(|| histogram.quantile(fraction))
+    }
+
+    /// Folds another node's delta into this one: counter increments and
+    /// gauges sum, histogram windows merge bucket-wise, and the window
+    /// bounds widen to cover both.  Merging every node's delta equals the
+    /// delta of the merged snapshots — the property the fleet dashboard
+    /// depends on.
+    pub fn merge(&mut self, other: &SnapshotDelta) {
+        self.from_us = if self.elapsed_us() == 0 && self.to_us == 0 {
+            other.from_us
+        } else {
+            self.from_us.min(other.from_us)
+        };
+        self.to_us = self.to_us.max(other.to_us);
+        self.diff.merge(&other.diff);
+    }
+}
+
+/// The per-window bucket counts: `newer - older`, bucket-wise saturating.
+fn histogram_diff(
+    older: Option<&HistogramSnapshot>,
+    newer: &HistogramSnapshot,
+) -> HistogramSnapshot {
+    let Some(older) = older else {
+        let mut fresh =
+            HistogramSnapshot::from_buckets(newer.buckets()).expect("same bucket count");
+        for (index, exemplar) in newer.exemplars().iter().enumerate() {
+            if let Some(trace) = exemplar {
+                fresh.set_exemplar(index, trace.clone());
+            }
+        }
+        return fresh;
+    };
+    let buckets: Vec<u64> = newer
+        .buckets()
+        .iter()
+        .zip(older.buckets())
+        .map(|(now, before)| now.saturating_sub(*before))
+        .collect();
+    let mut diff = HistogramSnapshot::from_buckets(&buckets).expect("same bucket count");
+    // A bucket that saw traffic inside the window keeps the newest exemplar;
+    // untouched buckets carry none, so stale exemplars never outlive their
+    // window.
+    for (index, exemplar) in newer.exemplars().iter().enumerate() {
+        if diff.buckets()[index] > 0 {
+            if let Some(trace) = exemplar {
+                diff.set_exemplar(index, trace.clone());
+            }
+        }
+    }
+    diff
+}
+
+/// What an [`SloRule`] bounds.
+#[derive(Debug, Clone, PartialEq)]
+enum SloObjective {
+    /// `<histogram> p<NN> < <N>us` — a windowed latency quantile bound.
+    Quantile {
+        histogram: String,
+        fraction: f64,
+        max_us: u64,
+    },
+    /// `<counter> / <counter> < <N>%` — a windowed event-ratio bound.
+    Ratio {
+        numerator: String,
+        denominator: String,
+        max_ratio: f64,
+    },
+}
+
+/// One rolling-window service-level objective, parsed from text.
+///
+/// Grammar (whitespace-separated):
+///
+/// ```text
+/// <histogram> p<NN> < <bound>(us|ms|s) over <window>(s|ms)
+/// <counter> / <counter> < <percent>% over <window>(s|ms)
+/// ```
+///
+/// Examples: `serve_op_get_latency_us p99 < 500us over 60s`,
+/// `serve_misses_total / serve_requests_total < 1% over 30s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// The original spec text, echoed in statuses and log lines.
+    text: String,
+    objective: SloObjective,
+    window_us: u64,
+}
+
+/// Parses `500us` / `5ms` / `1.5s` into microseconds.
+fn parse_duration_us(raw: &str) -> Result<u64, String> {
+    let (digits, scale) = if let Some(d) = raw.strip_suffix("us") {
+        (d, 1.0)
+    } else if let Some(d) = raw.strip_suffix("ms") {
+        (d, 1_000.0)
+    } else if let Some(d) = raw.strip_suffix('s') {
+        (d, 1_000_000.0)
+    } else {
+        return Err(format!("`{raw}` needs a us/ms/s suffix"));
+    };
+    let value: f64 = digits
+        .parse()
+        .map_err(|_| format!("`{raw}` is not a number with a us/ms/s suffix"))?;
+    if value.is_nan() || value < 0.0 {
+        return Err(format!("`{raw}` must be non-negative"));
+    }
+    Ok((value * scale) as u64)
+}
+
+impl SloRule {
+    /// Parses one SLO spec (see the type docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// A user-facing message naming the malformed part.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let tokens: Vec<&str> = spec.split_whitespace().collect();
+        let err = |what: &str| format!("bad SLO `{spec}`: {what}");
+        match tokens.as_slice() {
+            [histogram, quantile, lt, bound, over, window]
+                if *lt == "<" && *over == "over" && quantile.starts_with('p') =>
+            {
+                // Digits past the second are precision: p50 is the median,
+                // p99 the 99th percentile, p999 the 99.9th.
+                let digits = &quantile[1..];
+                let rank: u64 = digits
+                    .parse()
+                    .map_err(|_| err("the quantile must be p<digits>, e.g. p99"))?;
+                let fraction = (rank as f64) / 10f64.powi(digits.len() as i32);
+                let max_us = parse_duration_us(bound).map_err(|e| err(&e))?;
+                let window_us = parse_duration_us(window).map_err(|e| err(&e))?;
+                Ok(Self {
+                    text: tokens.join(" "),
+                    objective: SloObjective::Quantile {
+                        histogram: (*histogram).to_owned(),
+                        fraction,
+                        max_us,
+                    },
+                    window_us,
+                })
+            }
+            [numerator, slash, denominator, lt, percent, over, window]
+                if *slash == "/" && *lt == "<" && *over == "over" =>
+            {
+                let digits = percent
+                    .strip_suffix('%')
+                    .ok_or_else(|| err("the ratio bound needs a % suffix"))?;
+                let value: f64 = digits
+                    .parse()
+                    .map_err(|_| err("the ratio bound must be a number with a % suffix"))?;
+                let window_us = parse_duration_us(window).map_err(|e| err(&e))?;
+                Ok(Self {
+                    text: tokens.join(" "),
+                    objective: SloObjective::Ratio {
+                        numerator: (*numerator).to_owned(),
+                        denominator: (*denominator).to_owned(),
+                        max_ratio: value / 100.0,
+                    },
+                    window_us,
+                })
+            }
+            _ => Err(err(
+                "want `<histogram> p<NN> < <N>us over <N>s` or `<counter> / <counter> < <N>% over <N>s`",
+            )),
+        }
+    }
+
+    /// The original spec text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The rolling window in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// Evaluates this rule against `series`: `None` while the window holds
+    /// too little data to judge (fewer than two samples, the histogram saw
+    /// no traffic, or the denominator stayed zero), else the observed value
+    /// (µs or ratio) and whether it breaches the bound.
+    pub fn evaluate(&self, series: &SeriesBuffer) -> Option<(f64, bool)> {
+        let delta = series.window_delta(self.window_us)?;
+        match &self.objective {
+            SloObjective::Quantile {
+                histogram,
+                fraction,
+                max_us,
+            } => {
+                let value = delta.quantile(histogram, *fraction)? as f64;
+                Some((value, value >= *max_us as f64))
+            }
+            SloObjective::Ratio {
+                numerator,
+                denominator,
+                max_ratio,
+            } => {
+                let den = delta.diff.counter(denominator)?;
+                if den == 0 {
+                    return None;
+                }
+                let num = delta.diff.counter(numerator).unwrap_or(0);
+                let ratio = (num as f64) / (den as f64);
+                Some((ratio, ratio >= *max_ratio))
+            }
+        }
+    }
+}
+
+/// One rule's most recent evaluation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The rule's spec text.
+    pub rule: String,
+    /// The observed value (µs for quantile rules, a 0–1 ratio for ratio
+    /// rules); `None` while the window holds too little data to judge.
+    pub value: Option<f64>,
+    /// Whether the rule is currently in breach.
+    pub breached: bool,
+}
+
+/// Evaluates a set of [`SloRule`]s against a [`SeriesBuffer`] and accounts
+/// the outcomes.
+///
+/// Every evaluation tick of a breached rule increments
+/// `obs_slo_breaches_total` (in the registry given at construction) and the
+/// `obs_slos_breached` gauge tracks how many rules are currently breaching;
+/// a transition into breach additionally logs one stderr line, so a
+/// sustained breach costs one line, not one per tick.
+#[derive(Debug)]
+pub struct SloEvaluator {
+    rules: Vec<SloRule>,
+    breaches: Arc<Counter>,
+    breached_now: Arc<Gauge>,
+    /// Last evaluation per rule, for queries and transition detection.
+    statuses: Mutex<Vec<SloStatus>>,
+}
+
+impl SloEvaluator {
+    /// An evaluator over `rules`, accounting into `registry`.
+    pub fn new(rules: Vec<SloRule>, registry: &Registry) -> Self {
+        let statuses = rules
+            .iter()
+            .map(|rule| SloStatus {
+                rule: rule.text().to_owned(),
+                value: None,
+                breached: false,
+            })
+            .collect();
+        Self {
+            rules,
+            breaches: registry.counter("obs_slo_breaches_total"),
+            breached_now: registry.gauge("obs_slos_breached"),
+            statuses: Mutex::new(statuses),
+        }
+    }
+
+    /// Whether any rules were declared.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates every rule against `series`, updating the breach counter,
+    /// the breached gauge and the queryable statuses.
+    pub fn evaluate(&self, series: &SeriesBuffer) {
+        let mut statuses = self.statuses.lock().expect("slo statuses poisoned");
+        let mut breached_count = 0i64;
+        for (rule, status) in self.rules.iter().zip(statuses.iter_mut()) {
+            let outcome = rule.evaluate(series);
+            let breached = matches!(outcome, Some((_, true)));
+            if breached {
+                self.breaches.inc();
+                breached_count += 1;
+                if !status.breached {
+                    let (value, _) = outcome.expect("breached implies evaluated");
+                    eprintln!(
+                        "srra-obs slo-breach: rule=\"{}\" observed={value:.3}",
+                        rule.text()
+                    );
+                }
+            }
+            status.value = outcome.map(|(value, _)| value);
+            status.breached = breached;
+        }
+        self.breached_now.set(breached_count);
+    }
+
+    /// The most recent evaluation of every rule, in declaration order.
+    pub fn statuses(&self) -> Vec<SloStatus> {
+        self.statuses.lock().expect("slo statuses poisoned").clone()
+    }
+}
+
+/// Handle of a background sampler thread started by
+/// [`Registry::start_sampler`]; dropping it stops and joins the thread.
+#[derive(Debug)]
+pub struct Sampler {
+    series: Arc<SeriesBuffer>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// The ring the sampler feeds.
+    pub fn series(&self) -> &Arc<SeriesBuffer> {
+        &self.series
+    }
+
+    /// Stops the sampler thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+impl Registry {
+    /// Starts a background thread sampling this registry into a fresh
+    /// [`SeriesBuffer`] of `capacity` every `interval` (one immediate
+    /// sample, then one per tick).  Requires a `'static` registry —
+    /// [`Registry::global`] or a leaked one; servers with scoped registries
+    /// run the same loop inside their own thread scope instead.
+    ///
+    /// The sampler costs the recording hot paths nothing: it only takes
+    /// read-locked snapshots, on its own thread.
+    pub fn start_sampler(&'static self, interval: Duration, capacity: usize) -> Sampler {
+        let series = Arc::new(SeriesBuffer::new(capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+        let ring = Arc::clone(&series);
+        let halt = Arc::clone(&stop);
+        let interval = interval.max(Duration::from_millis(1));
+        let thread = std::thread::spawn(move || {
+            ring.record(self.snapshot());
+            let slice = interval.min(Duration::from_millis(50));
+            let mut next = std::time::Instant::now() + interval;
+            while !halt.load(Ordering::SeqCst) {
+                std::thread::sleep(slice);
+                if std::time::Instant::now() < next {
+                    continue;
+                }
+                next += interval;
+                ring.record(self.snapshot());
+            }
+        });
+        Sampler {
+            series,
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_us: u64, build: impl FnOnce(&Registry)) -> SeriesSample {
+        let registry = Registry::new();
+        build(&registry);
+        SeriesSample {
+            at_us,
+            metrics: registry.snapshot(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_answers_last_n() {
+        let ring = SeriesBuffer::new(3);
+        assert!(ring.is_empty());
+        for at in 0..5u64 {
+            ring.push(sample(at, |_| {}));
+        }
+        assert_eq!(ring.len(), 3);
+        let last = ring.last(2);
+        assert_eq!(
+            last.iter().map(|s| s.at_us).collect::<Vec<_>>(),
+            [3, 4],
+            "oldest first among the newest two"
+        );
+        assert_eq!(ring.last(10).len(), 3);
+    }
+
+    #[test]
+    fn deltas_compute_rates_window_quantiles_and_gauge_last_values() {
+        let older = sample(1_000_000, |r| {
+            r.counter("requests_total").add(100);
+            r.gauge("open").set(3);
+            r.histogram("lat_us").record_micros(40);
+        });
+        let newer = sample(3_000_000, |r| {
+            r.counter("requests_total").add(160);
+            r.gauge("open").set(7);
+            let lat = r.histogram("lat_us");
+            lat.record_micros(40);
+            lat.record_micros(5_000);
+            lat.record_micros(5_000);
+        });
+        let delta = SnapshotDelta::between(&older, &newer);
+        assert_eq!(delta.elapsed_us(), 2_000_000);
+        assert_eq!(delta.diff.counter("requests_total"), Some(60));
+        assert_eq!(delta.rate("requests_total"), Some(30.0));
+        assert_eq!(delta.diff.gauge("open"), Some(7), "gauges are last-value");
+        // The window histogram holds only the two 5 ms samples: its p50 is
+        // the 5 ms bucket, though the lifetime p50 would be the 40 µs one.
+        assert_eq!(delta.quantile("lat_us", 0.5), Some(8_191));
+        assert_eq!(delta.rate("nope"), None);
+        assert_eq!(delta.quantile("nope", 0.5), None);
+    }
+
+    #[test]
+    fn deltas_saturate_instead_of_underflowing_on_restart() {
+        let older = sample(0, |r| {
+            r.counter("requests_total").add(500);
+            r.histogram("lat_us").record_micros(40);
+            r.histogram("lat_us").record_micros(40);
+        });
+        let newer = sample(1_000_000, |r| {
+            r.counter("requests_total").add(80);
+            r.histogram("lat_us").record_micros(40);
+        });
+        let delta = SnapshotDelta::between(&older, &newer);
+        assert_eq!(delta.diff.counter("requests_total"), Some(0));
+        assert_eq!(delta.rate("requests_total"), Some(0.0));
+        assert_eq!(delta.diff.histogram("lat_us").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn window_delta_picks_the_oldest_sample_inside_the_window() {
+        let ring = SeriesBuffer::new(8);
+        for at in 0..5u64 {
+            let total = 10 * (at + 1);
+            ring.push(sample(at * 1_000_000, move |r| {
+                r.counter("requests_total").add(total);
+            }));
+        }
+        // A 2 s window over samples at 0..4 s spans [2 s, 4 s]: 50 - 30.
+        let delta = ring.window_delta(2_000_000).expect("enough samples");
+        assert_eq!(delta.from_us, 2_000_000);
+        assert_eq!(delta.to_us, 4_000_000);
+        assert_eq!(delta.diff.counter("requests_total"), Some(20));
+        // A huge window reaches back to the oldest retained sample.
+        let all = ring.window_delta(u64::MAX).expect("enough samples");
+        assert_eq!(all.diff.counter("requests_total"), Some(40));
+        // One sample answers nothing.
+        let lone = SeriesBuffer::new(4);
+        lone.push(sample(0, |_| {}));
+        assert!(lone.window_delta(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn merging_node_deltas_equals_delta_of_merged_snapshots() {
+        let a_old = sample(1_000, |r| {
+            r.counter("requests_total").add(10);
+            r.histogram("lat_us").record_micros(40);
+        });
+        let a_new = sample(2_000, |r| {
+            r.counter("requests_total").add(25);
+            r.histogram("lat_us").record_micros(40);
+            r.histogram("lat_us").record_micros(9_000);
+        });
+        let b_old = sample(1_000, |r| {
+            r.counter("requests_total").add(4);
+            r.gauge("open").set(1);
+        });
+        let b_new = sample(2_000, |r| {
+            r.counter("requests_total").add(9);
+            r.gauge("open").set(2);
+        });
+        let mut merged_deltas = SnapshotDelta::between(&a_old, &a_new);
+        merged_deltas.merge(&SnapshotDelta::between(&b_old, &b_new));
+
+        let mut old_merged = a_old.clone();
+        old_merged.metrics.merge(&b_old.metrics);
+        let mut new_merged = a_new.clone();
+        new_merged.metrics.merge(&b_new.metrics);
+        let delta_of_merged = SnapshotDelta::between(&old_merged, &new_merged);
+        assert_eq!(merged_deltas, delta_of_merged);
+        assert_eq!(merged_deltas.diff.counter("requests_total"), Some(20));
+        assert_eq!(merged_deltas.diff.gauge("open"), Some(2));
+    }
+
+    #[test]
+    fn slo_specs_parse_and_reject() {
+        let rule = SloRule::parse("serve_op_get_latency_us p99 < 500us over 60s").unwrap();
+        assert_eq!(rule.window_us(), 60_000_000);
+        assert_eq!(rule.text(), "serve_op_get_latency_us p99 < 500us over 60s");
+        let ratio =
+            SloRule::parse("serve_misses_total / serve_requests_total < 1% over 500ms").unwrap();
+        assert_eq!(ratio.window_us(), 500_000);
+        assert!(SloRule::parse("p99 < 500us").is_err());
+        assert!(SloRule::parse("lat_us q99 < 500us over 60s").is_err());
+        assert!(
+            SloRule::parse("lat_us p99 < 500 over 60s").is_err(),
+            "bound needs a unit"
+        );
+        assert!(
+            SloRule::parse("a / b < 1 over 60s").is_err(),
+            "ratio needs a %"
+        );
+        assert!(SloRule::parse("lat_us pXX < 1ms over 60s").is_err());
+        // Digits past the second are precision: p999 is the 99.9th percentile.
+        assert!(SloRule::parse("lat_us p999 < 1ms over 60s").is_ok());
+    }
+
+    #[test]
+    fn slo_evaluator_counts_breaches_and_reports_status() {
+        let registry = Registry::new();
+        let evaluator = SloEvaluator::new(
+            vec![
+                SloRule::parse("lat_us p50 < 100us over 60s").unwrap(),
+                SloRule::parse("errors_total / requests_total < 10% over 60s").unwrap(),
+            ],
+            &registry,
+        );
+        let ring = SeriesBuffer::new(8);
+
+        // Too little data: nothing breaches, nothing is judged.
+        evaluator.evaluate(&ring);
+        assert!(evaluator.statuses().iter().all(|s| s.value.is_none()));
+        assert_eq!(registry.counter("obs_slo_breaches_total").get(), 0);
+
+        ring.push(sample(0, |r| {
+            r.counter("requests_total").add(0);
+            r.counter("errors_total").add(0);
+        }));
+        ring.push(sample(1_000_000, |r| {
+            r.histogram("lat_us").record_micros(5_000);
+            r.counter("requests_total").add(100);
+            r.counter("errors_total").add(25);
+        }));
+        evaluator.evaluate(&ring);
+        let statuses = evaluator.statuses();
+        assert!(statuses[0].breached, "{statuses:?}");
+        assert!(statuses[1].breached, "{statuses:?}");
+        assert_eq!(statuses[1].value, Some(0.25));
+        assert_eq!(registry.counter("obs_slo_breaches_total").get(), 2);
+        assert_eq!(registry.gauge("obs_slos_breached").get(), 2);
+
+        // A healthy window clears the gauge but keeps the breach total.
+        ring.push(sample(2_000_000, |r| {
+            r.histogram("lat_us").record_micros(5_000);
+            r.histogram("lat_us").record_micros(10);
+            let lat = r.histogram("lat_us");
+            for _ in 0..30 {
+                lat.record_micros(10);
+            }
+            r.counter("requests_total").add(1_000);
+            r.counter("errors_total").add(25);
+        }));
+        // Rebuild the ring so the window only sees the healthy tail.
+        let healthy = SeriesBuffer::new(8);
+        healthy.push(sample(1_000_000, |r| {
+            r.counter("requests_total").add(100);
+            r.counter("errors_total").add(25);
+            r.histogram("lat_us").record_micros(5_000);
+        }));
+        healthy.push(sample(2_000_000, |r| {
+            r.counter("requests_total").add(1_100);
+            r.counter("errors_total").add(25);
+            let lat = r.histogram("lat_us");
+            lat.record_micros(5_000);
+            for _ in 0..99 {
+                lat.record_micros(10);
+            }
+        }));
+        evaluator.evaluate(&healthy);
+        let statuses = evaluator.statuses();
+        assert!(!statuses[0].breached, "{statuses:?}");
+        assert!(!statuses[1].breached, "{statuses:?}");
+        assert_eq!(registry.gauge("obs_slos_breached").get(), 0);
+        assert_eq!(
+            registry.counter("obs_slo_breaches_total").get(),
+            2,
+            "the breach total is monotone"
+        );
+    }
+
+    #[test]
+    fn the_background_sampler_feeds_its_ring() {
+        // `start_sampler` needs a 'static registry; leak a private one so
+        // the test does not race other tests over `Registry::global`.
+        let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+        registry.counter("ticks_total").add(5);
+        let sampler = registry.start_sampler(Duration::from_millis(5), 16);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sampler.series().len() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(sampler.series().len() >= 2, "sampler never ticked twice");
+        let last = sampler.series().last(1).remove(0);
+        assert_eq!(last.metrics.counter("ticks_total"), Some(5));
+        sampler.stop();
+    }
+}

@@ -45,6 +45,9 @@ fn help_for(name: &str) -> &'static str {
             return "Slow traces pinned into the flight recorder's retained set."
         }
         "serve_slow_queries_total" => return "Requests at or over the --slow-query-us threshold.",
+        "serve_idle_reaped_total" => {
+            return "Connections closed after exceeding the --idle-timeout-secs deadline."
+        }
         "serve_open_connections" => return "Currently open client connections.",
         "serve_codec_binary_total" => return "Requests decoded from binary wire frames.",
         "serve_codec_json_total" => return "Requests decoded from JSON lines.",
@@ -84,6 +87,14 @@ fn help_for(name: &str) -> &'static str {
         }
         "cluster_tee_stored_total" => return "Replica-tee records newly stored.",
         "cluster_tee_failures_total" => return "Replica-tee calls that failed.",
+        "cluster_timeouts_total" => return "Node calls failed by an I/O deadline expiry.",
+        "cluster_read_repairs_total" => {
+            return "Replica-served reads teed back to their primary (read-repair)."
+        }
+        "cluster_repair_records_total" => return "Records copied by anti-entropy repair.",
+        "cluster_nodes_down" => return "Nodes currently marked down by health tracking.",
+        "obs_slo_breaches_total" => return "SLO rule evaluations that found the rule in breach.",
+        "obs_slos_breached" => return "SLO rules currently in breach.",
         _ => {}
     }
     if name.starts_with("serve_op_") {

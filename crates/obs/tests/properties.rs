@@ -1,9 +1,11 @@
 //! Property tests for the telemetry instruments: histogram record/merge
-//! monotonicity, quantile ordering, bucket-boundary placement, and
-//! concurrent-recorder consistency.
+//! monotonicity, quantile ordering, bucket-boundary placement,
+//! concurrent-recorder consistency, and the series delta/rate math.
 
 use proptest::prelude::*;
-use srra_obs::{Histogram, HistogramSnapshot, Registry, LATENCY_BUCKETS};
+use srra_obs::{
+    Histogram, HistogramSnapshot, Registry, SeriesSample, SnapshotDelta, LATENCY_BUCKETS,
+};
 
 /// Records every sample into a fresh histogram.
 fn filled(samples: &[u64]) -> Histogram {
@@ -124,5 +126,104 @@ proptest! {
         let rebuilt = HistogramSnapshot::from_buckets(&snapshot.buckets()[..used])
             .expect("trimmed arrays always fit");
         prop_assert_eq!(rebuilt, snapshot);
+    }
+
+    /// Deltas never go negative: whichever way two samples are ordered (a
+    /// counter reset looks like the newer value being smaller), every
+    /// counter increment and therefore every rate is non-negative.
+    #[test]
+    fn delta_rates_are_non_negative(
+        before in prop::collection::vec(any::<u64>(), 1..8),
+        after in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let build = |at_us: u64, values: &[u64]| {
+            let registry = Registry::new();
+            for (index, &value) in values.iter().enumerate() {
+                registry.counter(&format!("c{index}_total")).add(value);
+            }
+            SeriesSample { at_us, metrics: registry.snapshot() }
+        };
+        // Either value set may play the newer sample: a peer restarting
+        // mid-window makes "newer" counters smaller than "older" ones.
+        for (older, newer) in [
+            (build(1_000_000, &before), build(2_000_000, &after)),
+            (build(1_000_000, &after), build(2_000_000, &before)),
+        ] {
+            let delta = SnapshotDelta::between(&older, &newer);
+            for (name, _) in &delta.diff.counters {
+                let rate = delta.rate(name).expect("window is non-empty");
+                prop_assert!(rate >= 0.0, "{name} rate {rate}");
+            }
+        }
+    }
+
+    /// A window delta's histogram equals recording only the window's
+    /// samples directly: subtracting the older sample's buckets exactly
+    /// removes the pre-window traffic, so windowed quantiles match a fresh
+    /// histogram of the same samples.
+    #[test]
+    fn windowed_histogram_quantiles_match_direct_recording(
+        warmup in prop::collection::vec(any::<u64>(), 0..128),
+        window in prop::collection::vec(any::<u64>(), 1..128),
+    ) {
+        let registry = Registry::new();
+        let latency = registry.histogram("lat_us");
+        for &micros in &warmup {
+            latency.record_micros(micros);
+        }
+        let older = SeriesSample { at_us: 0, metrics: registry.snapshot() };
+        for &micros in &window {
+            latency.record_micros(micros);
+        }
+        let newer = SeriesSample { at_us: 1_000_000, metrics: registry.snapshot() };
+        let delta = SnapshotDelta::between(&older, &newer);
+        let direct = filled(&window).snapshot();
+        let windowed = delta.diff.histogram("lat_us").expect("histogram present");
+        prop_assert_eq!(windowed.buckets(), direct.buckets());
+        for fraction in [0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(delta.quantile("lat_us", fraction), Some(direct.quantile(fraction)));
+        }
+    }
+
+    /// Merging per-node deltas equals the delta of merged snapshots — the
+    /// property that makes the fleet row of `srra cluster top` honest.
+    #[test]
+    fn merged_deltas_equal_delta_of_merged_snapshots(
+        counts in prop::collection::vec(any::<u32>(), 2..6),
+        extra in prop::collection::vec(any::<u32>(), 2..6),
+        latencies in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let nodes = counts.len().min(extra.len());
+        let mut node_samples = Vec::new();
+        for node in 0..nodes {
+            let registry = Registry::new();
+            // Shared names accumulate across nodes; u32 values keep the
+            // sums far from u64 saturation.
+            registry.counter("requests_total").add(counts[node] as u64);
+            registry.gauge("open").set(counts[node] as i64);
+            let latency = registry.histogram("lat_us");
+            for &micros in &latencies {
+                latency.record_micros(micros.rotate_left(node as u32));
+            }
+            let older = SeriesSample { at_us: 1_000, metrics: registry.snapshot() };
+            registry.counter("requests_total").add(extra[node] as u64);
+            registry.gauge("open").set(extra[node] as i64);
+            registry.histogram("lat_us").record_micros(latencies[0]);
+            let newer = SeriesSample { at_us: 2_000, metrics: registry.snapshot() };
+            node_samples.push((older, newer));
+        }
+
+        let mut merged_deltas = SnapshotDelta::between(&node_samples[0].0, &node_samples[0].1);
+        for (older, newer) in &node_samples[1..] {
+            merged_deltas.merge(&SnapshotDelta::between(older, newer));
+        }
+
+        let (mut older_fleet, mut newer_fleet) = node_samples[0].clone();
+        for (older, newer) in &node_samples[1..] {
+            older_fleet.metrics.merge(&older.metrics);
+            newer_fleet.metrics.merge(&newer.metrics);
+        }
+        let delta_of_merged = SnapshotDelta::between(&older_fleet, &newer_fleet);
+        prop_assert_eq!(merged_deltas, delta_of_merged);
     }
 }

@@ -35,7 +35,9 @@ use std::io::Read;
 
 use srra_explore::codec::{read_len, write_seq_len, write_str, WireError, WireSerde};
 use srra_explore::PointRecord;
-use srra_obs::{valid_metric_name, HistogramSnapshot, MetricsSnapshot, Span};
+use srra_obs::{
+    valid_metric_name, HistogramSnapshot, MetricsSnapshot, SeriesSample, SnapshotDelta, Span,
+};
 
 use crate::protocol::{
     valid_trace_id, OpStats, PointOutcome, QueryPoint, Request, Response, ServerStats, ShardDigest,
@@ -280,6 +282,7 @@ const TAG_SHUTDOWN: u8 = 9;
 const TAG_TRACE: u8 = 10;
 const TAG_DIGEST: u8 = 11;
 const TAG_SCAN: u8 = 12;
+const TAG_SERIES: u8 = 13;
 
 impl WireSerde for QueryPoint {
     fn serialize_into(&self, out: &mut impl std::io::Write) -> Result<(), WireError> {
@@ -333,6 +336,11 @@ impl WireSerde for Request {
             Request::Trace { id } => {
                 TAG_TRACE.serialize_into(out)?;
                 write_str(out, id)
+            }
+            Request::Series { last, window_us } => {
+                TAG_SERIES.serialize_into(out)?;
+                last.serialize_into(out)?;
+                window_us.serialize_into(out)
             }
             Request::Digest => TAG_DIGEST.serialize_into(out),
             Request::Scan {
@@ -401,6 +409,16 @@ impl WireSerde for Request {
                     return Err(WireError::Corrupt(format!("illegal trace id {id:?}")));
                 }
                 Ok(Request::Trace { id })
+            }
+            TAG_SERIES => {
+                let last = u64::deserialize_from(reader)?;
+                let window_us = u64::deserialize_from(reader)?;
+                if (last == 0) == (window_us == 0) {
+                    return Err(WireError::Corrupt(
+                        "`series` needs exactly one of `last` or `window_us`, non-zero".to_owned(),
+                    ));
+                }
+                Ok(Request::Series { last, window_us })
             }
             TAG_DIGEST => Ok(Request::Digest),
             TAG_SCAN => {
@@ -656,6 +674,8 @@ const RESP_ERROR: u8 = 12;
 const RESP_TRACED: u8 = 13;
 const RESP_DIGESTS: u8 = 14;
 const RESP_SCANNED: u8 = 15;
+const RESP_SERIES: u8 = 16;
+const RESP_DELTA: u8 = 17;
 
 impl WireSerde for ShardDigest {
     fn serialize_into(&self, out: &mut impl std::io::Write) -> Result<(), WireError> {
@@ -728,6 +748,21 @@ impl WireSerde for Response {
                 }
                 Ok(())
             }
+            Response::Series { samples } => {
+                RESP_SERIES.serialize_into(out)?;
+                write_seq_len(out, samples.len())?;
+                for sample in samples {
+                    sample.at_us.serialize_into(out)?;
+                    write_snapshot(out, &sample.metrics)?;
+                }
+                Ok(())
+            }
+            Response::SeriesDelta { delta } => {
+                RESP_DELTA.serialize_into(out)?;
+                delta.from_us.serialize_into(out)?;
+                delta.to_us.serialize_into(out)?;
+                write_snapshot(out, &delta.diff)
+            }
             Response::Digests { digests } => {
                 RESP_DIGESTS.serialize_into(out)?;
                 digests.serialize_into(out)
@@ -781,6 +816,24 @@ impl WireSerde for Response {
                 }
                 Ok(Response::Traced { spans })
             }
+            RESP_SERIES => {
+                let count = read_len(reader, srra_explore::codec::MAX_SEQ_LEN, "series")?;
+                let mut samples = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    samples.push(SeriesSample {
+                        at_us: u64::deserialize_from(reader)?,
+                        metrics: read_snapshot(reader)?,
+                    });
+                }
+                Ok(Response::Series { samples })
+            }
+            RESP_DELTA => Ok(Response::SeriesDelta {
+                delta: SnapshotDelta {
+                    from_us: u64::deserialize_from(reader)?,
+                    to_us: u64::deserialize_from(reader)?,
+                    diff: read_snapshot(reader)?,
+                },
+            }),
             RESP_DIGESTS => Ok(Response::Digests {
                 digests: Vec::<ShardDigest>::deserialize_from(reader)?,
             }),
@@ -926,6 +979,14 @@ mod tests {
             Request::Trace {
                 id: "sweep-7.a".to_owned(),
             },
+            Request::Series {
+                last: 16,
+                window_us: 0,
+            },
+            Request::Series {
+                last: 0,
+                window_us: 60_000_000,
+            },
             Request::Digest,
             Request::Scan {
                 shard: 3,
@@ -1002,6 +1063,28 @@ mod tests {
                 ],
             },
             Response::Traced { spans: Vec::new() },
+            Response::Series {
+                samples: vec![
+                    SeriesSample {
+                        at_us: 1_000_000,
+                        metrics: sample_snapshot(),
+                    },
+                    SeriesSample {
+                        at_us: 2_000_000,
+                        metrics: sample_snapshot(),
+                    },
+                ],
+            },
+            Response::Series {
+                samples: Vec::new(),
+            },
+            Response::SeriesDelta {
+                delta: SnapshotDelta {
+                    from_us: 1_000_000,
+                    to_us: 2_000_000,
+                    diff: sample_snapshot(),
+                },
+            },
             Response::Digests {
                 digests: vec![
                     ShardDigest {

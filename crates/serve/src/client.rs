@@ -27,7 +27,7 @@ use std::time::Duration;
 
 use srra_explore::codec::WireError;
 use srra_explore::PointRecord;
-use srra_obs::{Counter, MetricsSnapshot, Registry, Span};
+use srra_obs::{Counter, MetricsSnapshot, Registry, SeriesSample, SnapshotDelta, Span};
 
 use crate::binary::{
     encode_get_frame, encode_mget_frame, encode_points_frame, encode_put_frame,
@@ -696,6 +696,30 @@ impl Connection {
         expect_traced(response)
     }
 
+    /// Fetches the newest `last` samples of the server's metrics series ring
+    /// (oldest first).  An idle sampler yields an empty list, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn series_samples(&mut self, last: u64) -> Result<Vec<SeriesSample>, ClientError> {
+        let response = self.roundtrip(&Request::Series { last, window_us: 0 })?;
+        expect_series(response)
+    }
+
+    /// Fetches the metrics delta across the server's trailing `window_us`
+    /// window — per-window counter increments, gauge last values and
+    /// histogram bucket differences, ready for rate/quantile math.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors
+    /// (including too few samples in the window, e.g. a disabled sampler).
+    pub fn series_delta(&mut self, window_us: u64) -> Result<SnapshotDelta, ClientError> {
+        let response = self.roundtrip(&Request::Series { last: 0, window_us })?;
+        expect_series_delta(response)
+    }
+
     /// Fetches the server's per-shard anti-entropy digests, in shard order.
     /// Two nodes holding the same record set answer identical digests (see
     /// `docs/cluster.md`).
@@ -893,6 +917,24 @@ impl Client {
         self.connect()?.trace_spans(id)
     }
 
+    /// Fetches the newest `last` samples of the server's metrics series ring.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn series_samples(&self, last: u64) -> Result<Vec<SeriesSample>, ClientError> {
+        self.connect()?.series_samples(last)
+    }
+
+    /// Fetches the metrics delta across the server's trailing window.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, malformed responses and server-side errors.
+    pub fn series_delta(&self, window_us: u64) -> Result<SnapshotDelta, ClientError> {
+        self.connect()?.series_delta(window_us)
+    }
+
     /// Fetches the server's per-shard anti-entropy digests.
     ///
     /// # Errors
@@ -1049,6 +1091,28 @@ fn expect_traced(response: Response) -> Result<Vec<Span>, ClientError> {
         Response::Error { message } => Err(ClientError::Server(message)),
         other => Err(ClientError::Protocol(format!(
             "unexpected response to trace: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the sample-mode `series` reply shape.
+fn expect_series(response: Response) -> Result<Vec<SeriesSample>, ClientError> {
+    match response {
+        Response::Series { samples } => Ok(samples),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to series: {other:?}"
+        ))),
+    }
+}
+
+/// Narrows a response to the window-mode `series` reply shape.
+fn expect_series_delta(response: Response) -> Result<SnapshotDelta, ClientError> {
+    match response {
+        Response::SeriesDelta { delta } => Ok(delta),
+        Response::Error { message } => Err(ClientError::Server(message)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to series: {other:?}"
         ))),
     }
 }

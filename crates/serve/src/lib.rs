@@ -31,7 +31,10 @@
 //!    per-op latency quantiles), `metrics` (the full [`srra_obs`] telemetry
 //!    snapshot, as structured JSON or Prometheus text exposition), `trace`
 //!    (the spans the flight recorder retains for a trace id — see
-//!    `docs/observability.md`), `digest` (per-shard anti-entropy digests:
+//!    `docs/observability.md`), `series` (the last N timestamped snapshots
+//!    of the opt-in metrics sampler, or the rate/quantile-ready delta over a
+//!    trailing window — the time dimension behind `srra cluster top` and
+//!    the SLO evaluator), `digest` (per-shard anti-entropy digests:
 //!    record count plus an order-insensitive hash fold, so two replicas can
 //!    compare contents without shipping them) and `scan` (offset-paged
 //!    canonical strings of one shard — the diff-streaming substrate for
@@ -97,6 +100,7 @@ pub use protocol::{
 pub use server::{canonical_for, device_by_name, ServeError, Server, ServerConfig, ServerReport};
 pub use shard::{CompactOutcome, MergeOutcome, ShardError, ShardedStore};
 
-// The span type rides on `trace` replies; re-exported so serve-layer callers
-// need not depend on `srra_obs` directly.
-pub use srra_obs::Span;
+// The span type rides on `trace` replies, and the series types on `series`
+// replies; re-exported so serve-layer callers need not depend on `srra_obs`
+// directly.
+pub use srra_obs::{SeriesSample, SnapshotDelta, Span};

@@ -21,7 +21,10 @@
 //! lookup itself and the buffer's own growth.
 
 use srra_explore::PointRecord;
-use srra_obs::{valid_metric_name, HistogramSnapshot, MetricsSnapshot, Span, LATENCY_BUCKETS};
+use srra_obs::{
+    valid_metric_name, HistogramSnapshot, MetricsSnapshot, SeriesSample, SnapshotDelta, Span,
+    LATENCY_BUCKETS,
+};
 
 use crate::json::{render_string, JsonValue};
 
@@ -276,6 +279,19 @@ pub enum Request {
         /// The trace id to look up (validated by [`valid_trace_id`]).
         id: String,
     },
+    /// Time-series scrape of the server's sampled metrics ring (fed by
+    /// `--sample-interval-ms`; see `docs/observability.md`).  Exactly one of
+    /// the two fields is non-zero: `last` answers [`Response::Series`] with
+    /// the most recent samples, `window_us` answers
+    /// [`Response::SeriesDelta`] with the computed window delta (per-window
+    /// counter increments and histogram buckets, last-value gauges).
+    Series {
+        /// Most recent samples to return (`0` when querying by window).
+        last: u64,
+        /// Window length in microseconds (`0` when querying by sample
+        /// count).
+        window_us: u64,
+    },
     /// Anti-entropy digest: answers [`Response::Digests`] with one
     /// [`ShardDigest`] per shard, in shard order.  Cheap enough to compare
     /// across replicas on every repair pass without streaming records.
@@ -322,6 +338,16 @@ impl Request {
             Request::Trace { id } => {
                 out.push_str("{\"op\":\"trace\",\"id\":");
                 render_string(out, id);
+                out.push('}');
+            }
+            Request::Series { last, window_us } => {
+                if *window_us > 0 {
+                    out.push_str("{\"op\":\"series\",\"window_us\":");
+                    out.push_str(&window_us.to_string());
+                } else {
+                    out.push_str("{\"op\":\"series\",\"last\":");
+                    out.push_str(&last.to_string());
+                }
                 out.push('}');
             }
             Request::Digest => out.push_str(r#"{"op":"digest"}"#),
@@ -433,6 +459,24 @@ impl Request {
                     ));
                 }
                 Ok(Request::Trace { id: id.to_owned() })
+            }
+            "series" => {
+                let field = |name: &str| -> Result<u64, String> {
+                    match value.get(name) {
+                        None => Ok(0),
+                        Some(v) => v
+                            .as_u64()
+                            .ok_or_else(|| format!("`{name}` must be a number")),
+                    }
+                };
+                let last = field("last")?;
+                let window_us = field("window_us")?;
+                if (last == 0) == (window_us == 0) {
+                    return Err(
+                        "`series` needs exactly one of `last` or `window_us`, non-zero".to_owned(),
+                    );
+                }
+                Ok(Request::Series { last, window_us })
             }
             "digest" => Ok(Request::Digest),
             "scan" => {
@@ -792,6 +836,20 @@ pub enum Response {
         /// The retained spans, oldest first.
         spans: Vec<Span>,
     },
+    /// `series` answer (by sample count): the most recent retained samples
+    /// of the server's metrics ring, oldest first.  A server whose sampler
+    /// is off answers an empty list.
+    Series {
+        /// The retained samples, oldest first.
+        samples: Vec<SeriesSample>,
+    },
+    /// `series` answer (by window): the delta between the newest retained
+    /// sample and the oldest one inside the window — per-window counter
+    /// increments and histogram buckets, last-value gauges.
+    SeriesDelta {
+        /// The computed window delta.
+        delta: SnapshotDelta,
+    },
     /// `digest` answer: one entry per shard, in shard order.
     Digests {
         /// Per-shard digests (`digests.len()` is the server's shard count).
@@ -935,6 +993,29 @@ impl Response {
                     render_span(out, span);
                 }
                 out.push_str("]}");
+            }
+            Response::Series { samples } => {
+                out.push_str("{\"ok\":true,\"series\":[");
+                for (index, sample) in samples.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"at_us\":");
+                    out.push_str(&sample.at_us.to_string());
+                    out.push_str(",\"metrics\":");
+                    sample.metrics.render_json_into(out);
+                    out.push('}');
+                }
+                out.push_str("]}");
+            }
+            Response::SeriesDelta { delta } => {
+                out.push_str("{\"ok\":true,\"delta\":{\"from_us\":");
+                out.push_str(&delta.from_us.to_string());
+                out.push_str(",\"to_us\":");
+                out.push_str(&delta.to_us.to_string());
+                out.push_str(",\"metrics\":");
+                delta.diff.render_json_into(out);
+                out.push_str("}}");
             }
             Response::Digests { digests } => {
                 out.push_str("{\"ok\":true,\"digests\":[");
@@ -1089,6 +1170,41 @@ impl Response {
                 .map(span_from_value)
                 .collect::<Result<Vec<_>, _>>()?;
             return Ok(Response::Traced { spans });
+        }
+        if let Some(items) = value.get("series").and_then(JsonValue::as_array) {
+            let samples = items
+                .iter()
+                .map(|item| {
+                    let at_us = item
+                        .get("at_us")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("series sample needs a numeric `at_us` field")?;
+                    let metrics = snapshot_from_value(
+                        item.get("metrics")
+                            .ok_or("series sample lacks a `metrics` field")?,
+                    )?;
+                    Ok(SeriesSample { at_us, metrics })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            return Ok(Response::Series { samples });
+        }
+        if let Some(item) = value.get("delta") {
+            let field = |name: &str| -> Result<u64, String> {
+                item.get(name)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("series delta needs a numeric `{name}` field"))
+            };
+            let diff = snapshot_from_value(
+                item.get("metrics")
+                    .ok_or("series delta lacks a `metrics` field")?,
+            )?;
+            return Ok(Response::SeriesDelta {
+                delta: SnapshotDelta {
+                    from_us: field("from_us")?,
+                    to_us: field("to_us")?,
+                    diff,
+                },
+            });
         }
         if let Some(items) = value.get("digests").and_then(JsonValue::as_array) {
             let digests = items
@@ -1394,6 +1510,14 @@ mod tests {
             Request::Trace {
                 id: "sweep-7.a".to_owned(),
             },
+            Request::Series {
+                last: 16,
+                window_us: 0,
+            },
+            Request::Series {
+                last: 0,
+                window_us: 60_000_000,
+            },
             Request::Digest,
             Request::Scan {
                 shard: 3,
@@ -1486,6 +1610,28 @@ mod tests {
                 ],
             },
             Response::Traced { spans: Vec::new() },
+            Response::Series {
+                samples: vec![
+                    SeriesSample {
+                        at_us: 1_000_000,
+                        metrics: sample_snapshot(),
+                    },
+                    SeriesSample {
+                        at_us: 2_000_000,
+                        metrics: sample_snapshot(),
+                    },
+                ],
+            },
+            Response::Series {
+                samples: Vec::new(),
+            },
+            Response::SeriesDelta {
+                delta: SnapshotDelta {
+                    from_us: 1_000_000,
+                    to_us: 2_000_000,
+                    diff: sample_snapshot(),
+                },
+            },
             Response::Digests {
                 digests: vec![
                     ShardDigest {
@@ -1665,6 +1811,10 @@ mod tests {
             r#"{"op":"scan"}"#,
             r#"{"op":"scan","shard":"zero"}"#,
             r#"{"op":"scan","shard":0,"limit":0}"#,
+            r#"{"op":"series"}"#,
+            r#"{"op":"series","last":0}"#,
+            r#"{"op":"series","last":4,"window_us":1000}"#,
+            r#"{"op":"series","last":"four"}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "accepted `{bad}`");
         }

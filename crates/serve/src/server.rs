@@ -40,7 +40,10 @@ use srra_explore::{evaluate_point_timed, DesignPoint, PointRecord};
 use srra_fpga::DeviceModel;
 use srra_ir::examples::paper_example;
 use srra_kernels::paper_suite;
-use srra_obs::{epoch_us, next_span_id, Counter, Gauge, Histogram, Registry, Span};
+use srra_obs::{
+    epoch_us, next_span_id, Counter, Gauge, Histogram, Registry, SeriesBuffer, SeriesSample,
+    SloEvaluator, SloRule, SnapshotDelta, Span,
+};
 
 use crate::binary::{
     decode_payload, encode_response_frame, holds_complete_request, read_frame, FrameError,
@@ -58,6 +61,8 @@ pub enum ServeError {
     Io(std::io::Error),
     /// Sharded-store failure.
     Shard(ShardError),
+    /// Invalid configuration (for example a malformed `--slo` rule).
+    Config(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -65,6 +70,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Io(err) => write!(f, "serve I/O error: {err}"),
             ServeError::Shard(err) => write!(f, "serve store error: {err}"),
+            ServeError::Config(message) => write!(f, "serve config error: {message}"),
         }
     }
 }
@@ -108,6 +114,15 @@ pub struct ServerConfig {
     /// (counted by `serve_idle_reaped_total`) instead of pinning a worker
     /// thread forever.
     pub idle_timeout_secs: u64,
+    /// Interval of the opt-in metrics sampler in milliseconds; 0 (the
+    /// default) runs no sampler.  The sampler pushes one timestamped merged
+    /// snapshot per interval into the series ring the `series` op answers
+    /// from, and evaluates the configured SLO rules against that ring.
+    pub sample_interval_ms: u64,
+    /// SLO rules to evaluate every sampler tick, in the
+    /// [`SloRule`] grammar (e.g. `serve_op_get_latency_us p99 < 500us over
+    /// 60s`).  Ignored while the sampler is off.
+    pub slos: Vec<String>,
 }
 
 impl ServerConfig {
@@ -122,6 +137,8 @@ impl ServerConfig {
             slow_query_us: 0,
             report_interval_secs: 0,
             idle_timeout_secs: 0,
+            sample_interval_ms: 0,
+            slos: Vec::new(),
         }
     }
 }
@@ -198,6 +215,7 @@ enum Op {
     Stats,
     Metrics,
     Trace,
+    Series,
     Digest,
     Scan,
     Shutdown,
@@ -205,9 +223,9 @@ enum Op {
 }
 
 /// Wire names of the ops, indexed by `Op as usize`.
-const OP_NAMES: [&str; 13] = [
-    "get", "mget", "explore", "mexplore", "put", "ping", "stats", "metrics", "trace", "digest",
-    "scan", "shutdown", "invalid",
+const OP_NAMES: [&str; 14] = [
+    "get", "mget", "explore", "mexplore", "put", "ping", "stats", "metrics", "trace", "series",
+    "digest", "scan", "shutdown", "invalid",
 ];
 
 /// Count + latency histogram of one op (handles into the server registry).
@@ -379,6 +397,12 @@ struct ServerState {
     /// the wire clients record).
     registry: Registry,
     counters: Counters,
+    /// The ring of timestamped merged snapshots the `series` op answers
+    /// from; fed by the sampler thread (empty while the sampler is off).
+    series: SeriesBuffer,
+    /// SLO rules evaluated against the series ring every sampler tick;
+    /// `None` when no rules were configured.
+    slos: Option<SloEvaluator>,
     /// Slow-query log threshold in microseconds; 0 disables the log.
     slow_query_us: u64,
     /// Idle-connection deadline; zero disables it.
@@ -499,6 +523,7 @@ pub struct Server {
     state: ServerState,
     workers: usize,
     report_interval: Duration,
+    sample_interval: Duration,
 }
 
 impl Server {
@@ -519,6 +544,26 @@ impl Server {
         }
         let registry = Registry::new();
         let counters = Counters::register(&registry);
+        let mut rules = Vec::new();
+        for spec in &config.slos {
+            rules.push(SloRule::parse(spec).map_err(ServeError::Config)?);
+        }
+        // Size the series ring to cover the longest SLO window at the
+        // configured cadence (plus slack), so a rule never starves for
+        // history; without rules the default depth is plenty for `top`.
+        let mut capacity = SeriesBuffer::DEFAULT_CAPACITY;
+        if config.sample_interval_ms > 0 {
+            let interval_us = config.sample_interval_ms.saturating_mul(1_000).max(1);
+            for rule in &rules {
+                let needed = (rule.window_us() / interval_us).saturating_add(2);
+                capacity = capacity.max(usize::try_from(needed).unwrap_or(usize::MAX));
+            }
+        }
+        let slos = if rules.is_empty() {
+            None
+        } else {
+            Some(SloEvaluator::new(rules, &registry))
+        };
         Ok(Self {
             listener,
             local_addr,
@@ -528,6 +573,8 @@ impl Server {
                 inflight: Inflight::default(),
                 registry,
                 counters,
+                series: SeriesBuffer::new(capacity.min(4096)),
+                slos,
                 slow_query_us: config.slow_query_us,
                 idle_timeout: Duration::from_secs(config.idle_timeout_secs),
                 shutdown: AtomicBool::new(false),
@@ -537,6 +584,7 @@ impl Server {
             },
             workers: config.workers.max(1),
             report_interval: Duration::from_secs(config.report_interval_secs),
+            sample_interval: Duration::from_millis(config.sample_interval_ms),
         })
     }
 
@@ -559,6 +607,7 @@ impl Server {
             state,
             workers,
             report_interval,
+            sample_interval,
         } = self;
         let (sender, receiver) = mpsc::channel::<TcpStream>();
         let receiver = Mutex::new(receiver);
@@ -579,6 +628,9 @@ impl Server {
             }
             if !report_interval.is_zero() {
                 scope.spawn(move || run_reporter(state_ref, report_interval));
+            }
+            if !sample_interval.is_zero() {
+                scope.spawn(move || run_sampler(state_ref, sample_interval));
             }
             // The accept loop runs inside a closure so *every* exit — clean
             // shutdown, worker-channel teardown, fatal listener error — falls
@@ -626,33 +678,79 @@ impl Server {
 /// The opt-in periodic stats reporter: one summary line to stderr every
 /// `interval`, sleeping in short slices so shutdown is never delayed by a
 /// long interval.
+///
+/// Each line reports *per-interval* figures — request rate, hit ratio and
+/// latency quantiles of the traffic since the previous line, computed with
+/// the same [`SnapshotDelta`] math the `series` op serves — so a burst or a
+/// regression shows up in the interval it happened instead of being diluted
+/// into lifetime totals.
 fn run_reporter(state: &ServerState, interval: Duration) {
     let mut next = Instant::now() + interval;
-    let mut last_requests = 0u64;
+    let mut previous = SeriesSample {
+        at_us: srra_obs::now_us(),
+        metrics: merged_snapshot(state),
+    };
     while !state.shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(50));
         if Instant::now() < next {
             continue;
         }
         next += interval;
-        let requests = state.counters.requests.get();
-        let get_latency = &state.counters.ops[Op::Get as usize].latency;
+        let current = SeriesSample {
+            at_us: srra_obs::now_us(),
+            metrics: merged_snapshot(state),
+        };
+        let delta = SnapshotDelta::between(&previous, &current);
+        let rate = |name: &str| delta.rate(name).unwrap_or(0.0);
+        let hits = delta.diff.counter("serve_hits_total").unwrap_or(0);
+        let misses = delta.diff.counter("serve_misses_total").unwrap_or(0);
+        let looked_up = hits + misses;
+        let hit_pct = if looked_up == 0 {
+            100.0
+        } else {
+            hits as f64 * 100.0 / looked_up as f64
+        };
         eprintln!(
-            "srra-serve report: uptime_secs={} requests={} (+{}) hits={} misses={} evaluated={} open_connections={} codec_binary={} codec_json={} get_p50_us={} get_p99_us={}",
+            "srra-serve report: uptime_secs={} req_s={:.1} hit_pct={:.1} evaluated_s={:.1} open_connections={} binary_s={:.1} json_s={:.1} get_p50_us={} get_p99_us={}",
             state.started.elapsed().as_secs(),
-            requests,
-            requests - last_requests,
-            state.counters.hits.get(),
-            state.counters.misses.get(),
-            state.counters.evaluated.get(),
+            rate("serve_requests_total"),
+            hit_pct,
+            rate("serve_evaluated_total"),
             state.counters.open_connections.get(),
-            state.counters.codec_binary.get(),
-            state.counters.codec_json.get(),
-            get_latency.quantile(0.50),
-            get_latency.quantile(0.99),
+            rate("serve_codec_binary_total"),
+            rate("serve_codec_json_total"),
+            delta.quantile("serve_op_get_latency_us", 0.50).unwrap_or(0),
+            delta.quantile("serve_op_get_latency_us", 0.99).unwrap_or(0),
         );
-        last_requests = requests;
+        previous = current;
     }
+}
+
+/// The opt-in metrics sampler: every `interval` it pushes one timestamped
+/// merged snapshot into the series ring and evaluates the SLO rules against
+/// the updated ring.  Sleeps in short slices so shutdown is never delayed.
+fn run_sampler(state: &ServerState, interval: Duration) {
+    let slice = interval.min(Duration::from_millis(50));
+    let mut next = Instant::now();
+    while !state.shutdown.load(Ordering::SeqCst) {
+        if Instant::now() < next {
+            std::thread::sleep(slice);
+            continue;
+        }
+        next += interval;
+        state.series.record(merged_snapshot(state));
+        if let Some(slos) = &state.slos {
+            slos.evaluate(&state.series);
+        }
+    }
+}
+
+/// This server's registry merged with the process-global one — the exact
+/// view the `metrics` op scrapes, so series samples and live scrapes agree.
+fn merged_snapshot(state: &ServerState) -> srra_obs::MetricsSnapshot {
+    let mut snapshot = state.registry.snapshot();
+    snapshot.merge(&Registry::global().snapshot());
+    snapshot
 }
 
 /// Builds the current [`ServerStats`] from the shared state.
@@ -855,6 +953,9 @@ fn serve_connection_requests(state: &ServerState, stream: TcpStream, local_addr:
                 (handle_metrics(state, prometheus), Op::Metrics, false)
             }
             Ok((Request::Trace { id }, _)) => (handle_trace(state, &id), Op::Trace, false),
+            Ok((Request::Series { last, window_us }, _)) => {
+                (handle_series(state, last, window_us), Op::Series, false)
+            }
             Ok((Request::Digest, _)) => (handle_digest(state), Op::Digest, false),
             Ok((
                 Request::Scan {
@@ -980,6 +1081,28 @@ fn handle_metrics(state: &ServerState, prometheus: bool) -> Response {
         }
     } else {
         Response::Metrics(snapshot)
+    }
+}
+
+/// Answers a `series`: the newest `last` samples of the metrics ring
+/// (oldest first), or the delta across the trailing `window_us` window.
+/// Sample mode with an idle sampler answers an empty list; window mode
+/// needs two samples inside the window, so it names the sampler knob when
+/// there are not enough.
+fn handle_series(state: &ServerState, last: u64, window_us: u64) -> Response {
+    if last > 0 {
+        let count = usize::try_from(last).unwrap_or(usize::MAX);
+        return Response::Series {
+            samples: state.series.last(count),
+        };
+    }
+    match state.series.window_delta(window_us) {
+        Some(delta) => Response::SeriesDelta { delta },
+        None => Response::Error {
+            message: "series: not enough samples in the window; is the sampler running \
+                      (`--sample-interval-ms`)?"
+                .to_owned(),
+        },
     }
 }
 

@@ -239,3 +239,86 @@ fn slow_query_threshold_counts_and_logs_slow_requests() {
     handle.join().expect("server thread");
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+#[test]
+fn sampler_feeds_the_series_op_and_tight_slos_breach() {
+    let dir = scratch_dir("series");
+    let server = Server::bind(&ServerConfig {
+        shards: 2,
+        workers: 2,
+        sample_interval_ms: 10,
+        // Impossible to satisfy: any request at all breaches a 0% error
+        // budget... so use a latency bound of 0-ish instead — every recorded
+        // get latency is >= 0us, and a p99 < 1us over a busy window breaches.
+        slos: vec!["serve_op_mexplore_latency_us p99 < 1us over 5s".to_owned()],
+        ..ServerConfig::ephemeral(dir.clone())
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut connection = Connection::connect(&addr).expect("connect");
+    // A cold mexplore records a latency far above 1us, arming the SLO.
+    let explored = connection
+        .mexplore(&[QueryPoint::new("fir", "cpa", 32)])
+        .expect("mexplore");
+    assert_eq!(explored.outcomes.len(), 1);
+    // Keep traffic flowing while the sampler accumulates a few ticks.
+    for _ in 0..10 {
+        connection.ping().expect("ping");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let samples = connection.series_samples(64).expect("series");
+    assert!(
+        samples.len() >= 2,
+        "a 10ms sampler produces many samples across 100ms: {}",
+        samples.len()
+    );
+    assert!(
+        samples
+            .windows(2)
+            .all(|pair| pair[0].at_us <= pair[1].at_us),
+        "samples arrive oldest first"
+    );
+
+    // The trailing window covers the whole run: the request rate is positive
+    // and the windowed request delta matches what this test sent.
+    let delta = connection.series_delta(5_000_000).expect("series delta");
+    assert!(delta.elapsed_us() > 0);
+    let rate = delta.rate("serve_requests_total").expect("requests moved");
+    assert!(rate > 0.0, "req/s across the window: {rate}");
+    assert!(
+        delta
+            .quantile("serve_op_mexplore_latency_us", 0.99)
+            .expect("windowed p99")
+            >= 1,
+        "the cold mexplore is far slower than 1us"
+    );
+
+    // The deliberately tight SLO breached on (at least) each armed tick.
+    let metrics = connection.metrics().expect("metrics");
+    assert!(
+        metrics.counter("obs_slo_breaches_total").unwrap_or(0) >= 1,
+        "{metrics:?}"
+    );
+
+    // The binary codec answers the same shapes.
+    let mut binary = Connection::connect_binary(&addr).expect("binary connect");
+    let samples_bin = binary.series_samples(4).expect("binary series");
+    assert!(!samples_bin.is_empty() && samples_bin.len() <= 4);
+    let delta_bin = binary.series_delta(5_000_000).expect("binary delta");
+    assert!(delta_bin.rate("serve_requests_total").unwrap_or(0.0) > 0.0);
+
+    // Window mode with an impossible window names the sampler knob.
+    match connection.series_delta(1) {
+        Err(srra_serve::ClientError::Server(message)) => {
+            assert!(message.contains("sample-interval-ms"), "{message}");
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    connection.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
